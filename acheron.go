@@ -1,0 +1,134 @@
+// Package acheron is a log-structured merge (LSM) storage engine with
+// timely, persistent deletes — a from-scratch Go reproduction of
+// "Acheron: Persisting Tombstones in LSM Engines" (SIGMOD 2023) and the
+// Lethe delete-aware LSM design it demonstrates.
+//
+// Classic LSM engines realize a delete by writing a tombstone and give no
+// bound on when the deleted data physically disappears. Acheron adds:
+//
+//   - A delete persistence threshold (DPT): an upper bound, set in
+//     Options.Compaction.DPT, on the time between issuing a delete and the
+//     physical erasure of every shadowed version plus the tombstone itself.
+//   - FADE compaction: the DPT is partitioned into per-level TTLs; a file
+//     whose oldest tombstone overstays its budget triggers a delete-driven
+//     compaction, and saturated levels prefer evicting tombstone-dense
+//     files.
+//   - KiWi secondary range deletes: values carry a secondary "delete key"
+//     (Options.DeleteKeyFunc, e.g. a timestamp); with Options.PagesPerTile
+//     > 1, sstables weave pages ordered by delete key inside sort-ordered
+//     tiles, so DeleteSecondaryRange can drop whole pages — or whole files
+//     — without a full tree merge.
+//
+// # Quick start
+//
+//	db, err := acheron.Open(dir, acheron.Options{
+//		Compaction: acheron.CompactionOptions{DPT: acheron.Duration(time.Hour)},
+//	})
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+//	db.Delete([]byte("k")) // physically erased within one hour
+//
+// The engine is durable (write-ahead log + manifest), supports snapshots
+// and range iteration, and exposes detailed statistics including the
+// per-tombstone persistence latency distribution.
+package acheron
+
+import (
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+// DB is an open Acheron store. See the core engine for the full method
+// set: Put, Get, Delete, DeleteSecondaryRange, NewIter, NewSnapshot, Flush,
+// CompactAll, MaintenanceStep, WaitIdle, Stats, Levels, DiskSize, Close.
+type DB = core.DB
+
+// Options configure a store; the zero value works.
+type Options = core.Options
+
+// IterOptions configure a range iterator.
+type IterOptions = core.IterOptions
+
+// Iter iterates live keys in ascending order.
+type Iter = core.Iter
+
+// Snapshot pins a point-in-time view.
+type Snapshot = core.Snapshot
+
+// Batch accumulates writes committed atomically by DB.Apply.
+type Batch = core.Batch
+
+// Stats exposes the engine's counters and histograms, including
+// PersistenceLatency — the paper's headline metric.
+type Stats = core.Stats
+
+// CompactionOptions select shape, picker, size ratio and the DPT.
+type CompactionOptions = compaction.Options
+
+// Compaction shapes.
+const (
+	// Leveling keeps one sorted run per level.
+	Leveling = compaction.Leveling
+	// Tiering allows SizeRatio runs per level.
+	Tiering = compaction.Tiering
+)
+
+// Compaction pickers.
+const (
+	// PickMinOverlap is the delete-oblivious baseline.
+	PickMinOverlap = compaction.PickMinOverlap
+	// PickFADE is the delete-aware picker (expired TTLs first, then
+	// tombstone density).
+	PickFADE = compaction.PickFADE
+	// PickOldestTombstone is the FADE tie-break ablation.
+	PickOldestTombstone = compaction.PickOldestTombstone
+)
+
+// TTL split strategies (how the DPT is divided across levels).
+const (
+	// SplitExponential is the Lethe allocation (level i gets ∝ T^i).
+	SplitExponential = compaction.SplitExponential
+	// SplitUniform divides the DPT evenly (ablation).
+	SplitUniform = compaction.SplitUniform
+)
+
+// Timestamp is a point in engine time (nanoseconds on the store's clock).
+type Timestamp = base.Timestamp
+
+// Duration is a span of engine time.
+type Duration = base.Duration
+
+// DeleteKey is the secondary key targeted by DeleteSecondaryRange.
+type DeleteKey = base.DeleteKey
+
+// DeleteKeyExtractor derives a DeleteKey from a record's value.
+type DeleteKeyExtractor = base.DeleteKeyExtractor
+
+// Clock abstracts the engine's time source.
+type Clock = base.Clock
+
+// LogicalClock is a deterministic, manually advanced Clock for tests and
+// benchmarks.
+type LogicalClock = base.LogicalClock
+
+// FS abstracts the filesystem beneath the store.
+type FS = vfs.FS
+
+// NewMemFS returns an in-memory filesystem with byte-level accounting,
+// suitable for tests and amplification measurements.
+func NewMemFS() *vfs.MemFS { return vfs.NewMemFS() }
+
+// ErrNotFound is returned by Get for missing or deleted keys.
+var ErrNotFound = core.ErrNotFound
+
+// NewBatch returns an empty write batch.
+func NewBatch() *Batch { return core.NewBatch() }
+
+// Open opens (creating if necessary) a store rooted at dirname.
+func Open(dirname string, opts Options) (*DB, error) {
+	return core.Open(dirname, opts)
+}

@@ -1,0 +1,277 @@
+package acheron
+
+// Black-box property tests on the public API, using testing/quick to drive
+// randomized operation sequences against a reference map.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// quickOp is a generatable operation for property tests.
+type quickOp struct {
+	Kind  uint8 // 0..3: put, delete, flush, reopen
+	Key   uint16
+	Value uint16
+}
+
+// applyQuickOps runs a generated op sequence against both the engine and a
+// map, returning false on any divergence.
+func applyQuickOps(t *testing.T, ops []quickOp) bool {
+	t.Helper()
+	fs := NewMemFS()
+	opts := smokeOpts(fs)
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[uint16]uint16{}
+	closed := false
+	defer func() {
+		if !closed {
+			db.Close()
+		}
+	}()
+
+	key := func(k uint16) []byte { return []byte(fmt.Sprintf("k%05d", k)) }
+	val := func(v uint16) []byte {
+		b := make([]byte, 10)
+		binary.BigEndian.PutUint16(b[8:], v)
+		return b
+	}
+
+	for i, op := range ops {
+		switch op.Kind % 4 {
+		case 0:
+			if err := db.Put(key(op.Key), val(op.Value)); err != nil {
+				t.Fatalf("op %d Put: %v", i, err)
+			}
+			model[op.Key] = op.Value
+		case 1:
+			if err := db.Delete(key(op.Key)); err != nil {
+				t.Fatalf("op %d Delete: %v", i, err)
+			}
+			delete(model, op.Key)
+		case 2:
+			if err := db.Flush(); err != nil {
+				t.Fatalf("op %d Flush: %v", i, err)
+			}
+			if err := db.WaitIdle(); err != nil {
+				t.Fatalf("op %d WaitIdle: %v", i, err)
+			}
+		case 3:
+			if err := db.Close(); err != nil {
+				t.Fatalf("op %d Close: %v", i, err)
+			}
+			db, err = Open("db", opts)
+			if err != nil {
+				t.Fatalf("op %d reopen: %v", i, err)
+			}
+		}
+	}
+
+	// Compare final state by scan.
+	var wantKeys []uint16
+	for k := range model {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	it, err := db.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if i >= len(wantKeys) {
+			t.Logf("extra key %q", it.Key())
+			return false
+		}
+		if !bytes.Equal(it.Key(), key(wantKeys[i])) {
+			t.Logf("key %d: engine %q, model %q", i, it.Key(), key(wantKeys[i]))
+			return false
+		}
+		if got := binary.BigEndian.Uint16(it.Value()[8:]); got != model[wantKeys[i]] {
+			t.Logf("value mismatch at %q", it.Key())
+			return false
+		}
+		i++
+	}
+	if i != len(wantKeys) {
+		t.Logf("engine has %d keys, model %d", i, len(wantKeys))
+		return false
+	}
+	closed = true
+	return db.Close() == nil
+}
+
+// TestQuickEngineMatchesModel is the headline property: any sequence of
+// puts, deletes, flushes and reopens leaves the engine equivalent to a map.
+func TestQuickEngineMatchesModel(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(values []reflect.Value, rng *rand.Rand) {
+			n := 50 + rng.Intn(400)
+			ops := make([]quickOp, n)
+			for i := range ops {
+				ops[i] = quickOp{
+					Kind:  uint8(rng.Intn(256)),
+					Key:   uint16(rng.Intn(300)),
+					Value: uint16(rng.Intn(1 << 16)),
+				}
+			}
+			values[0] = reflect.ValueOf(ops)
+		},
+	}
+	f := func(ops []quickOp) bool { return applyQuickOps(t, ops) }
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIterSeekGEMatchesSortedModel: SeekGE on the public iterator
+// always lands on the first live key >= target.
+func TestQuickIterSeekGEMatchesSortedModel(t *testing.T) {
+	fs := NewMemFS()
+	db, err := Open("db", smokeOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(77))
+	live := map[string]bool{}
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("k%05d", rng.Intn(5000))
+		if rng.Float64() < 0.3 {
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, k)
+		} else {
+			if err := db.Put([]byte(k), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = true
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for k := range live {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	it, err := db.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	for trial := 0; trial < 500; trial++ {
+		target := fmt.Sprintf("k%05d", rng.Intn(5200))
+		want := sort.SearchStrings(keys, target)
+		got := it.SeekGE([]byte(target))
+		if want == len(keys) {
+			if got {
+				t.Fatalf("SeekGE(%q) should be invalid, landed on %q", target, it.Key())
+			}
+			continue
+		}
+		if !got || string(it.Key()) != keys[want] {
+			t.Fatalf("SeekGE(%q) = %q (valid=%v), want %q", target, it.Key(), got, keys[want])
+		}
+	}
+}
+
+// TestDiskFootprintBoundedUnderChurn: with FADE active, endless
+// update/delete churn over a fixed key set must not grow the store without
+// bound.
+func TestDiskFootprintBoundedUnderChurn(t *testing.T) {
+	fs := NewMemFS()
+	clk := &LogicalClock{}
+	opts := smokeOpts(fs)
+	opts.Clock = clk
+	opts.Compaction.DPT = 2000
+	opts.Compaction.Picker = PickFADE
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var peak uint64
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 3000; i++ {
+			clk.Advance(1)
+			k := []byte(fmt.Sprintf("k%04d", i%500))
+			if i%3 == 2 {
+				if err := db.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := db.Put(k, make([]byte, 100)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i%128 == 0 {
+				if err := db.WaitIdle(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := db.WaitIdle(); err != nil {
+			t.Fatal(err)
+		}
+		size := db.DiskSize()
+		if size > peak {
+			peak = size
+		}
+	}
+	// 500 live keys x ~110 bytes is ~55 KiB of logical data; allow a
+	// generous amplification factor, but not unbounded growth.
+	if peak > 60*55<<10 {
+		t.Fatalf("disk footprint grew to %d bytes under churn", peak)
+	}
+}
+
+// TestLevelsReporting spot-checks the introspection API.
+func TestLevelsReporting(t *testing.T) {
+	fs := NewMemFS()
+	db, err := Open("db", smokeOpts(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	levels := db.Levels()
+	var total uint64
+	deepest := -1
+	for l, li := range levels {
+		total += li.Bytes
+		if li.Files > 0 {
+			deepest = l
+		}
+	}
+	if deepest < 1 {
+		t.Fatalf("CompactAll left everything at L%d", deepest)
+	}
+	if total != db.DiskSize() {
+		t.Fatalf("Levels sum %d != DiskSize %d", total, db.DiskSize())
+	}
+}

@@ -1,0 +1,111 @@
+package acheron
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md
+// for the experiment index). Each benchmark executes the corresponding
+// harness experiment — full workload, both engines, all sweep points — once
+// per b.N iteration and logs the regenerated table. Set
+// ACHERON_BENCH_SCALE=default (or large) for paper-scale runs; the default
+// here is the small scale so `go test -bench=.` stays fast.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchScale() harness.Scale {
+	switch os.Getenv("ACHERON_BENCH_SCALE") {
+	case "default":
+		return harness.DefaultScale()
+	case "large":
+		sc := harness.DefaultScale()
+		sc.KeySpace *= 4
+		sc.Ops *= 4
+		return sc
+	default:
+		return harness.SmallScale()
+	}
+}
+
+func runExperiment(b *testing.B, fn func(harness.Scale) (*harness.Table, error)) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// BenchmarkE1DeletePersistence regenerates Figure 1: delete persistence
+// latency across a DPT sweep, baseline vs FADE.
+func BenchmarkE1DeletePersistence(b *testing.B) {
+	runExperiment(b, harness.E1DeletePersistence)
+}
+
+// BenchmarkE2SpaceAmp regenerates Figure 2: space amplification vs delete
+// fraction.
+func BenchmarkE2SpaceAmp(b *testing.B) {
+	runExperiment(b, harness.E2SpaceAmp)
+}
+
+// BenchmarkE3WriteAmp regenerates Figure 3: FADE's write-amplification
+// overhead across delete-fraction and DPT sweeps.
+func BenchmarkE3WriteAmp(b *testing.B) {
+	runExperiment(b, harness.E3WriteAmp)
+}
+
+// BenchmarkE4ReadThroughput regenerates Figure 4: point-lookup throughput
+// on an aged, delete-heavy store.
+func BenchmarkE4ReadThroughput(b *testing.B) {
+	runExperiment(b, harness.E4ReadThroughput)
+}
+
+// BenchmarkE5KiWiRangeDelete regenerates Figure 5: secondary range deletes
+// under the KiWi layout vs alternatives.
+func BenchmarkE5KiWiRangeDelete(b *testing.B) {
+	runExperiment(b, harness.E5KiWiRangeDelete)
+}
+
+// BenchmarkE6TombstoneCount regenerates Figure 6: the live tombstone
+// population over time.
+func BenchmarkE6TombstoneCount(b *testing.B) {
+	runExperiment(b, harness.E6TombstoneCount)
+}
+
+// BenchmarkE7StrategyMatrix regenerates Table 1: the shape x picker
+// compaction strategy grid.
+func BenchmarkE7StrategyMatrix(b *testing.B) {
+	runExperiment(b, harness.E7StrategyMatrix)
+}
+
+// BenchmarkE8Ingestion regenerates Figure 7: ingestion throughput overhead
+// of the FADE write path.
+func BenchmarkE8Ingestion(b *testing.B) {
+	runExperiment(b, harness.E8Ingestion)
+}
+
+// BenchmarkA1TTLSplit ablates the per-level DPT allocation (exponential vs
+// uniform).
+func BenchmarkA1TTLSplit(b *testing.B) {
+	runExperiment(b, harness.A1TTLSplit)
+}
+
+// BenchmarkA2BloomBits ablates the Bloom filter budget against lookup cost.
+func BenchmarkA2BloomBits(b *testing.B) {
+	runExperiment(b, harness.A2BloomBits)
+}
+
+// BenchmarkA3FADETieBreak ablates the saturated-level file picker under a
+// DPT.
+func BenchmarkA3FADETieBreak(b *testing.B) {
+	runExperiment(b, harness.A3FADETieBreak)
+}

@@ -1,0 +1,76 @@
+// Command acheron-bench regenerates the paper's evaluation tables and
+// figures (E1..E8, see DESIGN.md) against the in-memory filesystem with a
+// deterministic logical clock.
+//
+// Usage:
+//
+//	acheron-bench [-exp E1,E3] [-scale small|default|large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+	scaleFlag := flag.String("scale", "default", "experiment scale: small, default, large")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = harness.SmallScale()
+	case "default":
+		sc = harness.DefaultScale()
+	case "large":
+		sc = harness.DefaultScale()
+		sc.KeySpace *= 4
+		sc.Ops *= 4
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	experiments := map[string]func(harness.Scale) (*harness.Table, error){
+		"E1": harness.E1DeletePersistence,
+		"E2": harness.E2SpaceAmp,
+		"E3": harness.E3WriteAmp,
+		"E4": harness.E4ReadThroughput,
+		"E5": harness.E5KiWiRangeDelete,
+		"E6": harness.E6TombstoneCount,
+		"E7": harness.E7StrategyMatrix,
+		"E8": harness.E8Ingestion,
+		"A1": harness.A1TTLSplit,
+		"A2": harness.A2BloomBits,
+		"A3": harness.A3FADETieBreak,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3"}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		tbl, err := experiments[id](sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+	}
+}

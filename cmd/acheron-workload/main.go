@@ -1,0 +1,276 @@
+// Command acheron-workload generates reproducible workload traces and
+// replays them against an Acheron store, reporting throughput and engine
+// statistics — the glue for benchmarking the engine against recorded or
+// synthetic op streams.
+//
+// Usage:
+//
+//	acheron-workload gen -out trace.bin -ops 100000 [-keys 50000]
+//	    [-dist uniform|zipfian|latest|sequential]
+//	    [-updates 0.2 -deletes 0.1 -lookups 0.2 -scans 0.01]
+//	    [-rangedeletes 0.001 -window 10000] [-oldest-first]
+//	acheron-workload replay -in trace.bin -dir /tmp/store [-dpt 1h] [-kiwi]
+//	acheron-workload stats -in trace.bin
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: acheron-workload {gen|replay|stats} [flags]")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// Trace wire format: per op
+//
+//	kind byte | keyLen uvarint | key | valLen uvarint | val |
+//	scanLen uvarint | lo uvarint | hi uvarint
+func writeOp(w *bufio.Writer, op workload.Op) error {
+	var buf []byte
+	buf = append(buf, byte(op.Kind))
+	buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+	buf = append(buf, op.Key...)
+	buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
+	buf = append(buf, op.Value...)
+	buf = binary.AppendUvarint(buf, uint64(op.ScanLen))
+	buf = binary.AppendUvarint(buf, op.Lo)
+	buf = binary.AppendUvarint(buf, op.Hi)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readOp(r *bufio.Reader) (workload.Op, error) {
+	var op workload.Op
+	kind, err := r.ReadByte()
+	if err != nil {
+		return op, err
+	}
+	op.Kind = workload.OpKind(kind)
+	readBytes := func() ([]byte, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]byte, n)
+		_, err = io.ReadFull(r, b)
+		return b, err
+	}
+	if op.Key, err = readBytes(); err != nil {
+		return op, err
+	}
+	if op.Value, err = readBytes(); err != nil {
+		return op, err
+	}
+	sl, err := binary.ReadUvarint(r)
+	if err != nil {
+		return op, err
+	}
+	op.ScanLen = int(sl)
+	if op.Lo, err = binary.ReadUvarint(r); err != nil {
+		return op, err
+	}
+	if op.Hi, err = binary.ReadUvarint(r); err != nil {
+		return op, err
+	}
+	return op, nil
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "trace.bin", "output trace file")
+	ops := fs.Int("ops", 100_000, "number of operations")
+	keys := fs.Int("keys", 50_000, "key space size")
+	valueLen := fs.Int("valuelen", 128, "value length")
+	dist := fs.String("dist", "uniform", "distribution: uniform|zipfian|latest|sequential")
+	updates := fs.Float64("updates", 0.2, "update fraction")
+	deletes := fs.Float64("deletes", 0.1, "delete fraction")
+	lookups := fs.Float64("lookups", 0.2, "lookup fraction")
+	scans := fs.Float64("scans", 0, "scan fraction")
+	rangeDels := fs.Float64("rangedeletes", 0, "secondary range delete fraction")
+	window := fs.Uint64("window", 0, "rolling window size for range deletes")
+	oldestFirst := fs.Bool("oldest-first", false, "point deletes target oldest keys (FIFO)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	fs.Parse(args)
+
+	dists := map[string]workload.Dist{
+		"uniform": workload.Uniform, "zipfian": workload.Zipfian,
+		"latest": workload.Latest, "sequential": workload.Sequential,
+	}
+	d, ok := dists[*dist]
+	if !ok {
+		fatal("unknown distribution %q", *dist)
+	}
+	g := workload.New(workload.Spec{
+		Seed: *seed, KeySpace: *keys, ValueLen: *valueLen, Dist: d,
+		Mix: workload.Mix{
+			Updates: *updates, Deletes: *deletes, Lookups: *lookups,
+			Scans: *scans, RangeDelete: *rangeDels,
+		},
+		WindowSize:        *window,
+		DeleteOldestFirst: *oldestFirst,
+	})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("create: %v", err)
+	}
+	w := bufio.NewWriter(f)
+	for i := 0; i < *ops; i++ {
+		if err := writeOp(w, g.Next()); err != nil {
+			fatal("write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal("flush: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("close: %v", err)
+	}
+	fmt.Printf("wrote %d ops to %s\n", *ops, *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "trace.bin", "input trace file")
+	dir := fs.String("dir", "acheron-replay", "store directory")
+	dpt := fs.Duration("dpt", 0, "delete persistence threshold")
+	kiwi := fs.Bool("kiwi", false, "KiWi layout + eager range deletes")
+	fs.Parse(args)
+
+	opts := core.Options{
+		DeleteKeyFunc: workload.ExtractDeleteKey,
+		Compaction:    compaction.Options{DPT: base.Duration(*dpt)},
+	}
+	if *dpt > 0 {
+		opts.Compaction.Picker = compaction.PickFADE
+	}
+	if *kiwi {
+		opts.PagesPerTile = 4
+		opts.EagerRangeDeletes = true
+	}
+	db, err := core.Open(*dir, opts)
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	defer db.Close()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal("open trace: %v", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	start := time.Now()
+	n := 0
+	for {
+		op, err := readOp(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal("trace read at op %d: %v", n, err)
+		}
+		switch op.Kind {
+		case workload.OpInsert, workload.OpUpdate:
+			err = db.Put(op.Key, op.Value)
+		case workload.OpDelete:
+			err = db.Delete(op.Key)
+		case workload.OpLookup:
+			_, err = db.Get(op.Key)
+			if err == core.ErrNotFound {
+				err = nil
+			}
+		case workload.OpScan:
+			var it *core.Iter
+			it, err = db.NewIter(core.IterOptions{})
+			if err == nil {
+				cnt := 0
+				for ok := it.SeekGE(op.Key); ok && cnt < op.ScanLen; ok = it.Next() {
+					cnt++
+				}
+				err = it.Close()
+			}
+		case workload.OpRangeDelete:
+			err = db.DeleteSecondaryRange(op.Lo, op.Hi)
+		}
+		if err != nil {
+			fatal("replay op %d (%s): %v", n, op.Kind, err)
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d ops in %v (%.0f ops/s)\n", n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+	fmt.Println(db.Stats())
+}
+
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "trace.bin", "input trace file")
+	fs.Parse(args)
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	counts := map[workload.OpKind]int{}
+	var keyBytes, valBytes int64
+	total := 0
+	for {
+		op, err := readOp(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal("read: %v", err)
+		}
+		counts[op.Kind]++
+		keyBytes += int64(len(op.Key))
+		valBytes += int64(len(op.Value))
+		total++
+	}
+	fmt.Printf("%d ops, %d key bytes, %d value bytes\n", total, keyBytes, valBytes)
+	for _, k := range []workload.OpKind{
+		workload.OpInsert, workload.OpUpdate, workload.OpDelete,
+		workload.OpLookup, workload.OpScan, workload.OpRangeDelete,
+	} {
+		if counts[k] > 0 {
+			fmt.Printf("  %-12s %8d (%.1f%%)\n", k, counts[k], 100*float64(counts[k])/float64(total))
+		}
+	}
+}

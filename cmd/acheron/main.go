@@ -1,0 +1,199 @@
+// Command acheron is an interactive shell over an Acheron store — the
+// demonstration component of the paper. It exposes puts, gets, deletes
+// (point and secondary-range), scans, manual maintenance stepping, and live
+// inspection of the tree shape, tombstone population and persistence
+// statistics.
+//
+// Usage:
+//
+//	acheron -dir /tmp/store [-dpt 1h] [-shape leveling|tiering] [-kiwi]
+//
+// Then type "help" at the prompt.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "acheron-data", "store directory")
+	dpt := flag.Duration("dpt", 0, "delete persistence threshold (0 disables FADE)")
+	shape := flag.String("shape", "leveling", "compaction shape: leveling or tiering")
+	kiwi := flag.Bool("kiwi", false, "use the KiWi key-weaving layout (4 pages/tile)")
+	eager := flag.Bool("eager", false, "apply secondary range deletes eagerly")
+	flag.Parse()
+
+	opts := core.Options{
+		DeleteKeyFunc: func(v []byte) base.DeleteKey {
+			if len(v) < 8 {
+				return 0
+			}
+			return binary.BigEndian.Uint64(v)
+		},
+		EagerRangeDeletes: *eager,
+		Compaction: compaction.Options{
+			Picker: compaction.PickMinOverlap,
+			DPT:    base.Duration(*dpt),
+		},
+	}
+	if *dpt > 0 {
+		opts.Compaction.Picker = compaction.PickFADE
+	}
+	if *shape == "tiering" {
+		opts.Compaction.Shape = compaction.Tiering
+	}
+	if *kiwi {
+		opts.PagesPerTile = 4
+	}
+
+	db, err := core.Open(*dir, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Printf("acheron shell — store %q, dpt=%v, shape=%s, kiwi=%v\n", *dir, *dpt, *shape, *kiwi)
+	fmt.Println(`type "help" for commands`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := execute(db, fields); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func execute(db *core.DB, fields []string) error {
+	switch fields[0] {
+	case "help":
+		fmt.Print(`commands:
+  put <key> <value>          insert/update (value's delete key = now)
+  get <key>                  point lookup
+  del <key>                  point delete
+  rangedel <loUnix> <hiUnix> secondary range delete on [lo, hi) timestamps
+  scan [prefix] [limit]      iterate live keys
+  stats                      engine statistics
+  levels                     per-level tree shape
+  flush                      flush memtables
+  compact                    compact everything
+  quit
+`)
+	case "put":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		// Prefix the value with its delete key: the current time.
+		v := make([]byte, 8+len(fields[2]))
+		binary.BigEndian.PutUint64(v, uint64(time.Now().UnixNano()))
+		copy(v[8:], fields[2])
+		return db.Put([]byte(fields[1]), v)
+	case "get":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		v, err := db.Get([]byte(fields[1]))
+		if err != nil {
+			return err
+		}
+		if len(v) >= 8 {
+			ts := time.Unix(0, int64(binary.BigEndian.Uint64(v)))
+			fmt.Printf("%s (written %s)\n", v[8:], ts.Format(time.RFC3339))
+		} else {
+			fmt.Printf("%s\n", v)
+		}
+	case "del":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: del <key>")
+		}
+		return db.Delete([]byte(fields[1]))
+	case "rangedel":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: rangedel <loUnixNano> <hiUnixNano>")
+		}
+		lo, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		hi, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		return db.DeleteSecondaryRange(lo, hi)
+	case "scan":
+		prefix := ""
+		limit := 20
+		if len(fields) > 1 {
+			prefix = fields[1]
+		}
+		if len(fields) > 2 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return err
+			}
+			limit = n
+		}
+		it, err := db.NewIter(core.IterOptions{})
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		n := 0
+		for ok := it.SeekGE([]byte(prefix)); ok && n < limit; ok = it.Next() {
+			if !strings.HasPrefix(string(it.Key()), prefix) {
+				break
+			}
+			val := it.Value()
+			if len(val) >= 8 {
+				val = val[8:]
+			}
+			fmt.Printf("%s = %s\n", it.Key(), val)
+			n++
+		}
+		fmt.Printf("(%d keys)\n", n)
+		return it.Error()
+	case "stats":
+		fmt.Println(db.Stats())
+	case "levels":
+		levels := db.Levels()
+		fmt.Println("level  runs  files  bytes      tombstones")
+		for l, info := range levels {
+			if info.Files == 0 {
+				continue
+			}
+			fmt.Printf("L%-5d %-5d %-6d %-10d %d\n", l, info.Runs, info.Files, info.Bytes, info.Tombstones)
+		}
+	case "flush":
+		return db.Flush()
+	case "compact":
+		return db.CompactAll()
+	case "quit", "exit":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Quickstart: open a store, write, read, delete, scan, and inspect stats.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	acheron "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "acheron-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A one-hour delete persistence threshold: every delete is
+	// physically erased from disk within an hour.
+	db, err := acheron.Open(dir, acheron.Options{
+		Compaction: acheron.CompactionOptions{
+			Picker: acheron.PickFADE,
+			DPT:    acheron.Duration(time.Hour),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Writes.
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("user:%04d", i)
+		value := fmt.Sprintf(`{"name":"user-%d","visits":%d}`, i, i*7%100)
+		if err := db.Put([]byte(key), []byte(value)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Point read.
+	v, err := db.Get([]byte("user:0042"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:0042 = %s\n", v)
+
+	// Delete, then observe ErrNotFound.
+	if err := db.Delete([]byte("user:0042")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Get([]byte("user:0042")); err == acheron.ErrNotFound {
+		fmt.Println("user:0042 deleted (tombstone will persist within the DPT)")
+	}
+
+	// Range scan with bounds.
+	it, err := db.NewIter(acheron.IterOptions{
+		LowerBound: []byte("user:0100"),
+		UpperBound: []byte("user:0105"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ok := it.First(); ok; ok = it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	if err := it.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot isolation: a snapshot taken now keeps seeing user:0007
+	// even after it is deleted.
+	snap := db.NewSnapshot()
+	if err := db.Delete([]byte("user:0007")); err != nil {
+		log.Fatal(err)
+	}
+	if v, err := db.GetAt([]byte("user:0007"), snap); err == nil {
+		fmt.Printf("snapshot still sees user:0007 = %s\n", v)
+	}
+	snap.Release()
+
+	// Force everything to disk and show the tree.
+	if err := db.CompactAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nengine statistics:")
+	fmt.Println(db.Stats())
+}

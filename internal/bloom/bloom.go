@@ -1,0 +1,133 @@
+// Package bloom implements the blocked Bloom filter used by Acheron's
+// sstables. Point lookups probe the filter before touching any data block,
+// which is the main defence of read throughput once deletes litter the tree
+// with tombstones.
+//
+// The filter follows the classic RocksDB/LevelDB construction: k hash probes
+// derived from a single 64-bit hash via double hashing, bit array sized at a
+// configurable bits-per-key. The false-positive rate for b bits/key is
+// roughly 0.6185^b (≈0.8% at b=10).
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Filter is an immutable, queryable Bloom filter.
+type Filter struct {
+	bits   []byte
+	probes uint32
+}
+
+// BitsPerKeyForFPR returns the bits-per-key setting that achieves
+// approximately the requested false-positive rate.
+func BitsPerKeyForFPR(fpr float64) int {
+	if fpr <= 0 || fpr >= 1 {
+		return 10
+	}
+	// fpr ≈ 0.6185^bitsPerKey  =>  bitsPerKey = ln(fpr)/ln(0.6185)
+	b := math.Log(fpr) / math.Log(0.6185)
+	if b < 1 {
+		b = 1
+	}
+	return int(math.Ceil(b))
+}
+
+// Build constructs a filter over the given key hashes. Callers hash keys
+// with Hash. bitsPerKey tunes the space/false-positive trade-off; values
+// below 1 are clamped to 1.
+func Build(hashes []uint64, bitsPerKey int) Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	// probes k = bitsPerKey * ln(2), clamped to [1, 30].
+	probes := uint32(float64(bitsPerKey) * 0.69)
+	if probes < 1 {
+		probes = 1
+	}
+	if probes > 30 {
+		probes = 30
+	}
+	nBits := len(hashes) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	bits := make([]byte, nBytes)
+	nBits = nBytes * 8
+	for _, h := range hashes {
+		delta := h>>33 | h<<31
+		for i := uint32(0); i < probes; i++ {
+			pos := h % uint64(nBits)
+			bits[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return Filter{bits: bits, probes: probes}
+}
+
+// MayContain reports whether the filter possibly contains the key with the
+// given hash. False positives are possible; false negatives are not.
+func (f Filter) MayContain(h uint64) bool {
+	if len(f.bits) == 0 {
+		return true // empty filter: always maybe
+	}
+	nBits := uint64(len(f.bits) * 8)
+	delta := h>>33 | h<<31
+	for i := uint32(0); i < f.probes; i++ {
+		pos := h % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// SizeBytes returns the in-memory size of the filter's bit array.
+func (f Filter) SizeBytes() int { return len(f.bits) }
+
+// Encode appends the filter's wire form to dst: 4-byte probe count followed
+// by the bit array.
+func (f Filter) Encode(dst []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], f.probes)
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.bits...)
+}
+
+// Decode parses a filter from its wire form. ok is false if the input is
+// malformed.
+func Decode(b []byte) (Filter, bool) {
+	if len(b) < 4 {
+		return Filter{}, false
+	}
+	probes := binary.LittleEndian.Uint32(b[:4])
+	if probes == 0 || probes > 30 {
+		return Filter{}, false
+	}
+	return Filter{bits: b[4:], probes: probes}, true
+}
+
+// Hash computes the 64-bit hash of a key used for both filter construction
+// and probing. It is a 64-bit FNV-1a variant with extra avalanche mixing
+// (xxhash-style finalizer) to decorrelate the double-hashing probes.
+func Hash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	// Finalizer from xxhash64 to break FNV's weak low-bit diffusion.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

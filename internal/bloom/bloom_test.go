@@ -1,0 +1,189 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func keysN(n int, prefix string) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%s%09d", prefix, i))
+	}
+	return keys
+}
+
+func hashAll(keys [][]byte) []uint64 {
+	hs := make([]uint64, len(keys))
+	for i, k := range keys {
+		hs[i] = Hash(k)
+	}
+	return hs
+}
+
+// TestNoFalseNegatives is the filter's contract: every inserted key must be
+// reported as possibly present.
+func TestNoFalseNegatives(t *testing.T) {
+	for _, bits := range []int{1, 5, 10, 15} {
+		keys := keysN(10_000, "k")
+		f := Build(hashAll(keys), bits)
+		for _, k := range keys {
+			if !f.MayContain(Hash(k)) {
+				t.Fatalf("bits=%d: false negative for %q", bits, k)
+			}
+		}
+	}
+}
+
+// TestFalsePositiveRate checks the filter is in the ballpark of the
+// theoretical 0.6185^bitsPerKey rate.
+func TestFalsePositiveRate(t *testing.T) {
+	keys := keysN(20_000, "in")
+	f := Build(hashAll(keys), 10)
+	probes := keysN(20_000, "out")
+	fp := 0
+	for _, k := range probes {
+		if f.MayContain(Hash(k)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(len(probes))
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f too high for 10 bits/key", rate)
+	}
+	if rate == 0 {
+		t.Fatal("zero false positives over 20k probes is implausible; hash may be degenerate")
+	}
+}
+
+func TestFewerBitsMoreFalsePositives(t *testing.T) {
+	keys := keysN(10_000, "in")
+	probes := keysN(10_000, "out")
+	rate := func(bits int) float64 {
+		f := Build(hashAll(keys), bits)
+		fp := 0
+		for _, k := range probes {
+			if f.MayContain(Hash(k)) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(probes))
+	}
+	if r2, r10 := rate(2), rate(10); r2 <= r10 {
+		t.Fatalf("2 bits/key rate %.4f should exceed 10 bits/key rate %.4f", r2, r10)
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	keys := keysN(1000, "k")
+	f := Build(hashAll(keys), 10)
+	enc := f.Encode(nil)
+	dec, ok := Decode(enc)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	for _, k := range keys {
+		if !dec.MayContain(Hash(k)) {
+			t.Fatalf("false negative after roundtrip for %q", k)
+		}
+	}
+	if dec.SizeBytes() != f.SizeBytes() {
+		t.Fatal("size changed in roundtrip")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, ok := Decode(nil); ok {
+		t.Error("nil input should fail")
+	}
+	if _, ok := Decode([]byte{0, 0}); ok {
+		t.Error("short input should fail")
+	}
+	if _, ok := Decode([]byte{0, 0, 0, 0, 1, 2}); ok {
+		t.Error("zero probes should fail")
+	}
+	if _, ok := Decode([]byte{200, 0, 0, 0, 1, 2}); ok {
+		t.Error("excess probes should fail")
+	}
+}
+
+func TestEmptyFilterAlwaysMaybe(t *testing.T) {
+	var f Filter
+	if !f.MayContain(Hash([]byte("anything"))) {
+		t.Fatal("zero-value filter must answer maybe")
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	f := Build(nil, 10)
+	// An empty build produces a minimal valid filter; it may answer
+	// either way but must not panic.
+	_ = f.MayContain(Hash([]byte("x")))
+
+	one := Build([]uint64{Hash([]byte("solo"))}, 10)
+	if !one.MayContain(Hash([]byte("solo"))) {
+		t.Fatal("single-key filter lost its key")
+	}
+}
+
+func TestBitsPerKeyForFPR(t *testing.T) {
+	cases := []struct {
+		fpr     float64
+		wantMin int
+		wantMax int
+	}{
+		{0.01, 9, 10},
+		{0.001, 14, 15},
+		{0.1, 4, 5},
+		{0, 10, 10},   // invalid -> default
+		{1.5, 10, 10}, // invalid -> default
+	}
+	for _, c := range cases {
+		got := BitsPerKeyForFPR(c.fpr)
+		if got < c.wantMin || got > c.wantMax {
+			t.Errorf("BitsPerKeyForFPR(%g) = %d, want in [%d,%d]", c.fpr, got, c.wantMin, c.wantMax)
+		}
+	}
+}
+
+// TestHashAvalanche: flipping any single input byte should change the hash.
+func TestHashAvalanche(t *testing.T) {
+	f := func(key []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		h := Hash(key)
+		mod := append([]byte(nil), key...)
+		mod[0] ^= 1
+		return Hash(mod) != h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	hs := hashAll(keysN(10_000, "k"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(hs, 10)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keys := keysN(100_000, "k")
+	f := Build(hashAll(keys), 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(Hash(keys[i%len(keys)]))
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	key := []byte("user000000123456")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hash(key)
+	}
+}

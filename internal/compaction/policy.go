@@ -1,0 +1,529 @@
+// Package compaction implements Acheron's compaction policies: the classic
+// saturation-driven leveling/tiering baseline, and FADE — the delete-aware
+// policy that partitions the delete persistence threshold (DPT) into
+// per-level TTLs and triggers compactions when a file's oldest tombstone
+// overstays its level budget, guaranteeing that every tombstone reaches the
+// last level (and physically erases what it shadows) within the DPT.
+package compaction
+
+import (
+	"math"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+)
+
+// Shape selects how runs are organized below level 0.
+type Shape int
+
+const (
+	// Leveling keeps one sorted run per level (RocksDB-style).
+	Leveling Shape = iota
+	// Tiering allows up to SizeRatio runs per level, merging them all
+	// into one run at the next level when the level fills up.
+	Tiering
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	if s == Tiering {
+		return "tiering"
+	}
+	return "leveling"
+}
+
+// Picker selects which file a saturated level compacts first.
+type Picker int
+
+const (
+	// PickMinOverlap is the delete-oblivious baseline: choose the file
+	// with the least byte overlap with the next level, minimizing write
+	// amplification.
+	PickMinOverlap Picker = iota
+	// PickFADE chooses expired-TTL files first, then the file with the
+	// highest tombstone density, pushing deletes toward the last level.
+	PickFADE
+	// PickOldestTombstone is an ablation of FADE's tie-breaker: choose
+	// the file whose oldest tombstone is oldest.
+	PickOldestTombstone
+)
+
+// String implements fmt.Stringer.
+func (p Picker) String() string {
+	switch p {
+	case PickFADE:
+		return "fade"
+	case PickOldestTombstone:
+		return "oldest-tombstone"
+	}
+	return "min-overlap"
+}
+
+// TTLSplit selects how the DPT is divided among levels.
+type TTLSplit int
+
+const (
+	// SplitExponential assigns level i a TTL proportional to T^i (the
+	// Lethe allocation): deeper levels, which hold exponentially more
+	// data and compact exponentially less often, get proportionally more
+	// budget.
+	SplitExponential TTLSplit = iota
+	// SplitUniform divides the DPT evenly across levels (ablation).
+	SplitUniform
+)
+
+// Trigger records why a compaction was scheduled.
+type Trigger int
+
+const (
+	// TriggerL0 fires when level 0 accumulates too many runs.
+	TriggerL0 Trigger = iota
+	// TriggerSaturation fires when a level exceeds its byte capacity.
+	TriggerSaturation
+	// TriggerTTL fires when a file's oldest tombstone exceeds its
+	// cumulative level TTL — the FADE delete-persistence trigger.
+	TriggerTTL
+)
+
+// String implements fmt.Stringer.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerSaturation:
+		return "saturation"
+	case TriggerTTL:
+		return "ttl"
+	}
+	return "l0"
+}
+
+// Options configure the compaction policy.
+type Options struct {
+	// Shape selects leveling or tiering.
+	Shape Shape
+	// Picker selects the saturated-level file picker.
+	Picker Picker
+	// SizeRatio is T, the capacity ratio between adjacent levels (and the
+	// run fan-in under tiering). Default 10.
+	SizeRatio int
+	// L0Threshold is the number of level-0 runs that triggers an L0
+	// compaction. Default 4.
+	L0Threshold int
+	// BaseLevelBytes is level 1's byte capacity. Default 8 MiB.
+	BaseLevelBytes uint64
+	// DPT is the delete persistence threshold. Zero disables FADE's TTL
+	// trigger entirely (the delete-oblivious baseline).
+	DPT base.Duration
+	// TTLSplit selects the per-level division of the DPT.
+	TTLSplit TTLSplit
+	// TargetFileBytes caps output file size. Default 2 MiB.
+	TargetFileBytes uint64
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.SizeRatio <= 1 {
+		o.SizeRatio = 10
+	}
+	if o.L0Threshold <= 0 {
+		o.L0Threshold = 4
+	}
+	if o.BaseLevelBytes == 0 {
+		o.BaseLevelBytes = 8 << 20
+	}
+	if o.TargetFileBytes == 0 {
+		o.TargetFileBytes = 2 << 20
+	}
+	return o
+}
+
+// LevelCapacity returns level l's byte capacity. Level 0 is governed by run
+// count, not bytes.
+func (o Options) LevelCapacity(l int) uint64 {
+	if l <= 0 {
+		return 0
+	}
+	cap := o.BaseLevelBytes
+	for i := 1; i < l; i++ {
+		cap *= uint64(o.SizeRatio)
+	}
+	return cap
+}
+
+// LevelTTLAt returns d_l, level l's share of the DPT, for a tree whose
+// deepest populated level is depth. A tombstone arriving at the deepest
+// level is disposed of by the compaction that brought it there, so the DPT
+// is partitioned across levels 0..depth-1 only — partitioning across the
+// engine's full (mostly empty) level budget would starve the shallow
+// levels and trigger far more delete-driven compactions than necessary.
+// Returns 0 when FADE is disabled.
+func (o Options) LevelTTLAt(l, depth int) base.Duration {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > manifest.NumLevels-1 {
+		depth = manifest.NumLevels - 1
+	}
+	if o.DPT == 0 || l < 0 || l >= depth {
+		return 0
+	}
+	switch o.TTLSplit {
+	case SplitUniform:
+		return o.DPT / base.Duration(depth)
+	default:
+		// d_0 = D (T-1) / (T^depth - 1); d_i = d_0 T^i. The geometric
+		// sum of d_0..d_{depth-1} is exactly D.
+		t := float64(o.SizeRatio)
+		d0 := float64(o.DPT) * (t - 1) / (math.Pow(t, float64(depth)) - 1)
+		return base.Duration(d0 * math.Pow(t, float64(l)))
+	}
+}
+
+// LevelTTL returns d_l for a maximally deep tree. Prefer LevelTTLAt with
+// the actual populated depth.
+func (o Options) LevelTTL(l int) base.Duration {
+	return o.LevelTTLAt(l, manifest.NumLevels-1)
+}
+
+// CumulativeTTLAt returns the total TTL budget for a tombstone residing at
+// level l of a depth-deep tree: the sum of the TTLs of levels 0..l. A file
+// at level l whose oldest tombstone was created at ts has expired when
+// now > ts + CumulativeTTLAt(l, depth).
+func (o Options) CumulativeTTLAt(l, depth int) base.Duration {
+	var sum base.Duration
+	for i := 0; i <= l; i++ {
+		sum += o.LevelTTLAt(i, depth)
+	}
+	return sum
+}
+
+// CumulativeTTL is CumulativeTTLAt for a maximally deep tree.
+func (o Options) CumulativeTTL(l int) base.Duration {
+	return o.CumulativeTTLAt(l, manifest.NumLevels-1)
+}
+
+// Candidate describes a compaction the picker selected.
+type Candidate struct {
+	// Trigger records why this compaction was chosen.
+	Trigger Trigger
+	// StartLevel and OutputLevel bound the compaction.
+	StartLevel  int
+	OutputLevel int
+	// Inputs are the start-level input runs. Under leveling this is a
+	// single partial run (the picked files); under tiering or L0 it is
+	// every run of the start level.
+	Inputs []*manifest.Run
+	// InputLevels, when non-nil, gives each input run's level (parallel
+	// to Inputs); nil means every run is at StartLevel. TTL-triggered
+	// tiering compactions span two levels so the tombstone can actually
+	// be disposed of.
+	InputLevels []int
+	// OutputRunFiles are the overlapping files of the output level's run
+	// that must be merged (leveling only; empty under tiering).
+	OutputRunFiles []*manifest.FileMetadata
+	// OutputRunID is the run the outputs join. Under leveling it is the
+	// output level's existing single run (or a fresh id); under tiering
+	// it is always a fresh id, allocated by the caller.
+	OutputRunID uint64
+	// Score orders candidates (higher = more urgent).
+	Score float64
+}
+
+// InputFiles returns all start-level files of the candidate.
+func (c *Candidate) InputFiles() []*manifest.FileMetadata {
+	var out []*manifest.FileMetadata
+	for _, r := range c.Inputs {
+		out = append(out, r.Files...)
+	}
+	return out
+}
+
+// InputLevel returns the level of input run i.
+func (c *Candidate) InputLevel(i int) int {
+	if c.InputLevels != nil {
+		return c.InputLevels[i]
+	}
+	return c.StartLevel
+}
+
+// expired reports whether f's oldest tombstone has overstayed level l's
+// cumulative budget in a depth-deep tree, and by how much. Files already
+// at the deepest populated level are excluded: their tombstones are
+// disposed of when a compaction reaches that level, and forcing them
+// deeper into empty levels would be wasted I/O — except that a file
+// *resting* at the deepest level with live tombstones still holds
+// shadowed garbage below it was supposed to erase, so depth-level files
+// expire too once over budget (the compaction into the next level will
+// elide everything).
+func expired(o Options, f *manifest.FileMetadata, l, depth int, now base.Timestamp, haveSnapshots bool) (base.Duration, bool) {
+	if o.DPT == 0 || !f.HasTombstones || l >= manifest.NumLevels-1 {
+		return 0, false
+	}
+	cum := o.CumulativeTTLAt(l, depth)
+	if l >= depth {
+		// At (or below) the deepest populated level the whole DPT has
+		// been spent. Expiring here compacts one level deeper purely to
+		// dispose of the tombstone, so only do it when disposal can
+		// actually happen — an open snapshot would block it and the
+		// file would cascade downward for nothing.
+		if haveSnapshots {
+			return 0, false
+		}
+		cum = o.DPT
+	}
+	deadline := f.OldestTombstone + base.Timestamp(cum)
+	if now > deadline {
+		return base.Duration(now - deadline), true
+	}
+	return 0, false
+}
+
+// Pick inspects the version and returns the most urgent compaction, or nil
+// when nothing needs compacting. now is the engine clock reading used for
+// TTL expiry; haveSnapshots suppresses disposal-only compactions that an
+// open snapshot would block anyway.
+func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool) *Candidate {
+	o = o.WithDefaults()
+
+	depth := v.MaxPopulatedLevel()
+	if depth < 1 {
+		depth = 1
+	}
+
+	// 1. FADE: TTL expiry takes priority — it is the delete-persistence
+	// guarantee. Choose the most overdue file.
+	if o.DPT != 0 {
+		if c := pickTTL(v, o, depth, now, haveSnapshots); c != nil {
+			return c
+		}
+	}
+
+	// 2. Level 0 run count.
+	if len(v.Levels[0]) >= o.L0Threshold {
+		return pickL0(v, o)
+	}
+
+	// 3. Byte saturation of deeper levels; compact the worst level.
+	var best *Candidate
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		size := v.LevelSize(l)
+		if size == 0 {
+			continue
+		}
+		score := float64(size) / float64(o.LevelCapacity(l))
+		if o.Shape == Tiering {
+			// Tiering compacts on run count, not bytes.
+			score = float64(len(v.Levels[l])) / float64(o.SizeRatio)
+		}
+		if score < 1 {
+			continue
+		}
+		if best == nil || score > best.Score {
+			c := pickSaturated(v, o, l, depth, now, haveSnapshots)
+			if c != nil {
+				c.Score = score
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// pickTTL finds the file with the most overdue tombstone.
+func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, haveSnapshots bool) *Candidate {
+	var (
+		worst        *manifest.FileMetadata
+		worstLevel   int
+		worstOverdue base.Duration
+	)
+	for l := 0; l < manifest.NumLevels-1; l++ {
+		for _, r := range v.Levels[l] {
+			for _, f := range r.Files {
+				if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && (worst == nil || over > worstOverdue) {
+					worst, worstLevel, worstOverdue = f, l, over
+				}
+			}
+		}
+	}
+	if worst == nil {
+		return nil
+	}
+	if worstLevel == 0 || o.Shape == Tiering {
+		// L0 runs overlap, and tiered runs below may too: compact the
+		// whole start level so the expired tombstone actually moves.
+		c := compactWholeLevel(v, o, worstLevel)
+		c.Trigger = TriggerTTL
+		c.Score = float64(worstOverdue)
+		if o.Shape == Tiering {
+			// Pull the next level's runs in too: otherwise the merged
+			// run lands beside older runs at worstLevel+1 and the
+			// tombstone cannot be disposed of, costing another full
+			// DPT before the next chance.
+			c.InputLevels = make([]int, len(c.Inputs))
+			for i := range c.InputLevels {
+				c.InputLevels[i] = worstLevel
+			}
+			for _, r := range v.Levels[worstLevel+1] {
+				c.Inputs = append(c.Inputs, r)
+				c.InputLevels = append(c.InputLevels, worstLevel+1)
+			}
+		}
+		return c
+	}
+	// Batch every expired file of the level into one compaction: expired
+	// files tend to cluster (deletes arrive together), and moving them
+	// one at a time would rewrite the same next-level overlap repeatedly.
+	var batch []*manifest.FileMetadata
+	for _, f := range v.Levels[worstLevel][0].Files {
+		if _, ok := expired(o, f, worstLevel, depth, now, haveSnapshots); ok {
+			batch = append(batch, f)
+		}
+	}
+	c := &Candidate{
+		Trigger:     TriggerTTL,
+		StartLevel:  worstLevel,
+		OutputLevel: worstLevel + 1,
+		Inputs:      []*manifest.Run{{ID: runIDAt(v, worstLevel), Files: batch}},
+		Score:       float64(worstOverdue),
+	}
+	fillOutputOverlap(v, c)
+	return c
+}
+
+// pickL0 compacts every level-0 run into level 1.
+func pickL0(v *manifest.Version, o Options) *Candidate {
+	c := compactWholeLevel(v, o, 0)
+	c.Trigger = TriggerL0
+	c.Score = float64(len(v.Levels[0]))
+	return c
+}
+
+// compactWholeLevel builds a candidate merging all runs of level l into
+// level l+1.
+func compactWholeLevel(v *manifest.Version, o Options, l int) *Candidate {
+	c := &Candidate{
+		StartLevel:  l,
+		OutputLevel: l + 1,
+		Inputs:      append([]*manifest.Run(nil), v.Levels[l]...),
+	}
+	if o.Shape == Leveling {
+		fillOutputOverlap(v, c)
+	}
+	return c
+}
+
+// pickSaturated picks the file(s) to evict from a saturated level.
+func pickSaturated(v *manifest.Version, o Options, l, depth int, now base.Timestamp, haveSnapshots bool) *Candidate {
+	if o.Shape == Tiering {
+		c := compactWholeLevel(v, o, l)
+		c.Trigger = TriggerSaturation
+		return c
+	}
+	runs := v.Levels[l]
+	if len(runs) == 0 {
+		return nil
+	}
+	files := runs[0].Files
+	if len(files) == 0 {
+		return nil
+	}
+	var chosen *manifest.FileMetadata
+	switch o.Picker {
+	case PickFADE:
+		// Expired files first (most overdue), then highest tombstone
+		// density, then min overlap.
+		var bestOver base.Duration = -1
+		for _, f := range files {
+			if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && over > bestOver {
+				chosen, bestOver = f, over
+			}
+		}
+		if chosen == nil {
+			bestDensity := -1.0
+			for _, f := range files {
+				if d := f.TombstoneDensity(); d > bestDensity {
+					chosen, bestDensity = f, d
+				}
+			}
+		}
+	case PickOldestTombstone:
+		for _, f := range files {
+			if !f.HasTombstones {
+				continue
+			}
+			if chosen == nil || f.OldestTombstone < chosen.OldestTombstone {
+				chosen = f
+			}
+		}
+		if chosen == nil {
+			chosen = minOverlapFile(v, files, l)
+		}
+	default:
+		chosen = minOverlapFile(v, files, l)
+	}
+	if chosen == nil {
+		return nil
+	}
+	c := &Candidate{
+		Trigger:     TriggerSaturation,
+		StartLevel:  l,
+		OutputLevel: l + 1,
+		Inputs:      []*manifest.Run{{ID: runs[0].ID, Files: []*manifest.FileMetadata{chosen}}},
+	}
+	fillOutputOverlap(v, c)
+	return c
+}
+
+// minOverlapFile returns the file of files (at level l) with the least byte
+// overlap with level l+1.
+func minOverlapFile(v *manifest.Version, files []*manifest.FileMetadata, l int) *manifest.FileMetadata {
+	var chosen *manifest.FileMetadata
+	bestOverlap := uint64(math.MaxUint64)
+	for _, f := range files {
+		var overlap uint64
+		for _, r := range v.Levels[l+1] {
+			for _, of := range r.Find(f.Smallest.UserKey, f.Largest.UserKey) {
+				overlap += of.Size
+			}
+		}
+		if overlap < bestOverlap {
+			chosen, bestOverlap = f, overlap
+		}
+	}
+	return chosen
+}
+
+// fillOutputOverlap computes the output level's overlapping files and run
+// id under leveling.
+func fillOutputOverlap(v *manifest.Version, c *Candidate) {
+	lo, hi := inputBounds(c)
+	if lo == nil {
+		return
+	}
+	outRuns := v.Levels[c.OutputLevel]
+	if len(outRuns) > 0 {
+		c.OutputRunID = outRuns[0].ID
+		c.OutputRunFiles = outRuns[0].Find(lo, hi)
+	}
+}
+
+// inputBounds returns the user-key span of the candidate's inputs.
+func inputBounds(c *Candidate) (lo, hi []byte) {
+	for _, r := range c.Inputs {
+		for _, f := range r.Files {
+			if lo == nil || base.Compare(f.Smallest.UserKey, lo) < 0 {
+				lo = f.Smallest.UserKey
+			}
+			if hi == nil || base.Compare(f.Largest.UserKey, hi) > 0 {
+				hi = f.Largest.UserKey
+			}
+		}
+	}
+	return lo, hi
+}
+
+func runIDAt(v *manifest.Version, l int) uint64 {
+	if len(v.Levels[l]) > 0 {
+		return v.Levels[l][0].ID
+	}
+	return 0
+}

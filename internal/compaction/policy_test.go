@@ -1,0 +1,315 @@
+package compaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+)
+
+func ik(s string, seq base.SeqNum) base.InternalKey {
+	return base.MakeInternalKey([]byte(s), seq, base.KindSet)
+}
+
+func file(num int, lo, hi string, size uint64) *manifest.FileMetadata {
+	return &manifest.FileMetadata{
+		FileNum:    base.FileNum(num),
+		Size:       size,
+		Smallest:   ik(lo, 100),
+		Largest:    ik(hi, 1),
+		NumEntries: size / 100,
+	}
+}
+
+func tombFile(num int, lo, hi string, size uint64, oldest base.Timestamp, deletes uint64) *manifest.FileMetadata {
+	f := file(num, lo, hi, size)
+	f.HasTombstones = true
+	f.OldestTombstone = oldest
+	f.NumDeletes = deletes
+	return f
+}
+
+func addFiles(t *testing.T, v *manifest.Version, level int, runID uint64, files ...*manifest.FileMetadata) *manifest.Version {
+	t.Helper()
+	e := &manifest.VersionEdit{}
+	for _, f := range files {
+		e.Added = append(e.Added, manifest.NewFileEntry{Level: level, RunID: runID, Meta: f})
+	}
+	nv, err := v.Apply(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nv
+}
+
+// TestTTLSplitSumsToDPT: the per-level TTLs must partition the DPT exactly
+// (within float slack) for every depth, ratio and split strategy.
+func TestTTLSplitSumsToDPT(t *testing.T) {
+	f := func(dptRaw uint32, ratioRaw, depthRaw uint8, uniform bool) bool {
+		dpt := base.Duration(dptRaw%1_000_000 + 1000)
+		o := Options{SizeRatio: int(ratioRaw%9) + 2, DPT: dpt}
+		if uniform {
+			o.TTLSplit = SplitUniform
+		}
+		o = o.WithDefaults()
+		depth := int(depthRaw%(manifest.NumLevels-1)) + 1
+		var sum base.Duration
+		for l := 0; l < depth; l++ {
+			d := o.LevelTTLAt(l, depth)
+			if d < 0 {
+				return false
+			}
+			sum += d
+		}
+		return math.Abs(float64(sum-dpt)) <= float64(dpt)/100+float64(depth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTLExponentialGrowsByRatio(t *testing.T) {
+	o := Options{SizeRatio: 4, DPT: 1_000_000}.WithDefaults()
+	depth := 4
+	for l := 0; l+1 < depth; l++ {
+		d0, d1 := o.LevelTTLAt(l, depth), o.LevelTTLAt(l+1, depth)
+		ratio := float64(d1) / float64(d0)
+		if ratio < 3.9 || ratio > 4.1 {
+			t.Fatalf("TTL ratio between levels %d/%d = %.2f, want ~4", l, l+1, ratio)
+		}
+	}
+}
+
+func TestTTLDisabledWithoutDPT(t *testing.T) {
+	o := Options{SizeRatio: 4}.WithDefaults()
+	if o.LevelTTLAt(0, 3) != 0 || o.CumulativeTTLAt(2, 3) != 0 {
+		t.Fatal("TTLs should be zero when DPT is disabled")
+	}
+}
+
+func TestLevelCapacityGeometric(t *testing.T) {
+	o := Options{SizeRatio: 10, BaseLevelBytes: 1000}.WithDefaults()
+	if o.LevelCapacity(1) != 1000 || o.LevelCapacity(2) != 10_000 || o.LevelCapacity(3) != 100_000 {
+		t.Fatal("capacities not geometric")
+	}
+	if o.LevelCapacity(0) != 0 {
+		t.Fatal("L0 has no byte capacity")
+	}
+}
+
+func TestPickNothingWhenHealthy(t *testing.T) {
+	v := &manifest.Version{}
+	v = addFiles(t, v, 1, 1, file(1, "a", "m", 1000))
+	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4}
+	if c := Pick(v, o, 0, false); c != nil {
+		t.Fatalf("healthy tree picked %+v", c)
+	}
+}
+
+func TestPickL0Threshold(t *testing.T) {
+	v := &manifest.Version{}
+	for i := 0; i < 4; i++ {
+		v = addFiles(t, v, 0, uint64(i+1), file(i+1, "a", "z", 100))
+	}
+	o := Options{L0Threshold: 4, BaseLevelBytes: 1 << 20}
+	c := Pick(v, o.WithDefaults(), 0, false)
+	if c == nil || c.Trigger != TriggerL0 {
+		t.Fatalf("expected L0 trigger, got %+v", c)
+	}
+	if len(c.Inputs) != 4 || c.StartLevel != 0 || c.OutputLevel != 1 {
+		t.Fatalf("L0 candidate shape: %+v", c)
+	}
+}
+
+func TestPickSaturationLeveling(t *testing.T) {
+	v := &manifest.Version{}
+	// L1 over capacity; L2 has overlap with one input.
+	v = addFiles(t, v, 1, 1,
+		file(1, "a", "f", 600),
+		file(2, "g", "m", 600))
+	v = addFiles(t, v, 2, 2, file(3, "a", "c", 500))
+	o := Options{BaseLevelBytes: 1000, SizeRatio: 4, Picker: PickMinOverlap}.WithDefaults()
+	c := Pick(v, o, 0, false)
+	if c == nil || c.Trigger != TriggerSaturation {
+		t.Fatalf("expected saturation trigger, got %+v", c)
+	}
+	files := c.InputFiles()
+	if len(files) != 1 || files[0].FileNum != 2 {
+		t.Fatalf("min-overlap should pick file 2 (no overlap), got %v", files[0].FileNum)
+	}
+	if len(c.OutputRunFiles) != 0 {
+		t.Fatal("file 2 has no output overlap")
+	}
+}
+
+func TestPickFADEPrefersTombstoneDensity(t *testing.T) {
+	v := &manifest.Version{}
+	v = addFiles(t, v, 1, 1,
+		file(1, "a", "f", 600),
+		tombFile(2, "g", "m", 600, 0, 3)) // tombstone-dense
+	o := Options{BaseLevelBytes: 1000, SizeRatio: 4, Picker: PickFADE}.WithDefaults()
+	c := Pick(v, o, 0, false)
+	if c == nil {
+		t.Fatal("no candidate")
+	}
+	if got := c.InputFiles()[0].FileNum; got != 2 {
+		t.Fatalf("FADE should pick the tombstone-dense file, got %v", got)
+	}
+}
+
+func TestPickTTLTakesPriority(t *testing.T) {
+	v := &manifest.Version{}
+	// A healthy (unsaturated) L1 with one expired-tombstone file.
+	v = addFiles(t, v, 1, 1, tombFile(1, "a", "m", 100, 0, 5))
+	v = addFiles(t, v, 2, 2, file(9, "a", "z", 100))
+	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4, DPT: 1000, Picker: PickFADE}.WithDefaults()
+
+	// Before the deadline: nothing to do.
+	if c := Pick(v, o, 10, false); c != nil {
+		t.Fatalf("premature TTL pick: %+v", c)
+	}
+	// After the whole DPT has certainly elapsed: must fire.
+	c := Pick(v, o, 2000, false)
+	if c == nil || c.Trigger != TriggerTTL {
+		t.Fatalf("expected TTL trigger, got %+v", c)
+	}
+	if c.StartLevel != 1 || c.OutputLevel != 2 {
+		t.Fatalf("TTL candidate levels: %+v", c)
+	}
+	if len(c.OutputRunFiles) != 1 || c.OutputRunFiles[0].FileNum != 9 {
+		t.Fatal("TTL candidate must merge with overlapping output files")
+	}
+}
+
+func TestPickTTLBatchesExpiredFiles(t *testing.T) {
+	v := &manifest.Version{}
+	v = addFiles(t, v, 1, 1,
+		tombFile(1, "a", "c", 100, 500, 1), // expired (less overdue)
+		tombFile(2, "e", "g", 100, 0, 1),   // expired (most overdue)
+		file(3, "m", "p", 100),             // no tombstones: not included
+	)
+	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4, DPT: 100, Picker: PickFADE}.WithDefaults()
+	c := Pick(v, o, 5000, false)
+	if c == nil || c.Trigger != TriggerTTL {
+		t.Fatalf("no TTL candidate: %+v", c)
+	}
+	files := c.InputFiles()
+	if len(files) != 2 {
+		t.Fatalf("expected both expired files batched, got %d", len(files))
+	}
+	for _, f := range files {
+		if f.FileNum == 3 {
+			t.Fatal("unexpired file included in TTL batch")
+		}
+	}
+	// The score reflects the most overdue member.
+	if c.Score < 4000 {
+		t.Fatalf("score %f should reflect the most overdue file", c.Score)
+	}
+}
+
+func TestPickTTLOnlyExpiredAtDeadline(t *testing.T) {
+	v := &manifest.Version{}
+	v = addFiles(t, v, 1, 1,
+		tombFile(1, "a", "c", 100, 0, 1),    // expired at now=5000
+		tombFile(2, "e", "g", 100, 4950, 1), // not yet expired
+	)
+	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4, DPT: 100, Picker: PickFADE}.WithDefaults()
+	c := Pick(v, o, 5000, false)
+	if c == nil {
+		t.Fatal("no candidate")
+	}
+	files := c.InputFiles()
+	if len(files) != 1 || files[0].FileNum != 1 {
+		t.Fatalf("only the expired file should compact, got %v", files)
+	}
+}
+
+func TestPickTieringMergesWholeLevelOnRunCount(t *testing.T) {
+	v := &manifest.Version{}
+	for i := 0; i < 4; i++ {
+		v = addFiles(t, v, 1, uint64(i+1), file(i+1, "a", "z", 100))
+	}
+	o := Options{Shape: Tiering, SizeRatio: 4, BaseLevelBytes: 1 << 30}.WithDefaults()
+	c := Pick(v, o, 0, false)
+	if c == nil || c.Trigger != TriggerSaturation {
+		t.Fatalf("expected tiering saturation, got %+v", c)
+	}
+	if len(c.Inputs) != 4 {
+		t.Fatalf("tiering should merge all runs, got %d", len(c.Inputs))
+	}
+	if len(c.OutputRunFiles) != 0 {
+		t.Fatal("tiering must not merge into the output level's runs")
+	}
+}
+
+func TestTieringBelowRunThresholdIdle(t *testing.T) {
+	v := &manifest.Version{}
+	for i := 0; i < 3; i++ {
+		v = addFiles(t, v, 1, uint64(i+1), file(i+1, "a", "z", 1<<30))
+	}
+	o := Options{Shape: Tiering, SizeRatio: 4, BaseLevelBytes: 1}.WithDefaults()
+	if c := Pick(v, o, 0, false); c != nil {
+		t.Fatalf("tiering should ignore byte saturation, got %+v", c)
+	}
+}
+
+func TestExpiredUsesDepthBudget(t *testing.T) {
+	o := Options{SizeRatio: 4, DPT: 1000}.WithDefaults()
+	f := tombFile(1, "a", "b", 100, 0, 1)
+	// Depth 1: a level-0 file gets the whole DPT.
+	if _, exp := expired(o, f, 0, 1, base.Timestamp(999), false); exp {
+		t.Fatal("expired before the DPT elapsed at depth 1")
+	}
+	if _, exp := expired(o, f, 0, 1, base.Timestamp(1001), false); !exp {
+		t.Fatal("not expired after the DPT at depth 1")
+	}
+	// Depth 3: level 0's budget is a small slice of the DPT.
+	d0 := o.LevelTTLAt(0, 3)
+	if _, exp := expired(o, f, 0, 3, base.Timestamp(d0)+2, false); !exp {
+		t.Fatalf("file at L0 should expire after its slice d0=%d", d0)
+	}
+	// A file resting at the deepest level uses the full DPT.
+	if _, exp := expired(o, f, 3, 3, base.Timestamp(999), false); exp {
+		t.Fatal("deepest-level file expired early")
+	}
+	if _, exp := expired(o, f, 3, 3, base.Timestamp(1001), false); !exp {
+		t.Fatal("deepest-level file never expires")
+	}
+}
+
+func TestNoSnapshotIn(t *testing.T) {
+	snaps := []base.SeqNum{10, 20, 30}
+	cases := []struct {
+		lo, hi base.SeqNum
+		want   bool
+	}{
+		{0, 5, true},
+		{0, 11, false},
+		{10, 11, false}, // snapshot at exactly lo
+		{11, 20, true},  // hi exclusive
+		{11, 21, false},
+		{31, 100, true},
+	}
+	for _, c := range cases {
+		if got := noSnapshotIn(snaps, c.lo, c.hi); got != c.want {
+			t.Errorf("noSnapshotIn(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if !noSnapshotIn(nil, 0, 1000) {
+		t.Error("no snapshots means always true")
+	}
+}
+
+func TestCandidateScorePicksWorstLevel(t *testing.T) {
+	v := &manifest.Version{}
+	v = addFiles(t, v, 1, 1, file(1, "a", "m", 1500))   // 1.5x over
+	v = addFiles(t, v, 2, 2, file(2, "a", "m", 12_000)) // 3x over
+	o := Options{BaseLevelBytes: 1000, SizeRatio: 4, Picker: PickMinOverlap}.WithDefaults()
+	c := Pick(v, o, 0, false)
+	if c == nil || c.StartLevel != 2 {
+		t.Fatalf("worst level not chosen: %+v", c)
+	}
+}

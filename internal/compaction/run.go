@@ -1,0 +1,401 @@
+package compaction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/iterator"
+	"repro/internal/manifest"
+	"repro/internal/sstable"
+	"repro/internal/vfs"
+)
+
+// Env carries everything a compaction execution needs from the engine.
+type Env struct {
+	// FS and Dirname locate output files.
+	FS      vfs.FS
+	Dirname string
+	// WriterOpts configure output tables (block size, bloom, KiWi tiles).
+	WriterOpts sstable.WriterOptions
+	// TargetFileBytes rolls output files at this size.
+	TargetFileBytes uint64
+	// OpenReader returns a (cached) reader for a live table.
+	OpenReader func(base.FileNum) (*sstable.Reader, error)
+	// AllocFileNum reserves output file numbers.
+	AllocFileNum func() base.FileNum
+
+	// Now is the clock reading at compaction start.
+	Now base.Timestamp
+	// Snapshots are the active snapshot sequence numbers, ascending.
+	// Versions straddling a snapshot boundary must both be kept.
+	Snapshots []base.SeqNum
+	// Bottommost reports that no level deeper than the output holds data
+	// overlapping the compaction's key range, enabling tombstone
+	// disposal — the moment a delete becomes persistent.
+	Bottommost bool
+	// RangeTombstoneDisposable reports whether, once this compaction has
+	// dropped every covered entry it processes, no file *outside* the
+	// compaction could still hold an entry the tombstone covers. A range
+	// tombstone spans the whole key space (its reach is in delete-key
+	// space), so key-range bottommost-ness alone is not sufficient to
+	// retire it. Nil means never dispose.
+	RangeTombstoneDisposable func(base.RangeTombstone) bool
+
+	// OnTombstoneDropped fires when a point tombstone is physically
+	// disposed of (delete persisted). The key slice is only valid during
+	// the call.
+	OnTombstoneDropped func(userKey []byte, seq base.SeqNum, createdAt base.Timestamp)
+	// OnRangeTombstoneDropped fires when a secondary range tombstone is
+	// disposed of.
+	OnRangeTombstoneDropped func(base.RangeTombstone)
+	// OnTombstoneSuperseded fires when a tombstone is discarded because a
+	// newer write made it moot (not a persistence event, but the
+	// tombstone no longer exists).
+	OnTombstoneSuperseded func(userKey []byte, seq base.SeqNum)
+}
+
+// OutputFile pairs a new table's number with its metadata.
+type OutputFile struct {
+	FileNum base.FileNum
+	Meta    sstable.WriterMeta
+}
+
+// Result summarizes an executed compaction.
+type Result struct {
+	Outputs []OutputFile
+
+	// BytesRead and BytesWritten feed write-amplification accounting.
+	BytesRead    uint64
+	BytesWritten uint64
+	// EntriesIn/EntriesOut count merged entries.
+	EntriesIn  uint64
+	EntriesOut uint64
+	// ShadowedDropped counts superseded versions discarded.
+	ShadowedDropped uint64
+	// TombstonesDropped counts point tombstones disposed of (deletes
+	// persisted).
+	TombstonesDropped uint64
+	// TombstonesSuperseded counts tombstones dropped because a newer
+	// write shadowed them.
+	TombstonesSuperseded uint64
+	// RangeTombstonesDropped counts disposed secondary range tombstones.
+	RangeTombstonesDropped uint64
+	// RangeCoveredDropped counts entries discarded because a secondary
+	// range tombstone covered them.
+	RangeCoveredDropped uint64
+	// PagesDropped counts whole KiWi pages elided without being read.
+	PagesDropped uint64
+}
+
+// noSnapshotIn reports that no active snapshot t satisfies lo <= t < hi,
+// i.e. versions at lo and hi-1 belong to the same visibility stripe.
+func noSnapshotIn(snaps []base.SeqNum, lo, hi base.SeqNum) bool {
+	i := sort.Search(len(snaps), func(i int) bool { return snaps[i] >= lo })
+	return i >= len(snaps) || snaps[i] >= hi
+}
+
+// Run executes the candidate: merges its inputs, applies shadowing,
+// tombstone-disposal and KiWi page/entry drops, and writes the output
+// tables. It does not touch the manifest; the engine applies the edit.
+func Run(c *Candidate, env Env) (*Result, error) {
+	res := &Result{}
+
+	// Collect readers and range tombstones from every input file.
+	var rangeDels []base.RangeTombstone
+	collect := func(files []*manifest.FileMetadata) ([]*sstable.Reader, error) {
+		rs := make([]*sstable.Reader, len(files))
+		for i, f := range files {
+			r, err := env.OpenReader(f.FileNum)
+			if err != nil {
+				return nil, fmt.Errorf("compaction: opening input %s: %w", f.FileNum, err)
+			}
+			rs[i] = r
+			rangeDels = append(rangeDels, r.RangeTombstones()...)
+			res.EntriesIn += f.NumEntries
+		}
+		return rs, nil
+	}
+
+	// pageFilter implements the KiWi fast path: a page is elided when a
+	// range tombstone fully covers its delete-key span, it holds no
+	// tombstones, all its entries predate the tombstone, and no snapshot
+	// could still need its contents.
+	//
+	// Page drops are only sound for files where no *older* version of a
+	// dropped key could surface afterwards: the file must belong to the
+	// compaction's oldest run, the compaction must be bottommost (nothing
+	// older below), and the file must hold a single version per key.
+	pageFilter := func(p sstable.PageInfo) bool {
+		for _, rt := range rangeDels {
+			if p.Droppable(rt) && noSnapshotIn(env.Snapshots, 0, rt.Seq) {
+				return false // drop
+			}
+		}
+		return true
+	}
+	filterFor := func(f *manifest.FileMetadata, oldestRun bool) sstable.PageFilter {
+		if env.Bottommost && oldestRun && !f.HasDuplicates {
+			return pageFilter
+		}
+		return nil
+	}
+
+	var sources []iterator.Internal
+	var iters []*sstable.Iter
+	addRun := func(files []*manifest.FileMetadata, oldestRun bool) error {
+		rs, err := collect(files)
+		if err != nil {
+			return err
+		}
+		switch len(rs) {
+		case 0:
+		case 1:
+			it := rs[0].NewCompactionIter(filterFor(files[0], oldestRun))
+			iters = append(iters, it)
+			sources = append(sources, it)
+		default:
+			metas := files
+			concat := iterator.NewConcat(len(rs),
+				func(i int) (base.InternalKey, base.InternalKey) {
+					return metas[i].Smallest, metas[i].Largest
+				},
+				func(i int) (iterator.Internal, error) {
+					it := rs[i].NewCompactionIter(filterFor(metas[i], oldestRun))
+					iters = append(iters, it)
+					return it, nil
+				})
+			sources = append(sources, concat)
+		}
+		return nil
+	}
+
+	for i, r := range c.Inputs {
+		// Without an output run the last input run (inputs are newest
+		// first) is the compaction's oldest data.
+		oldest := len(c.OutputRunFiles) == 0 && i == len(c.Inputs)-1
+		if err := addRun(r.Files, oldest); err != nil {
+			return nil, err
+		}
+	}
+	if len(c.OutputRunFiles) > 0 {
+		if err := addRun(c.OutputRunFiles, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Partition range tombstones into disposable and surviving. Disposal
+	// requires that this compaction erases every covered entry it sees
+	// (bottommost + snapshot-free) and that nothing outside it could
+	// still hold covered entries.
+	var surviving []base.RangeTombstone
+	for _, rt := range rangeDels {
+		if env.Bottommost && noSnapshotIn(env.Snapshots, 0, rt.Seq) &&
+			env.RangeTombstoneDisposable != nil && env.RangeTombstoneDisposable(rt) {
+			res.RangeTombstonesDropped++
+			if env.OnRangeTombstoneDropped != nil {
+				env.OnRangeTombstoneDropped(rt)
+			}
+		} else {
+			surviving = append(surviving, rt)
+		}
+	}
+
+	merged := iterator.NewMerge(sources...)
+	out := newOutputWriter(env, res, surviving)
+
+	var (
+		lastUserKey  []byte
+		lastKeptSeq  base.SeqNum
+		haveLast     bool
+		keyWipedByRT bool // newest version of lastUserKey was dropped via range tombstone
+		keyWipedSeq  base.SeqNum
+	)
+
+	for valid := merged.First(); valid; valid = merged.Next() {
+		ik := merged.Key()
+		value := merged.Value()
+		newKey := !haveLast || base.Compare(ik.UserKey, lastUserKey) != 0
+
+		if newKey {
+			lastUserKey = append(lastUserKey[:0], ik.UserKey...)
+			haveLast = true
+			keyWipedByRT = false
+		} else {
+			// An older version of a key we have already emitted (or
+			// wiped). Drop it if it shares a visibility stripe with
+			// the newer decision point.
+			newerSeq := lastKeptSeq
+			if keyWipedByRT {
+				newerSeq = keyWipedSeq
+			}
+			if noSnapshotIn(env.Snapshots, ik.SeqNum(), newerSeq) {
+				switch {
+				case ik.Kind() == base.KindDelete && env.Bottommost:
+					res.TombstonesDropped++
+					if env.OnTombstoneDropped != nil {
+						env.OnTombstoneDropped(ik.UserKey, ik.SeqNum(), base.DecodeTombstoneValue(value))
+					}
+				case ik.Kind() == base.KindDelete:
+					res.TombstonesSuperseded++
+					if env.OnTombstoneSuperseded != nil {
+						env.OnTombstoneSuperseded(ik.UserKey, ik.SeqNum())
+					}
+				default:
+					res.ShadowedDropped++
+				}
+				continue
+			}
+			// Visible to a snapshot stripe: fall through and keep it.
+		}
+
+		switch ik.Kind() {
+		case base.KindDelete:
+			// A tombstone that is the newest version (or stripe-
+			// visible) of its key. Dispose of it at the bottom.
+			if env.Bottommost && noSnapshotIn(env.Snapshots, 0, ik.SeqNum()) {
+				res.TombstonesDropped++
+				if env.OnTombstoneDropped != nil {
+					env.OnTombstoneDropped(ik.UserKey, ik.SeqNum(), base.DecodeTombstoneValue(value))
+				}
+				// Older versions of this key are shadowed by the
+				// stripe rule with lastKeptSeq = this seq.
+				lastKeptSeq = ik.SeqNum()
+				continue
+			}
+			if err := out.add(ik, value); err != nil {
+				return nil, err
+			}
+			lastKeptSeq = ik.SeqNum()
+
+		case base.KindSet:
+			// Entry-level KiWi drop: the newest version of a key
+			// whose delete key a range tombstone covers vanishes at
+			// the bottommost level (no deeper versions exist to
+			// resurrect).
+			if newKey && env.Bottommost && env.WriterOpts.DeleteKeyFunc != nil {
+				dk := env.WriterOpts.DeleteKeyFunc(value)
+				for _, rt := range rangeDels {
+					if rt.Covers(dk, ik.SeqNum()) && noSnapshotIn(env.Snapshots, 0, rt.Seq) {
+						keyWipedByRT = true
+						keyWipedSeq = ik.SeqNum()
+						break
+					}
+				}
+				if keyWipedByRT {
+					res.RangeCoveredDropped++
+					continue
+				}
+			}
+			if err := out.add(ik, value); err != nil {
+				return nil, err
+			}
+			lastKeptSeq = ik.SeqNum()
+
+		default:
+			return nil, fmt.Errorf("compaction: unexpected kind %s in merge", ik.Kind())
+		}
+	}
+	if err := merged.Error(); err != nil {
+		return nil, err
+	}
+	for _, it := range iters {
+		res.PagesDropped += it.Dropped()
+		res.BytesRead += it.BytesLoaded()
+	}
+	if err := out.finish(); err != nil {
+		return nil, err
+	}
+	res.Outputs = out.outputs
+	for _, of := range res.Outputs {
+		res.BytesWritten += of.Meta.Size
+		res.EntriesOut += of.Meta.Props.NumEntries
+	}
+	return res, nil
+}
+
+// outputWriter rolls output tables at the target size and attaches
+// surviving range tombstones to the first output.
+type outputWriter struct {
+	env       Env
+	res       *Result
+	surviving []base.RangeTombstone
+	rtPlaced  bool
+
+	cur     *sstable.Writer
+	curNum  base.FileNum
+	curSize uint64
+	outputs []OutputFile
+	dropped uint64
+}
+
+func newOutputWriter(env Env, res *Result, surviving []base.RangeTombstone) *outputWriter {
+	return &outputWriter{env: env, res: res, surviving: surviving}
+}
+
+func (o *outputWriter) add(ik base.InternalKey, value []byte) error {
+	if o.cur == nil {
+		num := o.env.AllocFileNum()
+		f, err := o.env.FS.Create(manifest.MakeFilename(o.env.Dirname, manifest.FileTypeTable, num))
+		if err != nil {
+			return err
+		}
+		o.cur = sstable.NewWriter(f, o.env.WriterOpts)
+		o.curNum = num
+		o.curSize = 0
+		if !o.rtPlaced {
+			for _, rt := range o.surviving {
+				if err := o.cur.AddRangeTombstone(rt); err != nil {
+					return err
+				}
+			}
+			o.rtPlaced = true
+		}
+	}
+	if err := o.cur.Add(ik, value); err != nil {
+		return err
+	}
+	o.curSize += uint64(ik.Size() + len(value))
+	if o.curSize >= o.env.TargetFileBytes {
+		return o.roll()
+	}
+	return nil
+}
+
+func (o *outputWriter) roll() error {
+	if o.cur == nil {
+		return nil
+	}
+	meta, err := o.cur.Finish()
+	if err != nil {
+		return err
+	}
+	o.cur = nil
+	if meta.HasEntries() {
+		o.outputs = append(o.outputs, OutputFile{FileNum: o.curNum, Meta: meta})
+	} else {
+		_ = o.env.FS.Remove(manifest.MakeFilename(o.env.Dirname, manifest.FileTypeTable, o.curNum))
+	}
+	return nil
+}
+
+func (o *outputWriter) finish() error {
+	// Surviving range tombstones must persist even when no entries were
+	// written (e.g. everything was dropped).
+	if o.cur == nil && !o.rtPlaced && len(o.surviving) > 0 {
+		num := o.env.AllocFileNum()
+		f, err := o.env.FS.Create(manifest.MakeFilename(o.env.Dirname, manifest.FileTypeTable, num))
+		if err != nil {
+			return err
+		}
+		o.cur = sstable.NewWriter(f, o.env.WriterOpts)
+		o.curNum = num
+		for _, rt := range o.surviving {
+			if err := o.cur.AddRangeTombstone(rt); err != nil {
+				return err
+			}
+		}
+		o.rtPlaced = true
+	}
+	return o.roll()
+}

@@ -1,0 +1,477 @@
+package compaction
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+	"repro/internal/sstable"
+	"repro/internal/vfs"
+)
+
+// testEnv bundles a MemFS-backed compaction environment.
+type testEnv struct {
+	fs      *vfs.MemFS
+	nextFN  base.FileNum
+	readers map[base.FileNum]*sstable.Reader
+	wopts   sstable.WriterOptions
+}
+
+func dkx(v []byte) base.DeleteKey {
+	if len(v) < 8 {
+		return 0
+	}
+	var dk base.DeleteKey
+	for i := 0; i < 8; i++ {
+		dk = dk<<8 | base.DeleteKey(v[i])
+	}
+	return dk
+}
+
+func dkVal(dk uint64) []byte {
+	v := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		v[i] = byte(dk >> (56 - 8*i))
+	}
+	return v
+}
+
+func newTestEnv(pagesPerTile int) *testEnv {
+	return &testEnv{
+		fs:      vfs.NewMemFS(),
+		nextFN:  1,
+		readers: map[base.FileNum]*sstable.Reader{},
+		wopts: sstable.WriterOptions{
+			BlockSize:     512,
+			PagesPerTile:  pagesPerTile,
+			DeleteKeyFunc: dkx,
+		},
+	}
+}
+
+type kv struct {
+	key  string
+	seq  base.SeqNum
+	kind base.Kind
+	val  []byte
+}
+
+// writeTable materializes kvs (sorted by caller) plus range tombstones into
+// a new table, returning its metadata.
+func (e *testEnv) writeTable(t *testing.T, kvs []kv, rts []base.RangeTombstone) *manifest.FileMetadata {
+	t.Helper()
+	fn := e.nextFN
+	e.nextFN++
+	f, err := e.fs.Create(manifest.MakeFilename("db", manifest.FileTypeTable, fn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sstable.NewWriter(f, e.wopts)
+	for _, kv := range kvs {
+		if err := w.Add(base.MakeInternalKey([]byte(kv.key), kv.seq, kv.kind), kv.val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rt := range rts {
+		if err := w.AddRangeTombstone(rt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &manifest.FileMetadata{
+		FileNum: fn, Size: meta.Size,
+		Smallest: meta.Smallest, Largest: meta.Largest,
+		NumEntries: meta.Props.NumEntries, NumDeletes: meta.Props.NumDeletes,
+		NumRangeDeletes: meta.Props.NumRangeDeletes,
+		HasTombstones:   meta.Props.NumDeletes+meta.Props.NumRangeDeletes > 0,
+		OldestTombstone: meta.Props.OldestTombstone,
+		DeleteKeyMin:    meta.Props.DeleteKeyMin, DeleteKeyMax: meta.Props.DeleteKeyMax,
+		LargestSeqNum: meta.Props.MaxSeqNum, SmallestSeqNum: meta.Props.MinSeqNum,
+	}
+}
+
+func (e *testEnv) env(t *testing.T) Env {
+	t.Helper()
+	return Env{
+		FS:              e.fs,
+		Dirname:         "db",
+		WriterOpts:      e.wopts,
+		TargetFileBytes: 1 << 20,
+		OpenReader: func(fn base.FileNum) (*sstable.Reader, error) {
+			if r, ok := e.readers[fn]; ok {
+				return r, nil
+			}
+			f, err := e.fs.Open(manifest.MakeFilename("db", manifest.FileTypeTable, fn))
+			if err != nil {
+				return nil, err
+			}
+			r, err := sstable.Open(f)
+			if err != nil {
+				return nil, err
+			}
+			e.readers[fn] = r
+			return r, nil
+		},
+		AllocFileNum: func() base.FileNum {
+			fn := e.nextFN
+			e.nextFN++
+			return fn
+		},
+	}
+}
+
+// readAll returns every entry of the compaction's outputs in order.
+func (e *testEnv) readAll(t *testing.T, res *Result) []kv {
+	t.Helper()
+	var out []kv
+	for _, of := range res.Outputs {
+		f, err := e.fs.Open(manifest.MakeFilename("db", manifest.FileTypeTable, of.FileNum))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sstable.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := r.NewIter()
+		for ok := it.First(); ok; ok = it.Next() {
+			out = append(out, kv{
+				key:  string(it.Key().UserKey),
+				seq:  it.Key().SeqNum(),
+				kind: it.Key().Kind(),
+				val:  append([]byte(nil), it.Value()...),
+			})
+		}
+		if it.Error() != nil {
+			t.Fatal(it.Error())
+		}
+		r.Close()
+	}
+	return out
+}
+
+func candidate(level int, inputs []*manifest.FileMetadata, outputs []*manifest.FileMetadata) *Candidate {
+	return &Candidate{
+		StartLevel:     level,
+		OutputLevel:    level + 1,
+		Inputs:         []*manifest.Run{{ID: 1, Files: inputs}},
+		OutputRunFiles: outputs,
+	}
+}
+
+func TestRunDedupsShadowedVersions(t *testing.T) {
+	e := newTestEnv(1)
+	newer := e.writeTable(t, []kv{
+		{"a", 10, base.KindSet, dkVal(1)},
+		{"b", 11, base.KindSet, dkVal(2)},
+	}, nil)
+	older := e.writeTable(t, []kv{
+		{"a", 3, base.KindSet, dkVal(9)},
+		{"c", 4, base.KindSet, dkVal(3)},
+	}, nil)
+
+	res, err := Run(candidate(1, []*manifest.FileMetadata{newer}, []*manifest.FileMetadata{older}), e.env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 3 {
+		t.Fatalf("got %d entries: %+v", len(got), got)
+	}
+	if got[0].key != "a" || got[0].seq != 10 {
+		t.Fatalf("newest version of a not kept: %+v", got[0])
+	}
+	if res.ShadowedDropped != 1 {
+		t.Fatalf("ShadowedDropped = %d", res.ShadowedDropped)
+	}
+}
+
+func TestRunTombstoneSurvivesAboveBottom(t *testing.T) {
+	e := newTestEnv(1)
+	in := e.writeTable(t, []kv{
+		{"a", 10, base.KindDelete, base.EncodeTombstoneValue(5)},
+		{"b", 11, base.KindSet, dkVal(1)},
+	}, nil)
+	env := e.env(t)
+	env.Bottommost = false
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 2 || got[0].kind != base.KindDelete {
+		t.Fatalf("tombstone lost above bottom: %+v", got)
+	}
+	if res.TombstonesDropped != 0 {
+		t.Fatal("nothing should be disposed above bottom")
+	}
+}
+
+func TestRunTombstoneDisposedAtBottom(t *testing.T) {
+	e := newTestEnv(1)
+	top := e.writeTable(t, []kv{
+		{"a", 10, base.KindDelete, base.EncodeTombstoneValue(5)},
+	}, nil)
+	bottom := e.writeTable(t, []kv{
+		{"a", 2, base.KindSet, dkVal(7)},
+		{"b", 3, base.KindSet, dkVal(8)},
+	}, nil)
+	env := e.env(t)
+	env.Bottommost = true
+	env.Now = 100
+	var persisted []base.SeqNum
+	env.OnTombstoneDropped = func(_ []byte, seq base.SeqNum, createdAt base.Timestamp) {
+		persisted = append(persisted, seq)
+		if createdAt != 5 {
+			t.Errorf("createdAt = %d", createdAt)
+		}
+	}
+	res, err := Run(candidate(1, []*manifest.FileMetadata{top}, []*manifest.FileMetadata{bottom}), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 1 || got[0].key != "b" {
+		t.Fatalf("deletion not applied at bottom: %+v", got)
+	}
+	if res.TombstonesDropped != 1 || len(persisted) != 1 || persisted[0] != 10 {
+		t.Fatalf("disposal not recorded: %+v %v", res, persisted)
+	}
+}
+
+func TestRunTombstoneSupersededByNewerWrite(t *testing.T) {
+	e := newTestEnv(1)
+	in := e.writeTable(t, []kv{
+		{"a", 10, base.KindSet, dkVal(1)},
+		{"a", 5, base.KindDelete, base.EncodeTombstoneValue(2)},
+	}, nil)
+	env := e.env(t)
+	env.Bottommost = false
+	superseded := 0
+	env.OnTombstoneSuperseded = func([]byte, base.SeqNum) { superseded++ }
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 1 || got[0].seq != 10 {
+		t.Fatalf("output: %+v", got)
+	}
+	if res.TombstonesSuperseded != 1 || superseded != 1 {
+		t.Fatalf("superseded accounting: %d/%d", res.TombstonesSuperseded, superseded)
+	}
+}
+
+func TestRunSnapshotKeepsStraddledVersions(t *testing.T) {
+	e := newTestEnv(1)
+	in := e.writeTable(t, []kv{
+		{"a", 10, base.KindSet, dkVal(1)},
+		{"a", 4, base.KindSet, dkVal(2)},
+	}, nil)
+	env := e.env(t)
+	env.Snapshots = []base.SeqNum{6} // straddles the two versions
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 2 {
+		t.Fatalf("snapshot-visible version dropped: %+v", got)
+	}
+	// Without the snapshot the old version goes.
+	env.Snapshots = nil
+	res, err = Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.readAll(t, res); len(got) != 1 {
+		t.Fatalf("shadowed version survived: %+v", got)
+	}
+}
+
+func TestRunSnapshotBlocksTombstoneDisposal(t *testing.T) {
+	e := newTestEnv(1)
+	in := e.writeTable(t, []kv{
+		{"a", 10, base.KindDelete, base.EncodeTombstoneValue(1)},
+		{"a", 4, base.KindSet, dkVal(2)},
+	}, nil)
+	env := e.env(t)
+	env.Bottommost = true
+	env.Snapshots = []base.SeqNum{6}
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 2 {
+		t.Fatalf("snapshot should keep both tombstone and old version: %+v", got)
+	}
+	if res.TombstonesDropped != 0 {
+		t.Fatal("tombstone disposed despite snapshot")
+	}
+}
+
+func TestRunRangeTombstoneCarriedWhenNotDisposable(t *testing.T) {
+	e := newTestEnv(1)
+	rt := base.RangeTombstone{Lo: 0, Hi: 100, Seq: 50, CreatedAt: 9}
+	in := e.writeTable(t, []kv{{"a", 10, base.KindSet, dkVal(500)}}, []base.RangeTombstone{rt})
+	env := e.env(t)
+	env.Bottommost = true
+	env.RangeTombstoneDisposable = func(base.RangeTombstone) bool { return false }
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Meta.Props.NumRangeDeletes != 1 {
+		t.Fatalf("range tombstone not carried: %+v", res.Outputs)
+	}
+}
+
+func TestRunRangeTombstoneDisposedWhenAllowed(t *testing.T) {
+	e := newTestEnv(1)
+	rt := base.RangeTombstone{Lo: 0, Hi: 100, Seq: 50, CreatedAt: 9}
+	in := e.writeTable(t, []kv{{"a", 10, base.KindSet, dkVal(500)}}, []base.RangeTombstone{rt})
+	env := e.env(t)
+	env.Bottommost = true
+	env.RangeTombstoneDisposable = func(base.RangeTombstone) bool { return true }
+	dropped := 0
+	env.OnRangeTombstoneDropped = func(base.RangeTombstone) { dropped++ }
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RangeTombstonesDropped != 1 || dropped != 1 {
+		t.Fatal("range tombstone not disposed")
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Meta.Props.NumRangeDeletes != 0 {
+		t.Fatalf("outputs should carry no range tombstones: %+v", res.Outputs)
+	}
+}
+
+func TestRunEntryLevelRangeDropAtBottom(t *testing.T) {
+	e := newTestEnv(1)
+	rt := base.RangeTombstone{Lo: 0, Hi: 100, Seq: 50, CreatedAt: 9}
+	in := e.writeTable(t, []kv{
+		{"a", 10, base.KindSet, dkVal(5)},   // covered (dk 5 < 100, seq 10 < 50)
+		{"a", 3, base.KindSet, dkVal(500)},  // older version: must die with it
+		{"b", 60, base.KindSet, dkVal(5)},   // NOT covered: seq 60 > rt.Seq
+		{"c", 20, base.KindSet, dkVal(200)}, // NOT covered: dk outside
+	}, []base.RangeTombstone{rt})
+	env := e.env(t)
+	env.Bottommost = true
+	env.RangeTombstoneDisposable = func(base.RangeTombstone) bool { return true }
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.readAll(t, res)
+	if len(got) != 2 || got[0].key != "b" || got[1].key != "c" {
+		t.Fatalf("range-covered entries survived: %+v", got)
+	}
+	if res.RangeCoveredDropped != 1 {
+		t.Fatalf("RangeCoveredDropped = %d", res.RangeCoveredDropped)
+	}
+}
+
+func TestRunKiWiPageDropsCounted(t *testing.T) {
+	e := newTestEnv(4)
+	var kvs []kv
+	n := 600
+	for i := 0; i < n; i++ {
+		kvs = append(kvs, kv{fmt.Sprintf("k%06d", i), base.SeqNum(i + 1), base.KindSet, dkVal(uint64(i * 7919 % n))})
+	}
+	rt := base.RangeTombstone{Lo: 0, Hi: uint64(n / 2), Seq: base.SeqNum(n + 1), CreatedAt: 1}
+	in := e.writeTable(t, kvs, []base.RangeTombstone{rt})
+	env := e.env(t)
+	env.Bottommost = true
+	env.RangeTombstoneDisposable = func(base.RangeTombstone) bool { return true }
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesDropped == 0 {
+		t.Fatal("no pages dropped in KiWi layout")
+	}
+	got := e.readAll(t, res)
+	for _, g := range got {
+		if dkx(g.val) < uint64(n/2) {
+			t.Fatalf("covered entry %q (dk %d) survived", g.key, dkx(g.val))
+		}
+	}
+	want := 0
+	for _, kv := range kvs {
+		if dkx(kv.val) >= uint64(n/2) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("survivors = %d, want %d", len(got), want)
+	}
+}
+
+func TestRunRollsOutputFiles(t *testing.T) {
+	e := newTestEnv(1)
+	var kvs []kv
+	for i := 0; i < 500; i++ {
+		kvs = append(kvs, kv{fmt.Sprintf("k%06d", i), base.SeqNum(i + 1), base.KindSet, dkVal(uint64(i))})
+	}
+	in := e.writeTable(t, kvs, nil)
+	env := e.env(t)
+	env.TargetFileBytes = 2048
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) < 3 {
+		t.Fatalf("expected multiple rolled outputs, got %d", len(res.Outputs))
+	}
+	// Outputs must be key-disjoint and ordered.
+	for i := 0; i+1 < len(res.Outputs); i++ {
+		a, b := res.Outputs[i].Meta, res.Outputs[i+1].Meta
+		if base.Compare(a.Largest.UserKey, b.Smallest.UserKey) >= 0 {
+			t.Fatal("rolled outputs overlap")
+		}
+	}
+	if got := e.readAll(t, res); len(got) != 500 {
+		t.Fatalf("entries lost in rolling: %d", len(got))
+	}
+}
+
+func TestRunEmptyInputsNoOutputs(t *testing.T) {
+	e := newTestEnv(1)
+	env := e.env(t)
+	res, err := Run(candidate(1, nil, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 0 {
+		t.Fatal("outputs from nothing")
+	}
+}
+
+func TestRunTombstoneOnlyOutputWhenRangeDelsSurvive(t *testing.T) {
+	e := newTestEnv(1)
+	rt := base.RangeTombstone{Lo: 0, Hi: 100, Seq: 50, CreatedAt: 9}
+	// Single covered entry + the tombstone: at bottom the entry dies, but
+	// the tombstone must survive (not disposable) in a tombstone-only
+	// output.
+	in := e.writeTable(t, []kv{{"a", 10, base.KindSet, dkVal(5)}}, []base.RangeTombstone{rt})
+	env := e.env(t)
+	env.Bottommost = true
+	env.RangeTombstoneDisposable = func(base.RangeTombstone) bool { return false }
+	res, err := Run(candidate(1, []*manifest.FileMetadata{in}, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("want a tombstone-only output, got %d outputs", len(res.Outputs))
+	}
+	p := res.Outputs[0].Meta.Props
+	if p.NumEntries != 0 || p.NumRangeDeletes != 1 {
+		t.Fatalf("tombstone-only output props: %+v", p)
+	}
+}

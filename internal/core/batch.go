@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/memtable"
+)
+
+// Batch accumulates writes that Apply commits atomically: they become
+// durable together (one WAL record) and visible together (readers observe
+// all of the batch or none of it).
+type Batch struct {
+	ops []batchOp
+	// approximate payload size, for pre-sizing the WAL record.
+	size int
+}
+
+type batchOp struct {
+	kind  base.Kind
+	key   []byte
+	value []byte
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put queues an insert/update. Key and value are copied.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{
+		kind:  base.KindSet,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.size += len(key) + len(value) + 16
+}
+
+// Delete queues a point delete. The tombstone timestamp is assigned at
+// Apply time.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{
+		kind: base.KindDelete,
+		key:  append([]byte(nil), key...),
+	})
+	b.size += len(key) + 24
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	b.ops = b.ops[:0]
+	b.size = 0
+}
+
+// walBatchTag marks a batch WAL record; it must not collide with any
+// base.Kind value.
+const walBatchTag = 0x10
+
+// encodeWALBatch frames the whole batch as one record:
+//
+//	walBatchTag | baseSeq uvarint | count uvarint |
+//	repeat: kind byte | keyLen uvarint | key | valLen uvarint | val
+func encodeWALBatch(baseSeq base.SeqNum, ops []batchOp) []byte {
+	buf := make([]byte, 0, 16+len(ops)*8)
+	buf = append(buf, walBatchTag)
+	buf = binary.AppendUvarint(buf, uint64(baseSeq))
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, byte(op.kind))
+		buf = binary.AppendUvarint(buf, uint64(len(op.key)))
+		buf = append(buf, op.key...)
+		buf = binary.AppendUvarint(buf, uint64(len(op.value)))
+		buf = append(buf, op.value...)
+	}
+	return buf
+}
+
+// applyWALBatch replays a batch record into m, returning the highest
+// sequence number it contained.
+func applyWALBatch(m *memtable.MemTable, payload []byte) (base.SeqNum, error) {
+	rest := payload[1:] // tag already inspected
+	baseSeqU, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, errors.New("acheron: corrupt batch record (base seq)")
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, errors.New("acheron: corrupt batch record (count)")
+	}
+	rest = rest[n:]
+	seq := base.SeqNum(baseSeqU)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 1 {
+			return 0, errors.New("acheron: corrupt batch record (op kind)")
+		}
+		kind := base.Kind(rest[0])
+		rest = rest[1:]
+		kl, n := binary.Uvarint(rest)
+		if n <= 0 || int(kl) > len(rest)-n {
+			return 0, errors.New("acheron: corrupt batch record (key)")
+		}
+		key := rest[n : n+int(kl)]
+		rest = rest[n+int(kl):]
+		vl, n := binary.Uvarint(rest)
+		if n <= 0 || int(vl) > len(rest)-n {
+			return 0, errors.New("acheron: corrupt batch record (value)")
+		}
+		value := rest[n : n+int(vl)]
+		rest = rest[n+int(vl):]
+		m.Add(base.MakeInternalKey(key, seq, kind), value)
+		seq++
+	}
+	return seq - 1, nil
+}
+
+// Apply atomically commits the batch. The batch may be Reset and reused
+// afterwards.
+func (d *DB) Apply(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	now := d.opts.Clock.Now()
+	// Stamp tombstone timestamps before taking the lock.
+	for i := range b.ops {
+		if b.ops[i].kind == base.KindDelete && len(b.ops[i].value) == 0 {
+			b.ops[i].value = base.EncodeTombstoneValue(now)
+		}
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	baseSeq := d.vs.LastSeqNum + 1
+	if !d.opts.DisableWAL {
+		rec := encodeWALBatch(baseSeq, b.ops)
+		if err := d.walW.AddRecord(rec); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.stats.WALBytes.Add(int64(len(rec)))
+		if d.opts.SyncWrites {
+			if err := d.walW.Sync(); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+		}
+	}
+	var deletes int64
+	for i, op := range b.ops {
+		seq := baseSeq + base.SeqNum(i)
+		d.mem.Add(base.MakeInternalKey(op.key, seq, op.kind), op.value)
+		d.stats.BytesIngested.Add(int64(len(op.key) + len(op.value)))
+		if op.kind == base.KindDelete {
+			deletes++
+		}
+	}
+	// Visibility flips atomically here: readers snapshot LastSeqNum under
+	// d.mu, so they see the whole batch or none of it.
+	d.vs.LastSeqNum = baseSeq + base.SeqNum(len(b.ops)) - 1
+	rotated, err := d.maybeRotateLocked()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if deletes > 0 {
+		d.stats.DeletesIssued.Add(deletes)
+		d.stats.LiveTombstones.Add(deletes)
+	}
+	if rotated {
+		d.notifyWork()
+	}
+	return nil
+}
+
+// BlockCacheStats returns the shared block cache's cumulative hit and miss
+// counts (zeros when the cache is disabled).
+func (d *DB) BlockCacheStats() (hits, misses int64) {
+	if d.cache.blocks == nil {
+		return 0, 0
+	}
+	return d.cache.blocks.Hits(), d.cache.blocks.Misses()
+}
+
+// sanity check that the batch tag stays clear of entry kinds.
+var _ = func() struct{} {
+	if walBatchTag < byte(base.KindMax) {
+		panic(fmt.Sprintf("walBatchTag %d collides with kinds", walBatchTag))
+	}
+	return struct{}{}
+}()

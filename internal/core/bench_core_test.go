@@ -1,0 +1,187 @@
+package core
+
+// Micro-benchmarks for the engine's hot paths, complementing the
+// paper-experiment benchmarks at the repository root.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+func benchDB(b *testing.B, mod func(*Options)) *DB {
+	b.Helper()
+	opts := Options{
+		FS:                     vfs.NewMemFS(),
+		Clock:                  &base.LogicalClock{},
+		MemTableBytes:          4 << 20,
+		DeleteKeyFunc:          testDK,
+		DisableAutoMaintenance: true,
+		Compaction: compaction.Options{
+			SizeRatio:       10,
+			BaseLevelBytes:  8 << 20,
+			TargetFileBytes: 2 << 20,
+		},
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	d, err := Open("bench", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	return d
+}
+
+func BenchmarkPut(b *testing.B) {
+	d := benchDB(b, nil)
+	val := testValue(1, 1)
+	b.SetBytes(int64(16 + len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%014d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			if err := d.WaitIdle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPutNoWAL(b *testing.B) {
+	d := benchDB(b, func(o *Options) { o.DisableWAL = true })
+	val := testValue(1, 1)
+	b.SetBytes(int64(16 + len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%014d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			if err := d.WaitIdle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchPut(b *testing.B) {
+	d := benchDB(b, nil)
+	val := testValue(1, 1)
+	b.SetBytes(int64(16 + len(val)))
+	b.ResetTimer()
+	batch := NewBatch()
+	for i := 0; i < b.N; i++ {
+		batch.Put([]byte(fmt.Sprintf("k%014d", i)), val)
+		if batch.Len() == 128 {
+			if err := d.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch.Reset()
+			if err := d.WaitIdle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := d.Apply(batch); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchPopulated(b *testing.B, n int, mod func(*Options)) *DB {
+	b.Helper()
+	d := benchDB(b, mod)
+	for i := 0; i < n; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%014d", i)), testValue(uint64(i), i)); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			if err := d.WaitIdle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := d.CompactAll(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	const n = 100_000
+	d := benchPopulated(b, n, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("k%014d", (i*2654435761)%n))
+		if _, err := d.Get(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	d := benchPopulated(b, 100_000, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("miss%010d", i))
+		if _, err := d.Get(k); err != ErrNotFound {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	const n = 100_000
+	d := benchPopulated(b, n, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := d.NewIter(IterOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := []byte(fmt.Sprintf("k%014d", (i*7919)%n))
+		cnt := 0
+		for ok := it.SeekGE(k); ok && cnt < 100; ok = it.Next() {
+			cnt++
+		}
+		if err := it.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteAndPersist(b *testing.B) {
+	clk := &base.LogicalClock{}
+	d := benchDB(b, func(o *Options) {
+		o.Clock = clk
+		o.Compaction.DPT = 10_000
+		o.Compaction.Picker = compaction.PickFADE
+	})
+	for i := 0; i < 50_000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%014d", i)), testValue(uint64(i), i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.CompactAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(1)
+		if err := d.Delete([]byte(fmt.Sprintf("k%014d", i%50_000))); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			clk.Advance(2000)
+			if err := d.WaitIdle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/cache"
+	"repro/internal/manifest"
+	"repro/internal/sstable"
+	"repro/internal/vfs"
+)
+
+// tableCache hands out shared, reference-counted sstable readers. A reader
+// stays open while any iterator or compaction references it; once its file
+// is evicted (deleted by a compaction) and the last reference drops, the
+// reader is closed. All readers share one block cache.
+type tableCache struct {
+	fs      vfs.FS
+	dirname string
+	blocks  *cache.Cache // nil disables block caching
+
+	mu     sync.Mutex
+	tables map[base.FileNum]*cachedTable
+}
+
+type cachedTable struct {
+	reader  *sstable.Reader
+	refs    int
+	evicted bool
+}
+
+func newTableCache(fs vfs.FS, dirname string, blockCacheBytes int64) *tableCache {
+	c := &tableCache{fs: fs, dirname: dirname, tables: make(map[base.FileNum]*cachedTable)}
+	if blockCacheBytes > 0 {
+		c.blocks = cache.New(blockCacheBytes)
+	}
+	return c
+}
+
+// get returns a reader for the table and a release function that must be
+// called exactly once when the caller is done.
+func (c *tableCache) get(fn base.FileNum) (*sstable.Reader, func(), error) {
+	c.mu.Lock()
+	ct, ok := c.tables[fn]
+	if ok {
+		ct.refs++
+		c.mu.Unlock()
+		return ct.reader, func() { c.release(fn, ct) }, nil
+	}
+	c.mu.Unlock()
+
+	// Open outside the lock; racing opens are deduplicated below.
+	f, err := c.fs.Open(manifest.MakeFilename(c.dirname, manifest.FileTypeTable, fn))
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := sstable.Open(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: opening table %s: %w", fn, err)
+	}
+	if c.blocks != nil {
+		r.SetCache(c.blocks, uint64(fn))
+	}
+
+	c.mu.Lock()
+	if existing, ok := c.tables[fn]; ok {
+		existing.refs++
+		c.mu.Unlock()
+		r.Close()
+		return existing.reader, func() { c.release(fn, existing) }, nil
+	}
+	ct = &cachedTable{reader: r, refs: 1}
+	c.tables[fn] = ct
+	c.mu.Unlock()
+	return r, func() { c.release(fn, ct) }, nil
+}
+
+func (c *tableCache) release(fn base.FileNum, ct *cachedTable) {
+	c.mu.Lock()
+	ct.refs--
+	closeNow := ct.evicted && ct.refs == 0
+	if closeNow {
+		delete(c.tables, fn)
+	}
+	c.mu.Unlock()
+	if closeNow {
+		ct.reader.Close()
+	}
+}
+
+// evict marks a deleted file's reader for closure once unreferenced and
+// drops its cached blocks.
+func (c *tableCache) evict(fn base.FileNum) {
+	if c.blocks != nil {
+		c.blocks.EvictFile(uint64(fn))
+	}
+	c.mu.Lock()
+	ct, ok := c.tables[fn]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	ct.evicted = true
+	closeNow := ct.refs == 0
+	if closeNow {
+		delete(c.tables, fn)
+	}
+	c.mu.Unlock()
+	if closeNow {
+		ct.reader.Close()
+	}
+}
+
+// close releases every cached reader regardless of refs (DB shutdown).
+func (c *tableCache) close() {
+	c.mu.Lock()
+	tables := c.tables
+	c.tables = make(map[base.FileNum]*cachedTable)
+	c.mu.Unlock()
+	for _, ct := range tables {
+		ct.reader.Close()
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+	"repro/internal/vfs"
+)
+
+// Checkpoint writes a self-contained, openable copy of the store to
+// destDir (on the same FS): every live table file plus a fresh manifest.
+// The checkpoint captures the state as of the implicit flush it performs;
+// writes racing with the checkpoint may or may not be included.
+func (d *DB) Checkpoint(destDir string) error {
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	// Freeze compactions (and therefore file deletions) while copying.
+	d.maintMu.Lock()
+	defer d.maintMu.Unlock()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	v := d.vs.Current()
+	lastSeq := d.vs.LastSeqNum
+	nextFile := d.vs.NextFileNum
+	nextRun := d.vs.NextRunID
+	d.mu.Unlock()
+
+	fs := d.opts.FS
+	if err := fs.MkdirAll(destDir); err != nil {
+		return err
+	}
+
+	// Copy live tables and record their placement.
+	edit := &manifest.VersionEdit{}
+	type placement struct {
+		level int
+		runID uint64
+		meta  *manifest.FileMetadata
+	}
+	var files []placement
+	for l := range v.Levels {
+		for _, r := range v.Levels[l] {
+			for _, f := range r.Files {
+				files = append(files, placement{l, r.ID, f})
+			}
+		}
+	}
+	for _, p := range files {
+		src := manifest.MakeFilename(d.dirname, manifest.FileTypeTable, p.meta.FileNum)
+		dst := manifest.MakeFilename(destDir, manifest.FileTypeTable, p.meta.FileNum)
+		if err := copyVFSFile(fs, src, dst); err != nil {
+			return fmt.Errorf("acheron: checkpoint copy %s: %w", src, err)
+		}
+		edit.Added = append(edit.Added, manifest.NewFileEntry{Level: p.level, RunID: p.runID, Meta: p.meta})
+	}
+
+	// A fresh manifest in the destination makes it independently
+	// openable. LogAndApply stamps the version set's own counters into
+	// the edit, so seed them from the source first.
+	vs, err := manifest.Create(fs, destDir)
+	if err != nil {
+		return err
+	}
+	vs.LastSeqNum = lastSeq
+	if nextFile > vs.NextFileNum {
+		vs.NextFileNum = nextFile
+	}
+	if nextRun > vs.NextRunID {
+		vs.NextRunID = nextRun
+	}
+	if err := vs.LogAndApply(edit); err != nil {
+		vs.Close()
+		return err
+	}
+	return vs.Close()
+}
+
+// copyVFSFile duplicates a file through the VFS in bounded chunks.
+func copyVFSFile(fs vfs.FS, src, dst string) error {
+	in, err := fs.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	size, err := in.Size()
+	if err != nil {
+		return err
+	}
+	out, err := fs.Create(dst)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<20)
+	var off int64
+	for off < size {
+		n := int64(len(buf))
+		if size-off < n {
+			n = size - off
+		}
+		if _, err := in.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			out.Close()
+			return err
+		}
+		if _, err := out.Write(buf[:n]); err != nil {
+			out.Close()
+			return err
+		}
+		off += n
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// VerifyChecksums reads every block of every live table, failing on the
+// first checksum mismatch or structural inconsistency — a full-store
+// scrub.
+func (d *DB) VerifyChecksums() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	v := d.vs.Current()
+	d.mu.Unlock()
+
+	var files []*manifest.FileMetadata
+	v.AllFiles(func(_ int, f *manifest.FileMetadata) { files = append(files, f) })
+	for _, f := range files {
+		r, release, err := d.cache.get(f.FileNum)
+		if err != nil {
+			return fmt.Errorf("acheron: scrub open %s: %w", f.FileNum, err)
+		}
+		it := r.NewIter()
+		var n uint64
+		var last base.InternalKey
+		for ok := it.First(); ok; ok = it.Next() {
+			if n > 0 && it.Key().Compare(last) <= 0 {
+				release()
+				return fmt.Errorf("acheron: scrub %s: keys out of order at entry %d", f.FileNum, n)
+			}
+			last = it.Key().Clone()
+			n++
+		}
+		err = it.Error()
+		release()
+		if err != nil {
+			return fmt.Errorf("acheron: scrub %s: %w", f.FileNum, err)
+		}
+		if n != f.NumEntries {
+			return fmt.Errorf("acheron: scrub %s: %d entries on disk, metadata says %d", f.FileNum, n, f.NumEntries)
+		}
+	}
+	return nil
+}

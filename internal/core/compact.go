@@ -1,0 +1,578 @@
+package core
+
+import (
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/manifest"
+	"repro/internal/sstable"
+)
+
+// MaintenanceStep performs at most one unit of background work — a flush,
+// an eager range-delete pass, or a compaction — returning whether anything
+// was done. Deterministic benchmarks drive this directly with auto
+// maintenance disabled.
+func (d *DB) MaintenanceStep() (bool, error) {
+	d.maintMu.Lock()
+	defer d.maintMu.Unlock()
+	if did, err := d.flushOne(); did || err != nil {
+		return did, err
+	}
+	if d.opts.EagerRangeDeletes {
+		if did, err := d.eagerRangeDeleteStep(); did || err != nil {
+			return did, err
+		}
+	}
+	return d.compactOnce()
+}
+
+// WaitIdle runs maintenance until no work remains.
+func (d *DB) WaitIdle() error {
+	for {
+		did, err := d.MaintenanceStep()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+}
+
+// CompactAll flushes everything and pushes every populated level to the
+// next one, leaving the tree fully compacted. Intended for tests and
+// benchmarks that want a settled tree.
+func (d *DB) CompactAll() error {
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	if err := d.WaitIdle(); err != nil {
+		return err
+	}
+	for l := 0; l < manifest.NumLevels-1; l++ {
+		d.maintMu.Lock()
+		v := d.vs.Current()
+		if len(v.Levels[l]) == 0 {
+			d.maintMu.Unlock()
+			continue
+		}
+		cand := &compaction.Candidate{
+			Trigger:     compaction.TriggerSaturation,
+			StartLevel:  l,
+			OutputLevel: l + 1,
+			Inputs:      append([]*manifest.Run(nil), v.Levels[l]...),
+		}
+		if d.opts.Compaction.Shape == compaction.Leveling {
+			d.fillOutputOverlap(v, cand)
+		}
+		err := d.runCandidate(v, cand)
+		d.maintMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillOutputOverlap mirrors the picker's helper for manually constructed
+// candidates.
+func (d *DB) fillOutputOverlap(v *manifest.Version, c *compaction.Candidate) {
+	var lo, hi []byte
+	for _, r := range c.Inputs {
+		for _, f := range r.Files {
+			if lo == nil || base.Compare(f.Smallest.UserKey, lo) < 0 {
+				lo = f.Smallest.UserKey
+			}
+			if hi == nil || base.Compare(f.Largest.UserKey, hi) > 0 {
+				hi = f.Largest.UserKey
+			}
+		}
+	}
+	if lo == nil {
+		return
+	}
+	if outRuns := v.Levels[c.OutputLevel]; len(outRuns) > 0 {
+		c.OutputRunID = outRuns[0].ID
+		c.OutputRunFiles = outRuns[0].Find(lo, hi)
+	}
+}
+
+// compactOnce picks and executes one compaction. Caller holds maintMu.
+func (d *DB) compactOnce() (bool, error) {
+	d.mu.Lock()
+	v := d.vs.Current()
+	now := d.opts.Clock.Now()
+	haveSnaps := len(d.snapshots) > 0
+	d.mu.Unlock()
+
+	cand := compaction.Pick(v, d.opts.Compaction, now, haveSnaps)
+	if cand == nil {
+		return false, nil
+	}
+	if err := d.runCandidate(v, cand); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// inputSpan returns the user-key bounds across the candidate's inputs and
+// output-run files.
+func inputSpan(c *compaction.Candidate) (lo, hi []byte) {
+	span := func(f *manifest.FileMetadata) {
+		if lo == nil || base.Compare(f.Smallest.UserKey, lo) < 0 {
+			lo = f.Smallest.UserKey
+		}
+		if hi == nil || base.Compare(f.Largest.UserKey, hi) > 0 {
+			hi = f.Largest.UserKey
+		}
+	}
+	for _, r := range c.Inputs {
+		for _, f := range r.Files {
+			span(f)
+		}
+	}
+	for _, f := range c.OutputRunFiles {
+		span(f)
+	}
+	return lo, hi
+}
+
+// isBottommost reports whether no data below (or beside, for older runs of
+// the output level) the compaction could hold older versions of its keys,
+// which licenses tombstone disposal.
+func (d *DB) isBottommost(v *manifest.Version, c *compaction.Candidate) bool {
+	lo, hi := inputSpan(c)
+	if lo == nil {
+		return true
+	}
+	inCompaction := make(map[base.FileNum]bool)
+	for _, r := range c.Inputs {
+		for _, f := range r.Files {
+			inCompaction[f.FileNum] = true
+		}
+	}
+	for _, f := range c.OutputRunFiles {
+		inCompaction[f.FileNum] = true
+	}
+	// Files at the output level that are not part of the compaction may
+	// hold older versions (other tiered runs, or key ranges the leveling
+	// overlap computation missed for widened tombstone-only files).
+	for l := c.OutputLevel; l < manifest.NumLevels; l++ {
+		for _, r := range v.Levels[l] {
+			for _, f := range r.Find(lo, hi) {
+				if !inCompaction[f.FileNum] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// runCandidate executes a compaction candidate end to end: trivial-move
+// fast path, merge execution, manifest edit, file GC, statistics. Caller
+// holds maintMu.
+func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
+	// Trivial move: a single input file with nothing to merge against
+	// moves by metadata edit alone. Files carrying tombstones are
+	// excluded so disposal opportunities (and TTL accounting) are never
+	// skipped.
+	files := c.InputFiles()
+	if len(files) == 0 {
+		return nil
+	}
+	if d.opts.Compaction.Shape == compaction.Leveling &&
+		len(files) == 1 && len(c.OutputRunFiles) == 0 && !files[0].HasTombstones {
+		return d.trivialMove(v, c, files[0])
+	}
+
+	bottom := d.isBottommost(v, c)
+	d.mu.Lock()
+	snaps := append([]base.SeqNum(nil), d.snapshots...)
+	now := d.opts.Clock.Now()
+	d.mu.Unlock()
+
+	// A range tombstone is retired only when no file outside this
+	// compaction could still hold an entry old enough for it to cover.
+	inCompaction := make(map[base.FileNum]bool)
+	for _, r := range c.Inputs {
+		for _, f := range r.Files {
+			inCompaction[f.FileNum] = true
+		}
+	}
+	for _, f := range c.OutputRunFiles {
+		inCompaction[f.FileNum] = true
+	}
+	rtDisposable := func(rt base.RangeTombstone) bool {
+		disposable := true
+		v.AllFiles(func(_ int, f *manifest.FileMetadata) {
+			if !disposable || inCompaction[f.FileNum] || f.NumEntries == 0 {
+				return
+			}
+			if f.SmallestSeqNum >= rt.Seq {
+				return // everything in f postdates the tombstone
+			}
+			if f.DeleteKeyMin < rt.Hi && f.DeleteKeyMax >= rt.Lo {
+				disposable = false
+			}
+		})
+		return disposable
+	}
+
+	var releases []func()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	env := compaction.Env{
+		FS:              d.opts.FS,
+		Dirname:         d.dirname,
+		WriterOpts:      d.writerOptions(),
+		TargetFileBytes: d.opts.Compaction.TargetFileBytes,
+		OpenReader: func(fn base.FileNum) (*sstable.Reader, error) {
+			r, release, err := d.cache.get(fn)
+			if err != nil {
+				return nil, err
+			}
+			releases = append(releases, release)
+			return r, nil
+		},
+		AllocFileNum: func() base.FileNum {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return d.vs.AllocFileNum()
+		},
+		Now:                      now,
+		Snapshots:                snaps,
+		Bottommost:               bottom,
+		RangeTombstoneDisposable: rtDisposable,
+		OnTombstoneDropped: func(_ []byte, _ base.SeqNum, createdAt base.Timestamp) {
+			lat := int64(d.opts.Clock.Now() - createdAt)
+			if lat < 0 {
+				lat = 0
+			}
+			d.stats.PersistenceLatency.Record(lat)
+			d.stats.TombstonesPersisted.Add(1)
+			d.stats.LiveTombstones.Add(-1)
+		},
+		OnTombstoneSuperseded: func(_ []byte, _ base.SeqNum) {
+			d.stats.TombstonesSuperseded.Add(1)
+			d.stats.LiveTombstones.Add(-1)
+		},
+		OnRangeTombstoneDropped: func(rt base.RangeTombstone) {
+			lat := int64(d.opts.Clock.Now() - rt.CreatedAt)
+			if lat < 0 {
+				lat = 0
+			}
+			d.stats.PersistenceLatency.Record(lat)
+			d.stats.RangeTombstonesPersisted.Add(1)
+		},
+	}
+
+	res, err := compaction.Run(c, env)
+	if err != nil {
+		return err
+	}
+
+	// Build and apply the edit.
+	edit := &manifest.VersionEdit{}
+	for i, r := range c.Inputs {
+		level := c.InputLevel(i)
+		for _, f := range r.Files {
+			edit.Deleted = append(edit.Deleted, manifest.DeletedFileEntry{Level: level, FileNum: f.FileNum})
+		}
+	}
+	for _, f := range c.OutputRunFiles {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFileEntry{Level: c.OutputLevel, FileNum: f.FileNum})
+	}
+	d.mu.Lock()
+	runID := c.OutputRunID
+	if runID == 0 || d.opts.Compaction.Shape == compaction.Tiering {
+		runID = d.vs.AllocRunID()
+	}
+	for _, of := range res.Outputs {
+		edit.Added = append(edit.Added, manifest.NewFileEntry{
+			Level: c.OutputLevel, RunID: runID, Meta: fileMetaFrom(of.FileNum, of.Meta),
+		})
+	}
+	err = d.vs.LogAndApply(edit)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// Cache new range tombstones, then GC replaced files.
+	for _, of := range res.Outputs {
+		if of.Meta.Props.NumRangeDeletes > 0 {
+			if err := d.loadFileRTs(of.FileNum); err != nil {
+				return err
+			}
+		}
+	}
+	dead := make([]base.FileNum, 0, len(edit.Deleted))
+	for _, del := range edit.Deleted {
+		delete(d.eagerDone, del.FileNum)
+		dead = append(dead, del.FileNum)
+	}
+	d.deleteTables(dead)
+
+	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
+	d.stats.CompactBytesRead.Add(int64(res.BytesRead))
+	d.stats.CompactBytesWritten.Add(int64(res.BytesWritten))
+	d.stats.ShadowedDropped.Add(int64(res.ShadowedDropped))
+	d.stats.PagesDropped.Add(int64(res.PagesDropped))
+	d.stats.RangeCoveredDropped.Add(int64(res.RangeCoveredDropped))
+	return nil
+}
+
+// trivialMove relocates a file by manifest edit alone.
+func (d *DB) trivialMove(v *manifest.Version, c *compaction.Candidate, f *manifest.FileMetadata) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	runID := c.OutputRunID
+	if runID == 0 {
+		if runs := v.Levels[c.OutputLevel]; len(runs) > 0 && d.opts.Compaction.Shape == compaction.Leveling {
+			runID = runs[0].ID
+		} else {
+			runID = d.vs.AllocRunID()
+		}
+	}
+	edit := &manifest.VersionEdit{
+		Deleted: []manifest.DeletedFileEntry{{Level: c.StartLevel, FileNum: f.FileNum}},
+		Added:   []manifest.NewFileEntry{{Level: c.OutputLevel, RunID: runID, Meta: f}},
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+	d.stats.TrivialMoves.Add(1)
+	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Eager secondary range deletes (the KiWi fast path)
+
+// eagerRangeDeleteStep scans the tree for files a live range tombstone can
+// erase: fully covered files are dropped by a metadata-only edit; partially
+// covered files are rewritten in place without their covered pages. One
+// step handles one file; it returns true if it did anything. Caller holds
+// maintMu.
+func (d *DB) eagerRangeDeleteStep() (bool, error) {
+	d.mu.Lock()
+	v := d.vs.Current()
+	snaps := append([]base.SeqNum(nil), d.snapshots...)
+	// Collect all live tombstones, including unflushed ones. WAL
+	// durability for them is ensured at issue time.
+	rs := readState{mem: d.mem, imms: append([]immEntry(nil), d.imm...), version: v, seq: d.vs.LastSeqNum}
+	d.mu.Unlock()
+	rts := d.collectRangeTombstones(rs)
+	if len(rts) == 0 {
+		return false, nil
+	}
+
+	for l := 0; l < manifest.NumLevels; l++ {
+		for _, run := range v.Levels[l] {
+			for _, f := range run.Files {
+				action, applicable := d.classifyEager(v, l, run, f, rts, snaps)
+				switch action {
+				case eagerDrop:
+					delete(d.eagerDone, f.FileNum)
+					return true, d.eagerDropFile(l, f)
+				case eagerRewrite:
+					return true, d.eagerRewriteFile(l, run.ID, f, rts, snaps, applicable)
+				}
+			}
+		}
+	}
+	return false, nil
+}
+
+type eagerAction int
+
+const (
+	eagerNone eagerAction = iota
+	eagerDrop
+	eagerRewrite
+)
+
+// classifyEager decides what a range tombstone allows for file f at level
+// l. applicable is the highest tombstone sequence considered; it is
+// memoized after the action so span-only intersections (where no entry is
+// actually covered) are not re-processed forever.
+func (d *DB) classifyEager(v *manifest.Version, l int, run *manifest.Run, f *manifest.FileMetadata, rts []base.RangeTombstone, snaps []base.SeqNum) (eagerAction, base.SeqNum) {
+	if f.NumEntries == 0 || f.NumDeletes > 0 || f.NumRangeDeletes > 0 {
+		// Files carrying tombstones are left to regular compaction:
+		// erasing them could resurrect deleted keys.
+		return eagerNone, 0
+	}
+	if f.DeleteKeyMin > f.DeleteKeyMax {
+		return eagerNone, 0
+	}
+	action := eagerNone
+	var applicable base.SeqNum
+	for _, rt := range rts {
+		if f.LargestSeqNum >= rt.Seq {
+			continue
+		}
+		if !snapshotFree(snaps, rt.Seq) {
+			continue
+		}
+		if rt.Seq > applicable {
+			applicable = rt.Seq
+		}
+		if rt.CoversRange(f.DeleteKeyMin, f.DeleteKeyMax) {
+			action = eagerDrop
+		} else if action == eagerNone && !f.HasDuplicates && f.DeleteKeyMin < rt.Hi && f.DeleteKeyMax >= rt.Lo {
+			// Partial rewrites of multi-version files could expose an
+			// older version of a covered key; leave those to regular
+			// compaction.
+			action = eagerRewrite
+		}
+	}
+	if action == eagerNone {
+		return eagerNone, 0
+	}
+	if done, ok := d.eagerDone[f.FileNum]; ok && applicable <= done {
+		return eagerNone, 0 // nothing new since the last pass over f
+	}
+	// Erasing newest versions is only safe when nothing older sits below.
+	if d.olderDataBelow(v, l, run, f) {
+		return eagerNone, 0
+	}
+	return action, applicable
+}
+
+// snapshotFree reports that no snapshot predates seq (snaps is ascending).
+func snapshotFree(snaps []base.SeqNum, seq base.SeqNum) bool {
+	return len(snaps) == 0 || snaps[0] >= seq
+}
+
+// olderDataBelow reports whether any file below level l — or an older run
+// of the same level — overlaps f's key range.
+func (d *DB) olderDataBelow(v *manifest.Version, l int, run *manifest.Run, f *manifest.FileMetadata) bool {
+	lo, hi := f.Smallest.UserKey, f.Largest.UserKey
+	for _, r := range v.Levels[l] {
+		if r.ID < run.ID && len(r.Find(lo, hi)) > 0 {
+			return true
+		}
+	}
+	for dl := l + 1; dl < manifest.NumLevels; dl++ {
+		for _, r := range v.Levels[dl] {
+			if len(r.Find(lo, hi)) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// eagerDropFile removes a fully covered file with a metadata-only edit.
+func (d *DB) eagerDropFile(l int, f *manifest.FileMetadata) error {
+	d.mu.Lock()
+	edit := &manifest.VersionEdit{Deleted: []manifest.DeletedFileEntry{{Level: l, FileNum: f.FileNum}}}
+	err := d.vs.LogAndApply(edit)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	d.deleteTables([]base.FileNum{f.FileNum})
+	d.stats.RangeCoveredDropped.Add(int64(f.NumEntries))
+	return nil
+}
+
+// eagerRewriteFile rewrites a partially covered file without its covered
+// pages and entries, keeping it at the same level and run. applicable is
+// the tombstone watermark memoized so a no-op rewrite is never repeated.
+func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts []base.RangeTombstone, snaps []base.SeqNum, applicable base.SeqNum) error {
+	r, release, err := d.cache.get(f.FileNum)
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	droppablePage := func(p sstable.PageInfo) bool {
+		for _, rt := range rts {
+			if f.LargestSeqNum < rt.Seq && snapshotFree(snaps, rt.Seq) && p.Droppable(rt) {
+				return false // drop the page
+			}
+		}
+		return true
+	}
+	coveredEntry := func(value []byte, seq base.SeqNum) bool {
+		if d.opts.DeleteKeyFunc == nil {
+			return false
+		}
+		dk := d.opts.DeleteKeyFunc(value)
+		for _, rt := range rts {
+			if rt.Covers(dk, seq) && snapshotFree(snaps, rt.Seq) {
+				return true
+			}
+		}
+		return false
+	}
+
+	d.mu.Lock()
+	newFn := d.vs.AllocFileNum()
+	d.mu.Unlock()
+	out, err := d.opts.FS.Create(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+	if err != nil {
+		return err
+	}
+	w := sstable.NewWriter(out, d.writerOptions())
+	it := r.NewCompactionIter(droppablePage)
+	var kept, covered uint64
+	for valid := it.First(); valid; valid = it.Next() {
+		ik := it.Key()
+		if ik.Kind() == base.KindSet && coveredEntry(it.Value(), ik.SeqNum()) {
+			covered++
+			continue
+		}
+		if err := w.Add(ik, it.Value()); err != nil {
+			return err
+		}
+		kept++
+	}
+	if err := it.Error(); err != nil {
+		return err
+	}
+	w.NoteDroppedPages(it.Dropped())
+	bytesRead := it.BytesLoaded()
+	meta, err := w.Finish()
+	if err != nil {
+		return err
+	}
+
+	if covered == 0 && it.Dropped() == 0 {
+		// The file's delete-key span intersects a tombstone but no
+		// entry is actually covered: discard the identical rewrite and
+		// remember the watermark so this file is not scanned again.
+		_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+		d.eagerDone[f.FileNum] = applicable
+		return nil
+	}
+
+	edit := &manifest.VersionEdit{
+		Deleted: []manifest.DeletedFileEntry{{Level: l, FileNum: f.FileNum}},
+	}
+	if meta.HasEntries() {
+		edit.Added = []manifest.NewFileEntry{{Level: l, RunID: runID, Meta: fileMetaFrom(newFn, meta)}}
+	} else {
+		_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+	}
+	d.mu.Lock()
+	err = d.vs.LogAndApply(edit)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	d.deleteTables([]base.FileNum{f.FileNum})
+	delete(d.eagerDone, f.FileNum)
+	if meta.HasEntries() {
+		d.eagerDone[newFn] = applicable
+	}
+	d.stats.PagesDropped.Add(int64(it.Dropped()))
+	d.stats.RangeCoveredDropped.Add(int64(covered))
+	d.stats.CompactBytesRead.Add(int64(bytesRead))
+	d.stats.CompactBytesWritten.Add(int64(meta.Size))
+	return nil
+}

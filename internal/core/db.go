@@ -1,0 +1,802 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+	"repro/internal/memtable"
+	"repro/internal/sstable"
+	"repro/internal/wal"
+)
+
+// ErrNotFound is returned by Get when the key does not exist (or has been
+// deleted).
+var ErrNotFound = errors.New("acheron: not found")
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("acheron: db closed")
+
+// maxUserKeySentinel is an upper bound on user keys, used to widen the
+// bounds of tables that carry only range tombstones (which logically cover
+// the whole key space). User keys must sort strictly below it.
+var maxUserKeySentinel = func() []byte {
+	b := make([]byte, 48)
+	for i := range b {
+		b[i] = 0xff
+	}
+	return b
+}()
+
+type immEntry struct {
+	mem    *memtable.MemTable
+	logNum base.FileNum
+}
+
+// DB is the Acheron storage engine instance.
+type DB struct {
+	opts    Options
+	dirname string
+	stats   Stats
+	cache   *tableCache
+
+	mu        sync.Mutex // guards everything below plus vs counters
+	vs        *manifest.VersionSet
+	mem       *memtable.MemTable
+	memLog    base.FileNum
+	walW      *wal.Writer
+	imm       []immEntry    // oldest first
+	snapshots []base.SeqNum // ascending, duplicates allowed
+	closed    bool
+	// activeReads counts outstanding read states (gets, iterators).
+	// While any exist, physical deletion of replaced table files is
+	// deferred to pendingDeletes: an old read state's version may still
+	// lazily open them.
+	activeReads    int
+	pendingDeletes []base.FileNum
+
+	// maintMu serializes all flush/compaction/range-delete maintenance.
+	maintMu sync.Mutex
+	// eagerDone records, per file, the highest range-tombstone sequence
+	// number already applied eagerly, so a file whose delete-key span
+	// merely intersects a tombstone (with no entry actually covered) is
+	// not rewritten again and again. Guarded by maintMu.
+	eagerDone map[base.FileNum]base.SeqNum
+
+	// rtMu guards fileRTs, the cache of each live file's range
+	// tombstones, aggregated into the read path.
+	rtMu    sync.RWMutex
+	fileRTs map[base.FileNum][]base.RangeTombstone
+
+	workCh  chan struct{}
+	closeCh chan struct{}
+	closing atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// Open opens (creating if necessary) a store in dirname.
+func Open(dirname string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.PagesPerTile > 1 && opts.DeleteKeyFunc == nil {
+		return nil, errors.New("acheron: PagesPerTile > 1 requires DeleteKeyFunc")
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(dirname); err != nil {
+		return nil, err
+	}
+
+	var (
+		vs  *manifest.VersionSet
+		err error
+	)
+	if fs.Exists(manifest.MakeFilename(dirname, manifest.FileTypeCurrent, 0)) {
+		vs, err = manifest.Load(fs, dirname)
+	} else {
+		vs, err = manifest.Create(fs, dirname)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	d := &DB{
+		opts:      opts,
+		dirname:   dirname,
+		cache:     newTableCache(fs, dirname, opts.BlockCacheBytes),
+		vs:        vs,
+		mem:       memtable.New(),
+		fileRTs:   make(map[base.FileNum][]base.RangeTombstone),
+		eagerDone: make(map[base.FileNum]base.SeqNum),
+		workCh:    make(chan struct{}, 1),
+		closeCh:   make(chan struct{}),
+	}
+
+	if err := d.recoverAndClean(); err != nil {
+		vs.Close()
+		return nil, err
+	}
+
+	// Populate the range-tombstone cache from recovered files.
+	v := vs.Current()
+	var rtErr error
+	v.AllFiles(func(_ int, f *manifest.FileMetadata) {
+		if rtErr == nil && f.NumRangeDeletes > 0 {
+			rtErr = d.loadFileRTs(f.FileNum)
+		}
+	})
+	if rtErr != nil {
+		vs.Close()
+		return nil, rtErr
+	}
+
+	if !opts.DisableAutoMaintenance {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d, nil
+}
+
+// recoverAndClean replays WAL segments, flushes recovered data, removes
+// obsolete files, and opens a fresh WAL.
+func (d *DB) recoverAndClean() error {
+	fs := d.opts.FS
+	names, err := fs.List(d.dirname)
+	if err != nil {
+		return err
+	}
+	live := make(map[base.FileNum]bool)
+	d.vs.Current().AllFiles(func(_ int, f *manifest.FileMetadata) { live[f.FileNum] = true })
+
+	var logNums []base.FileNum
+	for _, name := range names {
+		t, fn, ok := manifest.ParseFilename(name)
+		if !ok {
+			continue
+		}
+		switch t {
+		case manifest.FileTypeTable:
+			if !live[fn] {
+				_ = fs.Remove(manifest.MakeFilename(d.dirname, t, fn))
+			}
+		case manifest.FileTypeLog:
+			if fn >= d.vs.LogNum {
+				logNums = append(logNums, fn)
+			} else {
+				_ = fs.Remove(manifest.MakeFilename(d.dirname, t, fn))
+			}
+		}
+	}
+	sort.Slice(logNums, func(i, j int) bool { return logNums[i] < logNums[j] })
+
+	// Replay surviving logs into a recovery memtable.
+	rec := memtable.New()
+	maxSeq := d.vs.LastSeqNum
+	for _, fn := range logNums {
+		f, err := fs.Open(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, fn))
+		if err != nil {
+			return err
+		}
+		rdr, err := wal.NewReader(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		for {
+			payload, err := rdr.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("acheron: replaying %s: %w", fn, err)
+			}
+			seq, err := applyWALRecord(rec, payload)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+		f.Close()
+	}
+	d.vs.LastSeqNum = maxSeq
+
+	// Open a fresh WAL for new writes.
+	if !d.opts.DisableWAL {
+		newLog := d.vs.AllocFileNum()
+		f, err := fs.Create(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, newLog))
+		if err != nil {
+			return err
+		}
+		d.walW = wal.NewWriter(f)
+		d.memLog = newLog
+		d.vs.LogNum = newLog
+	}
+
+	// Flush recovered data immediately so the old logs can go, then
+	// persist the new LogNum either way.
+	if !rec.Empty() {
+		fn, meta, err := d.writeMemTable(rec)
+		if err != nil {
+			return err
+		}
+		edit := &manifest.VersionEdit{
+			Added: []manifest.NewFileEntry{{Level: 0, RunID: d.vs.AllocRunID(), Meta: fileMetaFrom(fn, meta)}},
+		}
+		if err := d.vs.LogAndApply(edit); err != nil {
+			return err
+		}
+		d.stats.Flushes.Add(1)
+		d.stats.BytesFlushed.Add(int64(meta.Size))
+	} else if err := d.vs.LogAndApply(&manifest.VersionEdit{}); err != nil {
+		return err
+	}
+	for _, fn := range logNums {
+		_ = fs.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, fn))
+	}
+	return nil
+}
+
+// Close stops background work and releases resources. Buffered writes that
+// were not WAL-synced are flushed to a table first so nothing acknowledged
+// is lost.
+func (d *DB) Close() error {
+	if d.closing.Swap(true) {
+		return ErrClosed
+	}
+	close(d.closeCh)
+	d.wg.Wait()
+
+	// Flush outstanding memtables so DisableWAL stores survive reopen.
+	if err := d.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	d.closed = true
+	var err error
+	if d.walW != nil {
+		err = d.walW.Close()
+		d.walW = nil
+	}
+	if cerr := d.vs.Close(); err == nil {
+		err = cerr
+	}
+	d.mu.Unlock()
+	d.cache.close()
+	return err
+}
+
+// Stats returns the engine's live statistics.
+func (d *DB) Stats() *Stats { return &d.stats }
+
+// Clock returns the engine's time source.
+func (d *DB) Clock() base.Clock { return d.opts.Clock }
+
+// ---------------------------------------------------------------------------
+// Write path
+
+// walRecord kinds reuse base.Kind values.
+func encodeWALRecord(kind base.Kind, seq base.SeqNum, key, value []byte) []byte {
+	b := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value)+8)
+	b = append(b, byte(kind))
+	b = binary.AppendUvarint(b, uint64(seq))
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, uint64(len(value)))
+	return append(b, value...)
+}
+
+func encodeWALRangeDelete(rt base.RangeTombstone) []byte {
+	b := make([]byte, 0, 33)
+	b = append(b, byte(base.KindRangeDelete))
+	return base.EncodeRangeTombstone(b, rt)
+}
+
+// applyWALRecord replays one record into m, returning its (highest)
+// sequence number.
+func applyWALRecord(m *memtable.MemTable, payload []byte) (base.SeqNum, error) {
+	if len(payload) < 1 {
+		return 0, errors.New("acheron: empty WAL record")
+	}
+	if payload[0] == walBatchTag {
+		return applyWALBatch(m, payload)
+	}
+	kind := base.Kind(payload[0])
+	rest := payload[1:]
+	if kind == base.KindRangeDelete {
+		rt, _, ok := base.DecodeRangeTombstone(rest)
+		if !ok {
+			return 0, errors.New("acheron: corrupt range-delete WAL record")
+		}
+		m.AddRangeTombstone(rt)
+		return rt.Seq, nil
+	}
+	seqU, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, errors.New("acheron: corrupt WAL record (seq)")
+	}
+	rest = rest[n:]
+	kl, n := binary.Uvarint(rest)
+	if n <= 0 || int(kl) > len(rest)-n {
+		return 0, errors.New("acheron: corrupt WAL record (key)")
+	}
+	key := rest[n : n+int(kl)]
+	rest = rest[n+int(kl):]
+	vl, n := binary.Uvarint(rest)
+	if n <= 0 || int(vl) > len(rest)-n {
+		return 0, errors.New("acheron: corrupt WAL record (value)")
+	}
+	value := rest[n : n+int(vl)]
+	seq := base.SeqNum(seqU)
+	m.Add(base.MakeInternalKey(key, seq, kind), value)
+	return seq, nil
+}
+
+// Put inserts or updates a key.
+func (d *DB) Put(key, value []byte) error {
+	return d.apply(base.KindSet, key, value)
+}
+
+// Delete removes a key by inserting a point tombstone stamped with the
+// current clock reading; FADE guarantees it persists within the DPT.
+func (d *DB) Delete(key []byte) error {
+	value := base.EncodeTombstoneValue(d.opts.Clock.Now())
+	if err := d.apply(base.KindDelete, key, value); err != nil {
+		return err
+	}
+	d.stats.DeletesIssued.Add(1)
+	d.stats.LiveTombstones.Add(1)
+	return nil
+}
+
+func (d *DB) apply(kind base.Kind, key, value []byte) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	seq := d.vs.LastSeqNum + 1
+	if !d.opts.DisableWAL {
+		rec := encodeWALRecord(kind, seq, key, value)
+		if err := d.walW.AddRecord(rec); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.stats.WALBytes.Add(int64(len(rec)))
+		if d.opts.SyncWrites {
+			if err := d.walW.Sync(); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+		}
+	}
+	d.vs.LastSeqNum = seq
+	d.mem.Add(base.MakeInternalKey(key, seq, kind), value)
+	d.stats.BytesIngested.Add(int64(len(key) + len(value)))
+	rotated, err := d.maybeRotateLocked()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if rotated {
+		d.notifyWork()
+	}
+	return nil
+}
+
+// DeleteSecondaryRange logically deletes every record whose secondary
+// delete key lies in [lo, hi). Requires Options.DeleteKeyFunc. The physical
+// erase path depends on Options.EagerRangeDeletes.
+func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
+	if d.opts.DeleteKeyFunc == nil {
+		return errors.New("acheron: DeleteSecondaryRange requires DeleteKeyFunc")
+	}
+	if lo >= hi {
+		return fmt.Errorf("acheron: empty delete-key range [%d, %d)", lo, hi)
+	}
+	now := d.opts.Clock.Now()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	seq := d.vs.LastSeqNum + 1
+	rt := base.RangeTombstone{Lo: lo, Hi: hi, Seq: seq, CreatedAt: now}
+	if !d.opts.DisableWAL {
+		rec := encodeWALRangeDelete(rt)
+		if err := d.walW.AddRecord(rec); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.stats.WALBytes.Add(int64(len(rec)))
+		// Range deletes can trigger eager file drops whose manifest
+		// edits are synced; the tombstone itself must be just as
+		// durable, so always sync it.
+		if err := d.walW.Sync(); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+	}
+	d.vs.LastSeqNum = seq
+	d.mem.AddRangeTombstone(rt)
+	d.mu.Unlock()
+	d.stats.RangeDeletesIssued.Add(1)
+	d.notifyWork()
+	return nil
+}
+
+// maybeRotateLocked rotates the memtable when it exceeds its budget.
+// Called with d.mu held.
+func (d *DB) maybeRotateLocked() (bool, error) {
+	if d.mem.ApproximateBytes() < d.opts.MemTableBytes {
+		return false, nil
+	}
+	return true, d.rotateLocked()
+}
+
+// rotateLocked unconditionally seals the current memtable.
+func (d *DB) rotateLocked() error {
+	var (
+		newLog base.FileNum
+		newW   *wal.Writer
+	)
+	if !d.opts.DisableWAL {
+		newLog = d.vs.AllocFileNum()
+		f, err := d.opts.FS.Create(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, newLog))
+		if err != nil {
+			return err
+		}
+		newW = wal.NewWriter(f)
+		if err := d.walW.Close(); err != nil {
+			return err
+		}
+	}
+	d.imm = append(d.imm, immEntry{mem: d.mem, logNum: d.memLog})
+	d.mem = memtable.New()
+	d.memLog = newLog
+	d.walW = newW
+	return nil
+}
+
+func (d *DB) notifyWork() {
+	if d.opts.DisableAutoMaintenance {
+		return
+	}
+	select {
+	case d.workCh <- struct{}{}:
+	default:
+	}
+}
+
+// worker is the background maintenance goroutine.
+func (d *DB) worker() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(25 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.closeCh:
+			return
+		case <-d.workCh:
+		case <-ticker.C:
+		}
+		for {
+			select {
+			case <-d.closeCh:
+				return
+			default:
+			}
+			did, err := d.MaintenanceStep()
+			if err != nil {
+				d.opts.logf("acheron: maintenance error: %v", err)
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// Snapshot pins a point-in-time view of the store. Compactions retain data
+// visible to open snapshots; Release it promptly.
+type Snapshot struct {
+	db  *DB
+	seq base.SeqNum
+}
+
+// NewSnapshot captures the current state.
+func (d *DB) NewSnapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seq := d.vs.LastSeqNum
+	i := sort.Search(len(d.snapshots), func(i int) bool { return d.snapshots[i] >= seq })
+	d.snapshots = append(d.snapshots, 0)
+	copy(d.snapshots[i+1:], d.snapshots[i:])
+	d.snapshots[i] = seq
+	return &Snapshot{db: d, seq: seq}
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() base.SeqNum { return s.seq }
+
+// Release unpins the snapshot. Releasing twice is an error kept silent.
+func (s *Snapshot) Release() {
+	d := s.db
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := sort.Search(len(d.snapshots), func(i int) bool { return d.snapshots[i] >= s.seq })
+	if i < len(d.snapshots) && d.snapshots[i] == s.seq {
+		d.snapshots = append(d.snapshots[:i], d.snapshots[i+1:]...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+// readState is a consistent view captured under d.mu.
+type readState struct {
+	mem     *memtable.MemTable
+	imms    []immEntry // oldest first
+	version *manifest.Version
+	seq     base.SeqNum
+}
+
+func (d *DB) acquireReadState(snap *Snapshot) (readState, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return readState{}, ErrClosed
+	}
+	rs := readState{
+		mem:     d.mem,
+		imms:    append([]immEntry(nil), d.imm...),
+		version: d.vs.Current(),
+		seq:     d.vs.LastSeqNum,
+	}
+	if snap != nil {
+		rs.seq = snap.seq
+	}
+	d.activeReads++
+	return rs, nil
+}
+
+// releaseReadState unpins a read state; the last release flushes deferred
+// file deletions.
+func (d *DB) releaseReadState() {
+	d.mu.Lock()
+	d.activeReads--
+	var todo []base.FileNum
+	if d.activeReads == 0 && len(d.pendingDeletes) > 0 {
+		todo = d.pendingDeletes
+		d.pendingDeletes = nil
+	}
+	d.mu.Unlock()
+	for _, fn := range todo {
+		d.removeTable(fn)
+	}
+}
+
+// deleteTables physically removes replaced table files, deferring while
+// reads are outstanding.
+func (d *DB) deleteTables(fns []base.FileNum) {
+	d.mu.Lock()
+	if d.activeReads > 0 {
+		d.pendingDeletes = append(d.pendingDeletes, fns...)
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	for _, fn := range fns {
+		d.removeTable(fn)
+	}
+}
+
+// removeTable evicts a dead file's cached state and unlinks it.
+func (d *DB) removeTable(fn base.FileNum) {
+	d.cache.evict(fn)
+	d.rtMu.Lock()
+	delete(d.fileRTs, fn)
+	d.rtMu.Unlock()
+	_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, fn))
+}
+
+// collectRangeTombstones gathers every live range tombstone visible at
+// rs.seq: from the memtables and from every live file that carries any.
+func (d *DB) collectRangeTombstones(rs readState) []base.RangeTombstone {
+	var out []base.RangeTombstone
+	add := func(rts []base.RangeTombstone) {
+		for _, rt := range rts {
+			if rt.Seq <= rs.seq {
+				out = append(out, rt)
+			}
+		}
+	}
+	add(rs.mem.RangeTombstones())
+	for _, e := range rs.imms {
+		add(e.mem.RangeTombstones())
+	}
+	d.rtMu.RLock()
+	live := make(map[base.FileNum]bool)
+	rs.version.AllFiles(func(_ int, f *manifest.FileMetadata) {
+		if f.NumRangeDeletes > 0 {
+			live[f.FileNum] = true
+		}
+	})
+	for fn, rts := range d.fileRTs {
+		if live[fn] {
+			add(rts)
+		}
+	}
+	d.rtMu.RUnlock()
+	return out
+}
+
+// loadFileRTs caches a file's range tombstones.
+func (d *DB) loadFileRTs(fn base.FileNum) error {
+	r, release, err := d.cache.get(fn)
+	if err != nil {
+		return err
+	}
+	rts := append([]base.RangeTombstone(nil), r.RangeTombstones()...)
+	release()
+	d.rtMu.Lock()
+	d.fileRTs[fn] = rts
+	d.rtMu.Unlock()
+	return nil
+}
+
+// Get returns the value of key, or ErrNotFound.
+func (d *DB) Get(key []byte) ([]byte, error) { return d.GetAt(key, nil) }
+
+// GetAt returns the value of key as of the snapshot (nil = latest).
+func (d *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	rs, err := d.acquireReadState(snap)
+	if err != nil {
+		return nil, err
+	}
+	defer d.releaseReadState()
+	d.stats.Gets.Add(1)
+
+	kind, value, entrySeq, found, err := d.searchSources(rs, key)
+	if err != nil {
+		return nil, err
+	}
+	if !found || kind == base.KindDelete {
+		return nil, ErrNotFound
+	}
+	// Secondary range tombstones may invalidate the found version.
+	if d.opts.DeleteKeyFunc != nil {
+		dk := d.opts.DeleteKeyFunc(value)
+		for _, rt := range d.collectRangeTombstones(rs) {
+			if rt.Covers(dk, entrySeq) {
+				return nil, ErrNotFound
+			}
+		}
+	}
+	d.stats.GetHits.Add(1)
+	return append([]byte(nil), value...), nil
+}
+
+// searchSources probes memtables then levels, newest to oldest, returning
+// the first (newest) version of key at or below rs.seq.
+func (d *DB) searchSources(rs readState, key []byte) (base.Kind, []byte, base.SeqNum, bool, error) {
+	if k, v, s, ok := rs.mem.Get(key, rs.seq); ok {
+		return k, v, s, true, nil
+	}
+	for i := len(rs.imms) - 1; i >= 0; i-- {
+		if k, v, s, ok := rs.imms[i].mem.Get(key, rs.seq); ok {
+			return k, v, s, true, nil
+		}
+	}
+	for l := 0; l < manifest.NumLevels; l++ {
+		for _, run := range rs.version.Levels[l] { // newest run first
+			for _, f := range run.Find(key, key) {
+				k, v, s, ok, err := d.getFromTable(f, key, rs.seq)
+				if err != nil {
+					return 0, nil, 0, false, err
+				}
+				if ok {
+					return k, v, s, true, nil
+				}
+			}
+		}
+	}
+	return 0, nil, 0, false, nil
+}
+
+func (d *DB) getFromTable(f *manifest.FileMetadata, key []byte, seq base.SeqNum) (base.Kind, []byte, base.SeqNum, bool, error) {
+	r, release, err := d.cache.get(f.FileNum)
+	if err != nil {
+		return 0, nil, 0, false, err
+	}
+	defer release()
+	if !r.MayContain(key) {
+		d.stats.BloomSkips.Add(1)
+		return 0, nil, 0, false, nil
+	}
+	d.stats.TablesProbed.Add(1)
+	k, v, s, ok, err := r.Get(key, seq)
+	if !ok || err != nil {
+		return 0, nil, 0, false, err
+	}
+	// The value aliases reader-internal buffers; copy before release.
+	return k, append([]byte(nil), v...), s, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// LevelInfo summarizes one level for tooling.
+type LevelInfo struct {
+	Runs  int
+	Files int
+	Bytes uint64
+	// Tombstones counts point tombstones resident in the level.
+	Tombstones uint64
+}
+
+// Levels returns a per-level summary of the tree.
+func (d *DB) Levels() [manifest.NumLevels]LevelInfo {
+	v := d.vs.Current()
+	var out [manifest.NumLevels]LevelInfo
+	for l := range v.Levels {
+		for _, r := range v.Levels[l] {
+			out[l].Runs++
+			out[l].Files += len(r.Files)
+			out[l].Bytes += r.Size()
+			for _, f := range r.Files {
+				out[l].Tombstones += f.NumDeletes
+			}
+		}
+	}
+	return out
+}
+
+// DiskSize returns the total bytes of live sstables.
+func (d *DB) DiskSize() uint64 { return d.vs.Current().TotalSize() }
+
+// fileMetaFrom converts a finished table's writer metadata into manifest
+// metadata, widening bounds for range-tombstone-only tables.
+func fileMetaFrom(fn base.FileNum, meta sstable.WriterMeta) *manifest.FileMetadata {
+	f := &manifest.FileMetadata{
+		FileNum:         fn,
+		Size:            meta.Size,
+		Smallest:        meta.Smallest,
+		Largest:         meta.Largest,
+		NumEntries:      meta.Props.NumEntries,
+		NumDeletes:      meta.Props.NumDeletes,
+		NumRangeDeletes: meta.Props.NumRangeDeletes,
+		HasTombstones:   meta.Props.NumDeletes > 0 || meta.Props.NumRangeDeletes > 0,
+		OldestTombstone: meta.Props.OldestTombstone,
+		DeleteKeyMin:    meta.Props.DeleteKeyMin,
+		DeleteKeyMax:    meta.Props.DeleteKeyMax,
+		LargestSeqNum:   meta.Props.MaxSeqNum,
+		SmallestSeqNum:  meta.Props.MinSeqNum,
+		HasDuplicates:   meta.Props.HasDuplicates,
+	}
+	if meta.Props.NumEntries == 0 && meta.Props.NumRangeDeletes > 0 {
+		// A tombstone-only table covers the whole key space. The lower
+		// bound must be empty-but-non-nil: nil user keys read as "no
+		// bounds at all" to the compaction span computation.
+		f.Smallest = base.MakeInternalKey([]byte{}, base.MaxSeqNum, base.KindMax-1)
+		f.Largest = base.MakeInternalKey(maxUserKeySentinel, 0, base.KindSet)
+	}
+	return f
+}

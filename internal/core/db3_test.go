@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+	"repro/internal/vfs"
+)
+
+// TestOrphanTablesRemovedAtOpen: tables on disk that the manifest does not
+// reference (e.g. leftovers from a crash mid-compaction) are deleted during
+// recovery.
+func TestOrphanTablesRemovedAtOpen(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i))
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop an orphan .sst that no manifest references.
+	orphan := manifest.MakeFilename("db", manifest.FileTypeTable, 999999)
+	f, _ := fs.Create(orphan)
+	f.Write([]byte("junk"))
+	f.Close()
+
+	d, err = Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if fs.Exists(orphan) {
+		t.Fatal("orphan table survived recovery")
+	}
+	if _, err := d.Get([]byte("k0042")); err != nil {
+		t.Fatalf("data lost during cleanup: %v", err)
+	}
+}
+
+// TestTornWALTailRecovered: a torn final record is dropped; everything
+// before it survives.
+func TestTornWALTailRecovered(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash: do NOT close; locate the live WAL and tear its
+	// tail, then open a second instance over the same files.
+	names, _ := fs.List("db")
+	var logName string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".log") {
+			logName = "db/" + n // the only live log
+		}
+	}
+	if logName == "" {
+		t.Fatal("no WAL found")
+	}
+	lf, _ := fs.Open(logName)
+	size, _ := lf.Size()
+	buf := make([]byte, size-7) // cut into the last record
+	lf.ReadAt(buf, 0)
+	lf.Close()
+	w, _ := fs.Create(logName)
+	w.Write(buf)
+	w.Close()
+
+	d2, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("recovery with torn tail failed: %v", err)
+	}
+	defer d2.Close()
+	// All but (at most) the torn final record must be present.
+	missing := 0
+	for i := 0; i < 100; i++ {
+		if _, err := d2.Get([]byte(fmt.Sprintf("k%04d", i))); err == ErrNotFound {
+			missing++
+		}
+	}
+	if missing > 1 {
+		t.Fatalf("torn tail lost %d records, want <= 1", missing)
+	}
+}
+
+// TestFlushSyncErrorSurfaces: an injected sync failure during flush is
+// reported, not swallowed.
+func TestFlushSyncErrorSurfaces(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d := mustOpen(t, opts)
+	for i := 0; i < 100; i++ {
+		d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i))
+	}
+	boom := errors.New("disk on fire")
+	fs.InjectSyncError(boom)
+	err := d.Flush()
+	if err == nil {
+		// The injected error may have been consumed by a WAL rotation
+		// sync instead; either way SOME path must surface it — try
+		// again with a fresh injection on the table write.
+		fs.InjectSyncError(boom)
+		for i := 0; i < 100; i++ {
+			d.Put([]byte(fmt.Sprintf("j%04d", i)), testValue(uint64(i), i))
+		}
+		err = d.Flush()
+	}
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("sync failure not surfaced: %v", err)
+	}
+}
+
+// TestRecoveryPreservesSeqNums: sequence numbers continue monotonically
+// across restarts (no reuse that could resurrect shadowed versions).
+func TestRecoveryPreservesSeqNums(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put([]byte("k"), testValue(1, 1))
+	d.Delete([]byte("k"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// The new write must shadow the tombstone: if seqnums restarted low
+	// it would be shadowed BY the tombstone instead.
+	if err := d.Put([]byte("k"), testValue(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Get([]byte("k"))
+	if err != nil || testDK(v) != 2 {
+		t.Fatalf("post-recovery write shadowed by old tombstone: %v, %v", v, err)
+	}
+}
+
+// TestIterationDuringCompaction: an open iterator stays consistent while
+// compactions rewrite and delete the files underneath it.
+func TestIterationDuringCompaction(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d := mustOpen(t, opts)
+	for i := 0; i < 4000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%05d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := d.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start iterating, then force a full compaction midway.
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+		if n == 1000 {
+			if err := d.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4000 {
+		t.Fatalf("iterator saw %d keys across a concurrent compaction, want 4000", n)
+	}
+}
+
+// TestWALDisabledDataSurvivesThroughClose: with the WAL off, Close must
+// flush so a reopen still sees all acknowledged writes.
+func TestWALDisabledDataSurvivesThroughClose(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	opts.DisableWAL = true
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 1000; i += 111 {
+		if _, err := d.Get([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+			t.Fatalf("WAL-less store lost k%04d across close: %v", i, err)
+		}
+	}
+}
+
+// TestNoWALFilesWhenDisabled: DisableWAL really writes no log files.
+func TestNoWALFilesWhenDisabled(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	opts.DisableWAL = true
+	d := mustOpen(t, opts)
+	for i := 0; i < 2000; i++ {
+		d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i))
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List("db")
+	for _, n := range names {
+		if strings.HasSuffix(n, ".log") {
+			t.Fatalf("WAL file %s written despite DisableWAL", n)
+		}
+	}
+	if d.Stats().WALBytes.Get() != 0 {
+		t.Fatal("WAL bytes accounted despite DisableWAL")
+	}
+}
+
+// TestBlockCacheServesReads: with a cache attached, repeated reads hit it.
+func TestBlockCacheServesReads(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	opts.BlockCacheBytes = 4 << 20
+	d := mustOpen(t, opts)
+	for i := 0; i < 3000; i++ {
+		d.Put([]byte(fmt.Sprintf("k%05d", i)), testValue(uint64(i), i))
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 3000; i += 17 {
+			if _, err := d.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hits, misses := d.BlockCacheStats()
+	if hits == 0 {
+		t.Fatalf("no cache hits after repeated reads (misses=%d)", misses)
+	}
+	if hits < misses {
+		t.Fatalf("cache ineffective: %d hits, %d misses", hits, misses)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/base"
+	"repro/internal/manifest"
+	"repro/internal/memtable"
+	"repro/internal/sstable"
+)
+
+// writerOptions builds the sstable writer configuration from the engine
+// options.
+func (d *DB) writerOptions() sstable.WriterOptions {
+	return sstable.WriterOptions{
+		BlockSize:       d.opts.BlockBytes,
+		BloomBitsPerKey: d.opts.BloomBitsPerKey,
+		PagesPerTile:    d.opts.PagesPerTile,
+		DeleteKeyFunc:   d.opts.DeleteKeyFunc,
+	}
+}
+
+// writeMemTable materializes a memtable as a new level-0 table file.
+func (d *DB) writeMemTable(m *memtable.MemTable) (base.FileNum, sstable.WriterMeta, error) {
+	d.mu.Lock()
+	fn := d.vs.AllocFileNum()
+	d.mu.Unlock()
+
+	f, err := d.opts.FS.Create(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, fn))
+	if err != nil {
+		return 0, sstable.WriterMeta{}, err
+	}
+	w := sstable.NewWriter(f, d.writerOptions())
+	it := m.NewIter()
+	for valid := it.First(); valid; valid = it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			return 0, sstable.WriterMeta{}, err
+		}
+	}
+	for _, rt := range m.RangeTombstones() {
+		if err := w.AddRangeTombstone(rt); err != nil {
+			return 0, sstable.WriterMeta{}, err
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		return 0, sstable.WriterMeta{}, err
+	}
+	return fn, meta, nil
+}
+
+// Flush synchronously persists the mutable memtable and drains every sealed
+// one to level 0.
+func (d *DB) Flush() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if !d.mem.Empty() {
+		if err := d.rotateLocked(); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+	}
+	d.mu.Unlock()
+	for {
+		d.maintMu.Lock()
+		did, err := d.flushOne()
+		d.maintMu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+}
+
+// flushOne flushes the oldest sealed memtable, if any. Caller holds
+// maintMu.
+func (d *DB) flushOne() (bool, error) {
+	d.mu.Lock()
+	if len(d.imm) == 0 {
+		d.mu.Unlock()
+		return false, nil
+	}
+	e := d.imm[0]
+	d.mu.Unlock()
+
+	var (
+		added []manifest.NewFileEntry
+		size  uint64
+		newFn base.FileNum
+		nRT   uint64
+	)
+	if !e.mem.Empty() {
+		fn, meta, err := d.writeMemTable(e.mem)
+		if err != nil {
+			return false, err
+		}
+		newFn = fn
+		size = meta.Size
+		nRT = meta.Props.NumRangeDeletes
+		d.mu.Lock()
+		added = append(added, manifest.NewFileEntry{Level: 0, RunID: d.vs.AllocRunID(), Meta: fileMetaFrom(fn, meta)})
+		d.mu.Unlock()
+	}
+
+	d.mu.Lock()
+	// The WAL segments of everything still buffered must survive; the
+	// oldest survivor is the next sealed memtable's (or the mutable
+	// one's) log.
+	logNum := d.memLog
+	if len(d.imm) > 1 {
+		logNum = d.imm[1].logNum
+	}
+	edit := &manifest.VersionEdit{Added: added}
+	if !d.opts.DisableWAL {
+		edit.LogNum = logNum
+	}
+	if err := d.vs.LogAndApply(edit); err != nil {
+		d.mu.Unlock()
+		return false, err
+	}
+	d.imm = d.imm[1:]
+	d.mu.Unlock()
+
+	if nRT > 0 {
+		if err := d.loadFileRTs(newFn); err != nil {
+			return false, err
+		}
+	}
+	if !d.opts.DisableWAL && e.logNum != 0 {
+		_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, e.logNum))
+	}
+	if len(added) > 0 {
+		d.stats.Flushes.Add(1)
+		d.stats.BytesFlushed.Add(int64(size))
+	}
+	return true, nil
+}

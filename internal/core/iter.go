@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/base"
+	"repro/internal/iterator"
+	"repro/internal/manifest"
+)
+
+// IterOptions configure a range iterator.
+type IterOptions struct {
+	// LowerBound (inclusive) and UpperBound (exclusive) restrict the
+	// iteration to user keys in [LowerBound, UpperBound).
+	LowerBound []byte
+	UpperBound []byte
+	// Snapshot pins the view; nil reads the latest state.
+	Snapshot *Snapshot
+}
+
+// Iter is a user-facing iterator over live keys in ascending order.
+// Tombstoned, superseded, and range-deleted entries are skipped. An Iter
+// pins table readers; Close it when done.
+type Iter struct {
+	d        *DB
+	merge    *iterator.Merge
+	opts     IterOptions
+	seq      base.SeqNum
+	rts      []base.RangeTombstone
+	releases []func()
+
+	key     []byte
+	value   []byte
+	valid   bool
+	decided bool // i.key holds the last user key already resolved
+	stepped int64
+	closed  bool
+	err     error
+}
+
+// Stepped returns the number of internal entries (versions, tombstones)
+// the iterator has examined — the read-amplification cost of garbage the
+// compaction policy has not yet purged.
+func (i *Iter) Stepped() int64 { return i.stepped }
+
+// NewIter opens an iterator. The returned iterator is unpositioned; call
+// First or SeekGE. It pins table files until Close.
+func (d *DB) NewIter(opts IterOptions) (*Iter, error) {
+	rs, err := d.acquireReadState(opts.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iter{d: d, opts: opts, seq: rs.seq}
+	it.rts = d.collectRangeTombstones(rs)
+
+	var sources []iterator.Internal
+	sources = append(sources, rs.mem.NewIter())
+	for i := len(rs.imms) - 1; i >= 0; i-- {
+		sources = append(sources, rs.imms[i].mem.NewIter())
+	}
+	for l := 0; l < manifest.NumLevels; l++ {
+		for _, run := range rs.version.Levels[l] {
+			files := run.Files
+			if len(files) == 0 {
+				continue
+			}
+			sources = append(sources, iterator.NewConcat(len(files),
+				func(i int) (base.InternalKey, base.InternalKey) {
+					return files[i].Smallest, files[i].Largest
+				},
+				func(i int) (iterator.Internal, error) {
+					r, release, err := d.cache.get(files[i].FileNum)
+					if err != nil {
+						return nil, err
+					}
+					it.releases = append(it.releases, release)
+					return r.NewIter(), nil
+				}))
+		}
+	}
+	it.merge = iterator.NewMerge(sources...)
+	return it, nil
+}
+
+// Close releases the iterator's pinned resources. Closing twice is safe.
+func (i *Iter) Close() error {
+	if !i.closed {
+		i.closed = true
+		for _, r := range i.releases {
+			r()
+		}
+		i.releases = nil
+		i.d.releaseReadState()
+	}
+	i.valid = false
+	return i.err
+}
+
+// Valid reports whether the iterator is positioned on a live entry.
+func (i *Iter) Valid() bool { return i.valid }
+
+// Error returns the first error encountered.
+func (i *Iter) Error() error { return i.err }
+
+// Key returns the current user key. The slice is stable until the next
+// positioning call.
+func (i *Iter) Key() []byte { return i.key }
+
+// Value returns the current value, stable until the next positioning call.
+func (i *Iter) Value() []byte { return i.value }
+
+// First positions on the smallest live key within bounds.
+func (i *Iter) First() bool {
+	i.decided = false
+	var ok bool
+	if i.opts.LowerBound != nil {
+		ok = i.merge.SeekGE(base.MakeSearchKey(i.opts.LowerBound, base.MaxSeqNum))
+	} else {
+		ok = i.merge.First()
+	}
+	return i.settle(ok)
+}
+
+// SeekGE positions on the first live key >= key (clamped to bounds).
+func (i *Iter) SeekGE(key []byte) bool {
+	i.decided = false
+	if i.opts.LowerBound != nil && base.Compare(key, i.opts.LowerBound) < 0 {
+		key = i.opts.LowerBound
+	}
+	return i.settle(i.merge.SeekGE(base.MakeSearchKey(key, base.MaxSeqNum)))
+}
+
+// Next advances to the next live key.
+func (i *Iter) Next() bool {
+	if !i.valid {
+		return false
+	}
+	return i.settle(i.merge.Next())
+}
+
+// settle advances the merged stream to the next visible, live user key.
+func (i *Iter) settle(ok bool) bool {
+	i.valid = false
+	for ok {
+		ik := i.merge.Key()
+		i.stepped++
+
+		// Visibility: skip versions newer than the read sequence.
+		if ik.SeqNum() > i.seq {
+			ok = i.merge.Next()
+			continue
+		}
+		// Bounds.
+		if i.opts.UpperBound != nil && base.Compare(ik.UserKey, i.opts.UpperBound) >= 0 {
+			break
+		}
+		// Older versions of a key whose fate is already decided.
+		if i.decided && base.Compare(ik.UserKey, i.key) == 0 {
+			ok = i.merge.Next()
+			continue
+		}
+
+		// The newest visible version of this key decides its fate.
+		i.key = append(i.key[:0], ik.UserKey...)
+		i.decided = true
+		if ik.Kind() == base.KindSet && !i.coveredByRangeTombstone(i.merge.Value(), ik.SeqNum()) {
+			i.value = append(i.value[:0], i.merge.Value()...)
+			i.valid = true
+			return true
+		}
+		// Tombstone or range-covered: the key is dead; keep scanning.
+		ok = i.merge.Next()
+	}
+	if err := i.merge.Error(); err != nil {
+		i.err = err
+	}
+	return false
+}
+
+// coveredByRangeTombstone applies the KiWi read-path filter.
+func (i *Iter) coveredByRangeTombstone(value []byte, seq base.SeqNum) bool {
+	if i.d.opts.DeleteKeyFunc == nil || len(i.rts) == 0 {
+		return false
+	}
+	dk := i.d.opts.DeleteKeyFunc(value)
+	for _, rt := range i.rts {
+		if rt.Covers(dk, seq) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package core implements the Acheron storage engine: an LSM tree with
+// write-ahead logging, leveled or tiered compaction, and — the paper's
+// contribution — timely, persistent deletes. A user-set delete persistence
+// threshold (DPT) bounds how long any tombstone may exist; the FADE
+// compaction policy partitions the DPT into per-level TTLs and schedules
+// delete-driven compactions so every tombstone reaches the last level (and
+// physically erases everything it shadows) in time. Secondary-key range
+// deletes use the KiWi key-weaving layout to drop whole pages without
+// rewriting the tree.
+package core
+
+import (
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+// osClock is the default wall-clock time source.
+type osClock struct{}
+
+func (osClock) Now() base.Timestamp { return base.Timestamp(time.Now().UnixNano()) }
+
+// Options configure a DB. The zero value is usable: OS filesystem, wall
+// clock, 4 MiB memtables, standard (non-KiWi) layout, delete-oblivious
+// leveling (DPT disabled).
+type Options struct {
+	// FS is the filesystem; defaults to the OS filesystem.
+	FS vfs.FS
+	// Clock supplies timestamps for tombstone aging. Defaults to the OS
+	// clock; benchmarks install a deterministic logical clock.
+	Clock base.Clock
+
+	// MemTableBytes rotates the memtable at this size. Default 4 MiB.
+	MemTableBytes int64
+	// BlockBytes is the sstable page size. Default 4096.
+	BlockBytes int
+	// BloomBitsPerKey sizes table Bloom filters; 0 disables. Default 10.
+	BloomBitsPerKey int
+	// BlockCacheBytes bounds the shared block cache. Default 8 MiB;
+	// negative disables caching.
+	BlockCacheBytes int64
+	// PagesPerTile enables the KiWi layout when > 1: that many delete-
+	// key-ordered pages per delete tile. Requires DeleteKeyFunc.
+	PagesPerTile int
+	// DeleteKeyFunc extracts the secondary delete key from a value.
+	// Required for KiWi layouts and secondary range deletes.
+	DeleteKeyFunc base.DeleteKeyExtractor
+
+	// Compaction selects the policy: shape (leveling/tiering), picker
+	// (min-overlap baseline vs FADE), size ratio, and the DPT.
+	Compaction compaction.Options
+
+	// EagerRangeDeletes makes maintenance act on secondary range deletes
+	// immediately: fully covered files are dropped by a metadata-only
+	// edit and partially covered files are rewritten without their
+	// covered pages, instead of waiting for compactions to carry the
+	// tombstone down (the KiWi fast path demonstrated by the paper).
+	EagerRangeDeletes bool
+
+	// DisableWAL skips write-ahead logging (benchmarks that measure pure
+	// structural amplification).
+	DisableWAL bool
+	// SyncWrites syncs the WAL on every commit instead of on rotation.
+	SyncWrites bool
+	// DisableAutoMaintenance turns off the background flush/compaction
+	// worker; callers drive MaintenanceStep themselves (deterministic
+	// benchmarks do this).
+	DisableAutoMaintenance bool
+	// Logger, when set, receives diagnostic messages.
+	Logger func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = vfs.OSFS{}
+	}
+	if o.Clock == nil {
+		o.Clock = osClock{}
+	}
+	if o.MemTableBytes <= 0 {
+		o.MemTableBytes = 4 << 20
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4096
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	if o.PagesPerTile <= 0 {
+		o.PagesPerTile = 1
+	}
+	o.Compaction = o.Compaction.WithDefaults()
+	return o
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logger != nil {
+		o.Logger(format, args...)
+	}
+}

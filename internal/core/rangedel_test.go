@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/vfs"
+)
+
+// kiwiOptions returns a KiWi-enabled configuration.
+func kiwiOptions(fs vfs.FS, clk base.Clock, eager bool) Options {
+	opts := testOptions(fs, clk)
+	opts.PagesPerTile = 4
+	opts.EagerRangeDeletes = eager
+	opts.Compaction.Picker = compaction.PickFADE
+	opts.Compaction.DPT = 2000
+	return opts
+}
+
+// TestRangeDeleteKeySemantics pins the read-path contract: a key whose
+// NEWEST version's delete key is covered reads as absent, even when an
+// older version's delete key lies outside the tombstone's range — older
+// versions never "show through".
+func TestRangeDeleteKeySemantics(t *testing.T) {
+	for _, eager := range []bool{false, true} {
+		t.Run(fmt.Sprintf("eager=%v", eager), func(t *testing.T) {
+			clk := &base.LogicalClock{}
+			d := mustOpen(t, kiwiOptions(vfs.NewMemFS(), clk, eager))
+
+			// v1 has dk=500 (outside), v2 has dk=50 (inside).
+			if err := d.Put([]byte("k"), testValue(500, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put([]byte("k"), testValue(50, 2)); err != nil {
+				t.Fatal(err)
+			}
+			// Also a key whose newest version is outside the range.
+			if err := d.Put([]byte("other"), testValue(900, 3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.DeleteSecondaryRange(0, 100); err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(stage string) {
+				t.Helper()
+				if _, err := d.Get([]byte("k")); err != ErrNotFound {
+					t.Fatalf("%s: covered newest version should hide the key, got %v", stage, err)
+				}
+				if _, err := d.Get([]byte("other")); err != nil {
+					t.Fatalf("%s: uncovered key lost: %v", stage, err)
+				}
+				it, err := d.NewIter(IterOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer it.Close()
+				for ok := it.First(); ok; ok = it.Next() {
+					if string(it.Key()) == "k" {
+						t.Fatalf("%s: iterator resurrected covered key", stage)
+					}
+				}
+			}
+			check("in memtable")
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			check("flushed")
+			clk.Advance(5000)
+			if err := d.WaitIdle(); err != nil {
+				t.Fatal(err)
+			}
+			check("after ttl maintenance")
+			if err := d.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			check("fully compacted")
+		})
+	}
+}
+
+// TestRangeDeleteSeqOrderMatters: a version written AFTER the range delete
+// is visible even when its delete key is in the deleted range.
+func TestRangeDeleteSeqOrderMatters(t *testing.T) {
+	clk := &base.LogicalClock{}
+	d := mustOpen(t, kiwiOptions(vfs.NewMemFS(), clk, false))
+	if err := d.Put([]byte("k"), testValue(50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteSecondaryRange(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Re-insert with a covered delete key AFTER the tombstone: visible.
+	if err := d.Put([]byte("k"), testValue(60, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get([]byte("k")); err != nil {
+		t.Fatalf("post-tombstone write hidden: %v", err)
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get([]byte("k")); err != nil {
+		t.Fatalf("post-tombstone write lost in compaction: %v", err)
+	}
+}
+
+// TestEagerDeferredEquivalence runs the same random workload with eager
+// and deferred range-delete reclamation; the logical contents must match
+// at every checkpoint and at the end.
+func TestEagerDeferredEquivalence(t *testing.T) {
+	type run struct {
+		d   *DB
+		clk *base.LogicalClock
+	}
+	var runs []run
+	for _, eager := range []bool{false, true} {
+		clk := &base.LogicalClock{}
+		d := mustOpen(t, kiwiOptions(vfs.NewMemFS(), clk, eager))
+		runs = append(runs, run{d, clk})
+	}
+	rng := rand.New(rand.NewSource(77))
+	var tick uint64
+	apply := func(f func(r run) error) {
+		t.Helper()
+		for _, r := range runs {
+			if err := f(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	compare := func(stage string) {
+		t.Helper()
+		var contents [2][]string
+		for ri, r := range runs {
+			it, err := r.d.NewIter(IterOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ok := it.First(); ok; ok = it.Next() {
+				contents[ri] = append(contents[ri],
+					fmt.Sprintf("%s=%d", it.Key(), testDK(it.Value())))
+			}
+			it.Close()
+		}
+		if len(contents[0]) != len(contents[1]) {
+			t.Fatalf("%s: deferred has %d keys, eager %d", stage, len(contents[0]), len(contents[1]))
+		}
+		for i := range contents[0] {
+			if contents[0][i] != contents[1][i] {
+				t.Fatalf("%s: divergence at %d: %q vs %q", stage, i, contents[0][i], contents[1][i])
+			}
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.70:
+			tick++
+			k := fmt.Sprintf("k%05d", rng.Intn(1500))
+			v := testValue(tick, i)
+			apply(func(r run) error { r.clk.Advance(1); return r.d.Put([]byte(k), v) })
+		case r < 0.78:
+			k := fmt.Sprintf("k%05d", rng.Intn(1500))
+			apply(func(r run) error { r.clk.Advance(1); return r.d.Delete([]byte(k)) })
+		case r < 0.81 && tick > 20:
+			lo := uint64(rng.Intn(int(tick)))
+			hi := lo + uint64(rng.Intn(int(tick)/4)+1)
+			apply(func(r run) error { r.clk.Advance(1); return r.d.DeleteSecondaryRange(lo, hi) })
+		default:
+			apply(func(r run) error { r.clk.Advance(1); return nil })
+		}
+		if i%128 == 127 {
+			apply(func(r run) error { return r.d.WaitIdle() })
+		}
+		if i%1000 == 999 {
+			compare(fmt.Sprintf("op %d", i))
+		}
+	}
+	apply(func(r run) error {
+		if err := r.d.Flush(); err != nil {
+			return err
+		}
+		r.clk.Advance(5000)
+		if err := r.d.WaitIdle(); err != nil {
+			return err
+		}
+		return r.d.CompactAll()
+	})
+	compare("final")
+	// The eager engine must actually have reclaimed something.
+	eagerStats := runs[1].d.Stats()
+	if eagerStats.RangeCoveredDropped.Get() == 0 && eagerStats.PagesDropped.Get() == 0 {
+		t.Log("note: eager run reclaimed nothing (workload-dependent)")
+	}
+}
+
+// TestRangeTombstoneRetirementRequiresGlobalInertness: a tombstone must not
+// be counted persisted while covered entries live in files outside the
+// compaction that would dispose of it.
+func TestRangeTombstoneRetirementRequiresGlobalInertness(t *testing.T) {
+	clk := &base.LogicalClock{}
+	d := mustOpen(t, kiwiOptions(vfs.NewMemFS(), clk, false))
+
+	// Two widely separated key regions in separate files after compaction.
+	for i := 0; i < 1000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("a%05d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put([]byte(fmt.Sprintf("z%05d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteSecondaryRange(0, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10_000)
+	if err := d.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever maintenance did, reads must stay correct...
+	if _, err := d.Get([]byte("a00100")); err != ErrNotFound {
+		t.Fatalf("covered key visible: %v", err)
+	}
+	if _, err := d.Get([]byte("a00700")); err != nil {
+		t.Fatalf("uncovered key lost: %v", err)
+	}
+	// ...and if the tombstone was retired, nothing coverable may remain.
+	if d.Stats().RangeTombstonesPersisted.Get() > 0 {
+		it, err := d.NewIter(IterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		for ok := it.First(); ok; ok = it.Next() {
+			if dk := testDK(it.Value()); dk < 500 {
+				t.Fatalf("tombstone retired while covered entry %q (dk=%d) remains", it.Key(), dk)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/base"
+	"repro/internal/metrics"
+)
+
+// Stats aggregates the engine's observable behaviour: the write/space
+// amplification inputs and — central to the paper — delete persistence.
+// All fields are safe for concurrent access.
+type Stats struct {
+	// BytesIngested counts logical user bytes written (keys + values).
+	BytesIngested metrics.Counter
+	// WALBytes counts bytes appended to the write-ahead log.
+	WALBytes metrics.Counter
+	// BytesFlushed counts sstable bytes written by memtable flushes.
+	BytesFlushed metrics.Counter
+	// CompactBytesRead / CompactBytesWritten count compaction I/O.
+	CompactBytesRead    metrics.Counter
+	CompactBytesWritten metrics.Counter
+
+	// Flushes counts memtable flushes.
+	Flushes metrics.Counter
+	// CompactionsByTrigger counts compactions by trigger
+	// (0=l0, 1=saturation, 2=ttl).
+	CompactionsByTrigger [3]metrics.Counter
+	// TrivialMoves counts metadata-only file moves.
+	TrivialMoves metrics.Counter
+
+	// DeletesIssued counts point deletes accepted.
+	DeletesIssued metrics.Counter
+	// RangeDeletesIssued counts secondary range deletes accepted.
+	RangeDeletesIssued metrics.Counter
+	// TombstonesPersisted counts point tombstones physically disposed of
+	// at the last relevant level — the moment the delete became
+	// persistent.
+	TombstonesPersisted metrics.Counter
+	// TombstonesSuperseded counts tombstones dropped because a newer
+	// write made them moot.
+	TombstonesSuperseded metrics.Counter
+	// RangeTombstonesPersisted counts disposed range tombstones.
+	RangeTombstonesPersisted metrics.Counter
+	// PersistenceLatency records, per persisted tombstone, the time from
+	// delete issue to physical disposal (the paper's headline metric).
+	PersistenceLatency metrics.Histogram
+	// LiveTombstones gauges point tombstones currently in the tree.
+	LiveTombstones metrics.Gauge
+	// PagesDropped counts whole KiWi pages elided by range-delete
+	// compactions.
+	PagesDropped metrics.Counter
+	// RangeCoveredDropped counts entries removed because a range
+	// tombstone covered them.
+	RangeCoveredDropped metrics.Counter
+	// ShadowedDropped counts superseded versions discarded by
+	// compactions.
+	ShadowedDropped metrics.Counter
+
+	// Gets, GetHits count point lookups and those that found a live key.
+	Gets    metrics.Counter
+	GetHits metrics.Counter
+	// BloomSkips counts table probes short-circuited by Bloom filters.
+	BloomSkips metrics.Counter
+	// TablesProbed counts sstables consulted by point lookups.
+	TablesProbed metrics.Counter
+}
+
+// WriteAmplification returns (flushed + compaction-written) / ingested, the
+// conventional LSM WA measure. Returns 0 before any ingestion.
+func (s *Stats) WriteAmplification() float64 {
+	in := s.BytesIngested.Get()
+	if in == 0 {
+		return 0
+	}
+	return float64(s.BytesFlushed.Get()+s.CompactBytesWritten.Get()) / float64(in)
+}
+
+// PersistedWithin returns the fraction of persisted tombstones whose
+// persistence latency was at most d. Returns 1 when none persisted.
+func (s *Stats) PersistedWithin(d base.Duration) float64 {
+	n := s.PersistenceLatency.Count()
+	if n == 0 {
+		return 1
+	}
+	late := s.PersistenceLatency.CountAbove(int64(d))
+	return float64(n-late) / float64(n)
+}
+
+// String renders a compact multi-line summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ingested=%d flushed=%d compact_read=%d compact_written=%d wa=%.2f\n",
+		s.BytesIngested.Get(), s.BytesFlushed.Get(), s.CompactBytesRead.Get(), s.CompactBytesWritten.Get(), s.WriteAmplification())
+	fmt.Fprintf(&b, "flushes=%d compactions[l0=%d sat=%d ttl=%d] trivial=%d\n",
+		s.Flushes.Get(), s.CompactionsByTrigger[0].Get(), s.CompactionsByTrigger[1].Get(), s.CompactionsByTrigger[2].Get(), s.TrivialMoves.Get())
+	fmt.Fprintf(&b, "deletes=%d persisted=%d superseded=%d live_tombstones=%d p99_persist=%d max_persist=%d\n",
+		s.DeletesIssued.Get(), s.TombstonesPersisted.Get(), s.TombstonesSuperseded.Get(), s.LiveTombstones.Get(),
+		s.PersistenceLatency.Quantile(0.99), s.PersistenceLatency.Max())
+	fmt.Fprintf(&b, "range_deletes=%d range_persisted=%d pages_dropped=%d range_covered_dropped=%d shadowed=%d\n",
+		s.RangeDeletesIssued.Get(), s.RangeTombstonesPersisted.Get(), s.PagesDropped.Get(), s.RangeCoveredDropped.Get(), s.ShadowedDropped.Get())
+	fmt.Fprintf(&b, "gets=%d hits=%d bloom_skips=%d tables_probed=%d",
+		s.Gets.Get(), s.GetHits.Get(), s.BloomSkips.Get(), s.TablesProbed.Get())
+	return b.String()
+}

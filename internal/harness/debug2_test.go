@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+)
+
+// TestDebugTTLOnlyWA probes how much of FADE's clustered-delete write
+// amplification comes from the TTL trigger vs the density-first saturation
+// picker (run with -v).
+func TestDebugTTLOnlyWA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumentation probe")
+	}
+	sc := DefaultScale()
+	sc.KeySpace /= 2
+	sc.Ops /= 2
+	dpt := base.Duration(sc.Ops)
+	configs := []EngineConfig{
+		Baseline(),
+		{Name: "ttl-only", Shape: compaction.Leveling, Picker: compaction.PickMinOverlap, DPT: dpt},
+		FADE(dpt),
+	}
+	for _, cfg := range configs {
+		rt, err := spaceWriteRunPattern(cfg, sc, 0.10, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := rt.DB.Stats()
+		within, p99, _ := violationStats(st, dpt)
+		t.Logf("%-10s wa=%.2f within=%.3f p99=%d ttl=%d sat=%d live=%d",
+			cfg.Name, st.WriteAmplification(), within, p99,
+			st.CompactionsByTrigger[int(compaction.TriggerTTL)].Get(),
+			st.CompactionsByTrigger[int(compaction.TriggerSaturation)].Get(),
+			st.LiveTombstones.Get())
+		rt.Close()
+	}
+}

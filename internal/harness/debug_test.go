@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+)
+
+// TestDebugClusteredWA is an instrumented probe (run manually with -v) for
+// the clustered-delete write-amplification profile: it prints the
+// per-trigger compaction counts so policy regressions are visible.
+func TestDebugClusteredWA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumentation probe")
+	}
+	sc := SmallScale()
+	for _, cl := range []bool{true, false} {
+		for _, cfg := range []EngineConfig{Baseline(), FADE(base.Duration(sc.Ops))} {
+			rt, err := spaceWriteRunPattern(cfg, sc, 0.02, cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := rt.DB.Stats()
+			t.Logf("clustered=%v %s: wa=%.2f flushes=%d l0=%d sat=%d ttl=%d trivial=%d flushed=%d compactW=%d",
+				cl, cfg.Name, st.WriteAmplification(), st.Flushes.Get(),
+				st.CompactionsByTrigger[int(compaction.TriggerL0)].Get(),
+				st.CompactionsByTrigger[int(compaction.TriggerSaturation)].Get(),
+				st.CompactionsByTrigger[int(compaction.TriggerTTL)].Get(),
+				st.TrivialMoves.Get(),
+				st.BytesFlushed.Get(), st.CompactBytesWritten.Get())
+			rt.Close()
+		}
+	}
+}

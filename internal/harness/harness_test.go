@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compaction"
+	"repro/internal/workload"
+)
+
+// tinyScale keeps harness unit tests fast.
+func tinyScale() Scale {
+	return Scale{
+		KeySpace:        1500,
+		ValueLen:        64,
+		Ops:             3000,
+		MemTableBytes:   16 << 10,
+		BaseLevelBytes:  48 << 10,
+		TargetFileBytes: 12 << 10,
+		SizeRatio:       4,
+		MaintainEvery:   32,
+	}
+}
+
+func TestOpenRuntimeAndApply(t *testing.T) {
+	rt, err := OpenRuntime(Baseline(), tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	g := workload.New(workload.Spec{
+		Seed: 1, KeySpace: 1500, ValueLen: 64,
+		Mix: workload.Mix{Updates: 0.2, Deletes: 0.2, Lookups: 0.2, Scans: 0.05},
+	})
+	if err := rt.RunOps(g, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if rt.LiveLogicalBytes() == 0 {
+		t.Fatal("ground truth empty after inserts")
+	}
+	if sa := rt.SpaceAmp(); sa <= 0 {
+		t.Fatalf("SpaceAmp = %f", sa)
+	}
+}
+
+func TestFADEConfigEnforcesDPT(t *testing.T) {
+	sc := tinyScale()
+	dpt := int64(sc.Ops / 2)
+	rt, err := OpenRuntime(FADE(2000), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.Config.Picker != compaction.PickFADE {
+		t.Fatal("FADE config has wrong picker")
+	}
+	g := workload.New(workload.Spec{
+		Seed: 2, KeySpace: sc.KeySpace, ValueLen: sc.ValueLen,
+		Mix: workload.Mix{Updates: 0.3, Deletes: 0.2},
+	})
+	if err := preload(rt, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunOps(g, sc.Ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Settle(2500, 20); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.DB.Stats()
+	if st.DeletesIssued.Get() == 0 {
+		t.Fatal("workload issued no deletes")
+	}
+	if st.LiveTombstones.Get() != 0 {
+		t.Fatalf("%d tombstones live after settle", st.LiveTombstones.Get())
+	}
+	_ = dpt
+}
+
+func TestViolationStats(t *testing.T) {
+	rt, err := OpenRuntime(Baseline(), tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	st := rt.DB.Stats()
+	within, p99, max := violationStats(st, 100)
+	if within != 1 || p99 != 0 || max != 0 {
+		t.Fatalf("empty stats: %f %d %d", within, p99, max)
+	}
+	st.PersistenceLatency.Record(50)
+	st.PersistenceLatency.Record(5000)
+	within, _, max = violationStats(st, 100)
+	if within != 0.5 {
+		t.Fatalf("within = %f, want 0.5", within)
+	}
+	if max != 5000 {
+		t.Fatalf("max = %d", max)
+	}
+	// A live tombstone counts as a violation.
+	st.LiveTombstones.Set(2)
+	within, _, _ = violationStats(st, 100)
+	if within != 0.25 {
+		t.Fatalf("within with live = %f, want 0.25", within)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "long_column"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333333", "4")
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T: demo ==", "long_column", "333333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE7TinyRunsEndToEnd exercises one full experiment (the strategy
+// matrix, which covers all four engine shapes) at a tiny scale.
+func TestE7TinyRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := E7StrategyMatrix(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("E7 produced %d rows, want 4", len(tbl.Rows))
+	}
+}
+
+// TestE5TinyCorrectness checks the KiWi experiment's own correctness column
+// at a tiny scale.
+func TestE5TinyCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	tbl, err := E5KiWiRangeDelete(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("E5 engine %s reported incorrect contents: %v", row[0], row)
+		}
+	}
+}

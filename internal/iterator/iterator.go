@@ -1,0 +1,271 @@
+// Package iterator provides the merging machinery that presents the LSM
+// tree's many sorted sources (memtables, level-0 runs, deeper runs) as one
+// stream in internal-key order.
+package iterator
+
+import (
+	"container/heap"
+
+	"repro/internal/base"
+)
+
+// Internal is the positioning interface implemented by every internal-key
+// iterator in the engine: memtable iterators, sstable iterators, and merge
+// iterators themselves (allowing composition).
+type Internal interface {
+	// First positions on the smallest entry, returning validity.
+	First() bool
+	// SeekGE positions on the first entry >= target.
+	SeekGE(target base.InternalKey) bool
+	// Next advances, returning validity.
+	Next() bool
+	// Valid reports whether the iterator is positioned on an entry.
+	Valid() bool
+	// Key returns the current internal key; valid until repositioning.
+	Key() base.InternalKey
+	// Value returns the current value; valid until repositioning.
+	Value() []byte
+	// Error returns the first error encountered.
+	Error() error
+}
+
+// mergeHeap orders sources by current key; ties go to the lower index,
+// which callers arrange to be the newer source.
+type mergeHeap struct {
+	items []*mergeItem
+}
+
+type mergeItem struct {
+	iter  Internal
+	index int
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if c := a.iter.Key().Compare(b.iter.Key()); c != 0 {
+		return c < 0
+	}
+	return a.index < b.index
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(*mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+// Merge combines multiple internal iterators into one stream in internal-key
+// order. Sources must be passed newest-first so that equal keys (which only
+// arise across distinct snapshots of the same data) resolve to the newest.
+type Merge struct {
+	sources []Internal
+	heap    mergeHeap
+	err     error
+}
+
+// NewMerge creates a merge iterator over the given sources, newest first.
+func NewMerge(sources ...Internal) *Merge {
+	return &Merge{sources: sources}
+}
+
+// init rebuilds the heap from sources positioned by pos.
+func (m *Merge) init(pos func(Internal) bool) bool {
+	m.err = nil
+	m.heap.items = m.heap.items[:0]
+	for i, s := range m.sources {
+		if pos(s) {
+			m.heap.items = append(m.heap.items, &mergeItem{iter: s, index: i})
+		} else if err := s.Error(); err != nil {
+			m.err = err
+			return false
+		}
+	}
+	heap.Init(&m.heap)
+	return m.Valid()
+}
+
+// First positions on the globally smallest entry.
+func (m *Merge) First() bool {
+	return m.init(func(s Internal) bool { return s.First() })
+}
+
+// SeekGE positions on the first entry >= target across all sources.
+func (m *Merge) SeekGE(target base.InternalKey) bool {
+	return m.init(func(s Internal) bool { return s.SeekGE(target) })
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (m *Merge) Valid() bool { return m.err == nil && m.heap.Len() > 0 }
+
+// Key returns the current internal key.
+func (m *Merge) Key() base.InternalKey { return m.heap.items[0].iter.Key() }
+
+// Value returns the current value.
+func (m *Merge) Value() []byte { return m.heap.items[0].iter.Value() }
+
+// Error returns the first error from any source.
+func (m *Merge) Error() error { return m.err }
+
+// Next advances past the current entry.
+func (m *Merge) Next() bool {
+	if !m.Valid() {
+		return false
+	}
+	top := m.heap.items[0]
+	if top.iter.Next() {
+		heap.Fix(&m.heap, 0)
+	} else {
+		if err := top.iter.Error(); err != nil {
+			m.err = err
+			return false
+		}
+		heap.Pop(&m.heap)
+	}
+	return m.Valid()
+}
+
+// Concat chains iterators over key-disjoint, ordered sources (the files of
+// one sorted run). It opens each child lazily via the open callback.
+type Concat struct {
+	n      int
+	open   func(i int) (Internal, error)
+	bounds func(i int) (smallest base.InternalKey, largest base.InternalKey)
+
+	cur     Internal
+	curIdx  int
+	err     error
+	invalid bool
+}
+
+// NewConcat builds a concatenating iterator over n children. bounds returns
+// the key range of child i (used to binary-search seeks); open materializes
+// it.
+func NewConcat(n int, bounds func(int) (base.InternalKey, base.InternalKey), open func(int) (Internal, error)) *Concat {
+	return &Concat{n: n, open: open, bounds: bounds, curIdx: -1, invalid: true}
+}
+
+func (c *Concat) load(i int) bool {
+	c.cur = nil
+	c.curIdx = i
+	if i >= c.n {
+		c.invalid = true
+		return false
+	}
+	it, err := c.open(i)
+	if err != nil {
+		c.err = err
+		c.invalid = true
+		return false
+	}
+	c.cur = it
+	return true
+}
+
+// First positions on the first entry of the first non-empty child.
+func (c *Concat) First() bool {
+	c.err = nil
+	c.invalid = false
+	for i := 0; i < c.n; i++ {
+		if !c.load(i) {
+			return false
+		}
+		if c.cur.First() {
+			return true
+		}
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			c.invalid = true
+			return false
+		}
+	}
+	c.invalid = true
+	return false
+}
+
+// SeekGE positions on the first entry >= target.
+func (c *Concat) SeekGE(target base.InternalKey) bool {
+	c.err = nil
+	c.invalid = false
+	// Find the first child whose largest key is >= target.
+	lo, hi := 0, c.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		_, largest := c.bounds(mid)
+		if largest.Compare(target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < c.n; i++ {
+		if !c.load(i) {
+			return false
+		}
+		var ok bool
+		if i == lo {
+			ok = c.cur.SeekGE(target)
+		} else {
+			ok = c.cur.First()
+		}
+		if ok {
+			return true
+		}
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			c.invalid = true
+			return false
+		}
+	}
+	c.invalid = true
+	return false
+}
+
+// Next advances, rolling over into the next child when the current one is
+// exhausted.
+func (c *Concat) Next() bool {
+	if c.invalid || c.cur == nil {
+		return false
+	}
+	if c.cur.Next() {
+		return true
+	}
+	if err := c.cur.Error(); err != nil {
+		c.err = err
+		c.invalid = true
+		return false
+	}
+	for i := c.curIdx + 1; i < c.n; i++ {
+		if !c.load(i) {
+			return false
+		}
+		if c.cur.First() {
+			return true
+		}
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			c.invalid = true
+			return false
+		}
+	}
+	c.invalid = true
+	return false
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (c *Concat) Valid() bool { return !c.invalid && c.cur != nil && c.cur.Valid() }
+
+// Key returns the current internal key.
+func (c *Concat) Key() base.InternalKey { return c.cur.Key() }
+
+// Value returns the current value.
+func (c *Concat) Value() []byte { return c.cur.Value() }
+
+// Error returns the first error encountered.
+func (c *Concat) Error() error { return c.err }

@@ -1,0 +1,333 @@
+package manifest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// FileType distinguishes the engine's on-disk files.
+type FileType int
+
+const (
+	// FileTypeTable is an sstable.
+	FileTypeTable FileType = iota
+	// FileTypeLog is a WAL segment.
+	FileTypeLog
+	// FileTypeManifest is a manifest log.
+	FileTypeManifest
+	// FileTypeCurrent is the CURRENT pointer file.
+	FileTypeCurrent
+)
+
+// MakeFilename returns the path of a file of the given type and number.
+func MakeFilename(dirname string, t FileType, fn base.FileNum) string {
+	switch t {
+	case FileTypeTable:
+		return filepath.Join(dirname, fmt.Sprintf("%06d.sst", uint64(fn)))
+	case FileTypeLog:
+		return filepath.Join(dirname, fmt.Sprintf("%06d.log", uint64(fn)))
+	case FileTypeManifest:
+		return filepath.Join(dirname, fmt.Sprintf("MANIFEST-%06d", uint64(fn)))
+	case FileTypeCurrent:
+		return filepath.Join(dirname, "CURRENT")
+	}
+	panic("manifest: unknown file type")
+}
+
+// ParseFilename inverts MakeFilename for a bare file name (no directory).
+func ParseFilename(name string) (t FileType, fn base.FileNum, ok bool) {
+	switch {
+	case name == "CURRENT":
+		return FileTypeCurrent, 0, true
+	case strings.HasPrefix(name, "MANIFEST-"):
+		var n uint64
+		if _, err := fmt.Sscanf(name, "MANIFEST-%06d", &n); err != nil {
+			return 0, 0, false
+		}
+		return FileTypeManifest, base.FileNum(n), true
+	case strings.HasSuffix(name, ".sst"):
+		var n uint64
+		if _, err := fmt.Sscanf(name, "%06d.sst", &n); err != nil {
+			return 0, 0, false
+		}
+		return FileTypeTable, base.FileNum(n), true
+	case strings.HasSuffix(name, ".log"):
+		var n uint64
+		if _, err := fmt.Sscanf(name, "%06d.log", &n); err != nil {
+			return 0, 0, false
+		}
+		return FileTypeLog, base.FileNum(n), true
+	}
+	return 0, 0, false
+}
+
+// VersionSet owns the current Version and its durable edit log. All methods
+// must be called with the engine's version mutex held (the engine
+// serializes edits).
+type VersionSet struct {
+	fs      vfs.FS
+	dirname string
+
+	mu      sync.RWMutex
+	current *Version
+
+	writer      *wal.Writer
+	manifestNum base.FileNum
+
+	// NextFileNum is the next unallocated file number.
+	NextFileNum base.FileNum
+	// LastSeqNum is the highest sequence number recorded durably.
+	LastSeqNum base.SeqNum
+	// LogNum is the WAL segment backing the mutable memtable.
+	LogNum base.FileNum
+	// NextRunID is the next unallocated sorted-run id.
+	NextRunID uint64
+}
+
+// Current returns the current immutable Version.
+func (vs *VersionSet) Current() *Version {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	return vs.current
+}
+
+// AllocFileNum reserves and returns a fresh file number.
+func (vs *VersionSet) AllocFileNum() base.FileNum {
+	fn := vs.NextFileNum
+	vs.NextFileNum++
+	return fn
+}
+
+// AllocRunID reserves and returns a fresh run id.
+func (vs *VersionSet) AllocRunID() uint64 {
+	id := vs.NextRunID
+	vs.NextRunID++
+	return id
+}
+
+// Create initializes a brand-new store in dirname.
+func Create(fs vfs.FS, dirname string) (*VersionSet, error) {
+	if err := fs.MkdirAll(dirname); err != nil {
+		return nil, err
+	}
+	vs := &VersionSet{
+		fs:          fs,
+		dirname:     dirname,
+		current:     &Version{},
+		NextFileNum: 1,
+		NextRunID:   1,
+	}
+	if err := vs.rollManifest(); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// Load recovers the version set from an existing store.
+func Load(fs vfs.FS, dirname string) (*VersionSet, error) {
+	currentPath := MakeFilename(dirname, FileTypeCurrent, 0)
+	f, err := fs.Open(currentPath)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: opening CURRENT: %w", err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	nameBytes := make([]byte, size)
+	if _, err := f.ReadAt(nameBytes, 0); err != nil && err != io.EOF {
+		f.Close()
+		return nil, err
+	}
+	f.Close()
+	manifestName := strings.TrimSpace(string(nameBytes))
+
+	mf, err := fs.Open(filepath.Join(dirname, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("manifest: opening %s: %w", manifestName, err)
+	}
+	rdr, err := wal.NewReader(mf)
+	if err != nil {
+		mf.Close()
+		return nil, err
+	}
+	vs := &VersionSet{
+		fs:          fs,
+		dirname:     dirname,
+		current:     &Version{},
+		NextFileNum: 1,
+		NextRunID:   1,
+	}
+	for {
+		rec, err := rdr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		edit, err := DecodeVersionEdit(rec)
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		if err := vs.applyLocked(edit); err != nil {
+			mf.Close()
+			return nil, err
+		}
+	}
+	mf.Close()
+	// Remember the manifest we recovered from so rolling below cleans it
+	// up once the replacement is durable.
+	if t, num, ok := ParseFilename(manifestName); ok && t == FileTypeManifest {
+		vs.manifestNum = num
+	}
+	// Start a fresh manifest holding a snapshot of the recovered state so
+	// the log does not grow without bound across restarts.
+	if err := vs.rollManifest(); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// applyLocked applies an edit to the in-memory state without logging it.
+func (vs *VersionSet) applyLocked(e *VersionEdit) error {
+	nv, err := vs.current.Apply(e)
+	if err != nil {
+		return err
+	}
+	vs.mu.Lock()
+	vs.current = nv
+	vs.mu.Unlock()
+	if e.LastSeqNum > vs.LastSeqNum {
+		vs.LastSeqNum = e.LastSeqNum
+	}
+	if e.NextFileNum > vs.NextFileNum {
+		vs.NextFileNum = e.NextFileNum
+	}
+	if e.LogNum > vs.LogNum {
+		vs.LogNum = e.LogNum
+	}
+	if e.NextRunID > vs.NextRunID {
+		vs.NextRunID = e.NextRunID
+	}
+	return nil
+}
+
+// LogAndApply durably records the edit, then installs the resulting
+// Version.
+func (vs *VersionSet) LogAndApply(e *VersionEdit) error {
+	// Stamp counters into the edit so recovery replays them.
+	e.LastSeqNum = vs.LastSeqNum
+	e.NextFileNum = vs.NextFileNum
+	e.LogNum = vs.LogNum
+	e.NextRunID = vs.NextRunID
+	if err := vs.writer.AddRecord(e.Encode()); err != nil {
+		return err
+	}
+	if err := vs.writer.Sync(); err != nil {
+		return err
+	}
+	return vs.applyLocked(e)
+}
+
+// snapshotEdit captures the full current state as one edit.
+func (vs *VersionSet) snapshotEdit() *VersionEdit {
+	e := &VersionEdit{
+		LastSeqNum:  vs.LastSeqNum,
+		NextFileNum: vs.NextFileNum,
+		LogNum:      vs.LogNum,
+		NextRunID:   vs.NextRunID,
+	}
+	for l := range vs.current.Levels {
+		for _, r := range vs.current.Levels[l] {
+			for _, f := range r.Files {
+				e.Added = append(e.Added, NewFileEntry{Level: l, RunID: r.ID, Meta: f})
+			}
+		}
+	}
+	return e
+}
+
+// rollManifest starts a new manifest file seeded with a snapshot edit and
+// atomically repoints CURRENT at it.
+func (vs *VersionSet) rollManifest() error {
+	if vs.writer != nil {
+		if err := vs.writer.Close(); err != nil {
+			return err
+		}
+		vs.writer = nil
+	}
+	num := vs.AllocFileNum()
+	path := MakeFilename(vs.dirname, FileTypeManifest, num)
+	f, err := vs.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	w := wal.NewWriter(f)
+	snap := vs.snapshotEdit()
+	snap.NextFileNum = vs.NextFileNum // includes the manifest's own number
+	if err := w.AddRecord(snap.Encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+
+	// Write CURRENT via a temp file + rename for atomicity.
+	tmp := filepath.Join(vs.dirname, "CURRENT.tmp")
+	cf, err := vs.fs.Create(tmp)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := cf.Write([]byte(filepath.Base(path) + "\n")); err != nil {
+		cf.Close()
+		f.Close()
+		return err
+	}
+	if err := cf.Sync(); err != nil {
+		cf.Close()
+		f.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := vs.fs.Rename(tmp, MakeFilename(vs.dirname, FileTypeCurrent, 0)); err != nil {
+		f.Close()
+		return err
+	}
+
+	oldNum := vs.manifestNum
+	vs.writer = w
+	vs.manifestNum = num
+	if oldNum != 0 {
+		// Best-effort removal of the superseded manifest.
+		_ = vs.fs.Remove(MakeFilename(vs.dirname, FileTypeManifest, oldNum))
+	}
+	return nil
+}
+
+// Close releases the manifest writer.
+func (vs *VersionSet) Close() error {
+	if vs.writer == nil {
+		return nil
+	}
+	err := vs.writer.Close()
+	vs.writer = nil
+	return err
+}

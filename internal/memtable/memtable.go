@@ -1,0 +1,148 @@
+// Package memtable wraps the skiplist with the bookkeeping an LSM memtable
+// needs: size accounting for flush triggers, tombstone statistics for FADE,
+// and a sidecar holding KiWi secondary-key range tombstones.
+package memtable
+
+import (
+	"sync"
+
+	"repro/internal/base"
+	"repro/internal/skiplist"
+)
+
+// MemTable is an in-memory, ordered write buffer. Writers must be
+// serialized by the caller (the engine's commit pipeline); readers are
+// concurrent and lock-free on the point-entry path.
+type MemTable struct {
+	list *skiplist.List
+
+	mu        sync.RWMutex // guards rangeDels only
+	rangeDels []base.RangeTombstone
+
+	numDeletes      int64
+	oldestTombstone base.Timestamp
+	hasTombstone    bool
+}
+
+// New returns an empty memtable.
+func New() *MemTable {
+	return &MemTable{list: skiplist.New(base.CompareEncoded)}
+}
+
+// Add inserts an entry. The key's sequence number must be unique within the
+// memtable. key and value are copied.
+func (m *MemTable) Add(ikey base.InternalKey, value []byte) {
+	enc := ikey.Encode(make([]byte, 0, ikey.Size()))
+	v := append([]byte(nil), value...)
+	if ikey.Kind() == base.KindDelete {
+		ts := base.DecodeTombstoneValue(value)
+		m.noteTombstone(ts)
+		m.numDeletes++
+	}
+	m.list.Insert(enc, v)
+}
+
+// AddRangeTombstone records a secondary-key range tombstone.
+func (m *MemTable) AddRangeTombstone(rt base.RangeTombstone) {
+	m.mu.Lock()
+	m.rangeDels = append(m.rangeDels, rt)
+	m.mu.Unlock()
+	m.noteTombstone(rt.CreatedAt)
+}
+
+func (m *MemTable) noteTombstone(ts base.Timestamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.hasTombstone || ts < m.oldestTombstone {
+		m.oldestTombstone = ts
+	}
+	m.hasTombstone = true
+}
+
+// RangeTombstones returns a snapshot of the sidecar tombstones.
+func (m *MemTable) RangeTombstones() []base.RangeTombstone {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]base.RangeTombstone(nil), m.rangeDels...)
+}
+
+// Get returns the newest entry for userKey visible at seq, along with the
+// entry's own sequence number.
+func (m *MemTable) Get(userKey []byte, seq base.SeqNum) (base.Kind, []byte, base.SeqNum, bool) {
+	it := m.list.NewIter()
+	search := base.MakeSearchKey(userKey, seq).Encode(nil)
+	if !it.SeekGE(search) {
+		return 0, nil, 0, false
+	}
+	ik := base.DecodeInternalKey(it.Key())
+	if base.Compare(ik.UserKey, userKey) != 0 {
+		return 0, nil, 0, false
+	}
+	return ik.Kind(), it.Value(), ik.SeqNum(), true
+}
+
+// ApproximateBytes returns the memory footprint used for flush decisions.
+func (m *MemTable) ApproximateBytes() int64 { return m.list.Bytes() }
+
+// Len returns the number of point entries.
+func (m *MemTable) Len() int { return m.list.Len() }
+
+// NumDeletes returns the number of point tombstones.
+func (m *MemTable) NumDeletes() int64 { return m.numDeletes }
+
+// NumRangeDeletes returns the number of range tombstones.
+func (m *MemTable) NumRangeDeletes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rangeDels)
+}
+
+// Empty reports whether the memtable holds no entries of any kind.
+func (m *MemTable) Empty() bool { return m.Len() == 0 && m.NumRangeDeletes() == 0 }
+
+// OldestTombstone returns the creation time of the memtable's oldest
+// tombstone; ok is false when it holds none.
+func (m *MemTable) OldestTombstone() (base.Timestamp, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.oldestTombstone, m.hasTombstone
+}
+
+// Iter iterates the memtable in internal-key order.
+type Iter struct {
+	it   *skiplist.Iter
+	ikey base.InternalKey
+}
+
+// NewIter returns an unpositioned iterator over the point entries.
+func (m *MemTable) NewIter() *Iter { return &Iter{it: m.list.NewIter()} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (i *Iter) Valid() bool { return i.it.Valid() }
+
+// Key returns the current internal key.
+func (i *Iter) Key() base.InternalKey { return i.ikey }
+
+// Value returns the current value.
+func (i *Iter) Value() []byte { return i.it.Value() }
+
+func (i *Iter) update(valid bool) bool {
+	if valid {
+		i.ikey = base.DecodeInternalKey(i.it.Key())
+	}
+	return valid
+}
+
+// First positions on the smallest entry.
+func (i *Iter) First() bool { return i.update(i.it.First()) }
+
+// SeekGE positions on the first entry >= target.
+func (i *Iter) SeekGE(target base.InternalKey) bool {
+	return i.update(i.it.SeekGE(target.Encode(nil)))
+}
+
+// Next advances the iterator.
+func (i *Iter) Next() bool { return i.update(i.it.Next()) }
+
+// Error always returns nil: memtable iteration cannot fail.
+func (i *Iter) Error() error { return nil }

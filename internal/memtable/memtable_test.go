@@ -1,0 +1,154 @@
+package memtable
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func TestAddGetVisibility(t *testing.T) {
+	m := New()
+	m.Add(base.MakeInternalKey([]byte("k"), 5, base.KindSet), []byte("v5"))
+	m.Add(base.MakeInternalKey([]byte("k"), 9, base.KindSet), []byte("v9"))
+
+	// Latest read sees the newest version.
+	kind, v, seq, ok := m.Get([]byte("k"), base.MaxSeqNum)
+	if !ok || kind != base.KindSet || string(v) != "v9" || seq != 9 {
+		t.Fatalf("latest get = %v %q %d %v", kind, v, seq, ok)
+	}
+	// Snapshot read at seq 7 sees the older version.
+	kind, v, seq, ok = m.Get([]byte("k"), 7)
+	if !ok || string(v) != "v5" || seq != 5 {
+		t.Fatalf("snapshot get = %v %q %d %v", kind, v, seq, ok)
+	}
+	// Snapshot read below both versions sees nothing.
+	if _, _, _, ok = m.Get([]byte("k"), 3); ok {
+		t.Fatal("pre-insert snapshot should see nothing")
+	}
+	// Absent key.
+	if _, _, _, ok = m.Get([]byte("absent"), base.MaxSeqNum); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestTombstoneVisibleAsDelete(t *testing.T) {
+	m := New()
+	m.Add(base.MakeInternalKey([]byte("k"), 1, base.KindSet), []byte("v"))
+	m.Add(base.MakeInternalKey([]byte("k"), 2, base.KindDelete), base.EncodeTombstoneValue(42))
+	kind, _, _, ok := m.Get([]byte("k"), base.MaxSeqNum)
+	if !ok || kind != base.KindDelete {
+		t.Fatalf("expected tombstone, got %v ok=%v", kind, ok)
+	}
+	if m.NumDeletes() != 1 {
+		t.Fatalf("NumDeletes = %d", m.NumDeletes())
+	}
+	ts, has := m.OldestTombstone()
+	if !has || ts != 42 {
+		t.Fatalf("OldestTombstone = %d, %v", ts, has)
+	}
+}
+
+func TestOldestTombstoneTracksMinimum(t *testing.T) {
+	m := New()
+	m.Add(base.MakeInternalKey([]byte("a"), 1, base.KindDelete), base.EncodeTombstoneValue(100))
+	m.Add(base.MakeInternalKey([]byte("b"), 2, base.KindDelete), base.EncodeTombstoneValue(50))
+	m.Add(base.MakeInternalKey([]byte("c"), 3, base.KindDelete), base.EncodeTombstoneValue(75))
+	if ts, _ := m.OldestTombstone(); ts != 50 {
+		t.Fatalf("OldestTombstone = %d, want 50", ts)
+	}
+	// Range tombstones participate too.
+	m.AddRangeTombstone(base.RangeTombstone{Lo: 0, Hi: 10, Seq: 4, CreatedAt: 7})
+	if ts, _ := m.OldestTombstone(); ts != 7 {
+		t.Fatalf("OldestTombstone with rangedel = %d, want 7", ts)
+	}
+}
+
+func TestRangeTombstoneSidecar(t *testing.T) {
+	m := New()
+	if m.NumRangeDeletes() != 0 || !m.Empty() {
+		t.Fatal("fresh memtable should be empty")
+	}
+	m.AddRangeTombstone(base.RangeTombstone{Lo: 1, Hi: 5, Seq: 1, CreatedAt: 1})
+	m.AddRangeTombstone(base.RangeTombstone{Lo: 7, Hi: 9, Seq: 2, CreatedAt: 2})
+	if m.NumRangeDeletes() != 2 {
+		t.Fatalf("NumRangeDeletes = %d", m.NumRangeDeletes())
+	}
+	if m.Empty() {
+		t.Fatal("memtable with range tombstones is not empty")
+	}
+	rts := m.RangeTombstones()
+	if len(rts) != 2 || rts[0].Lo != 1 || rts[1].Lo != 7 {
+		t.Fatalf("RangeTombstones = %v", rts)
+	}
+	// The returned slice is a snapshot.
+	rts[0].Lo = 99
+	if m.RangeTombstones()[0].Lo != 1 {
+		t.Fatal("RangeTombstones aliased internal state")
+	}
+}
+
+func TestIterOrderAndSeek(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%04d", i*37%100)
+		m.Add(base.MakeInternalKey([]byte(k), base.SeqNum(i+1), base.KindSet), []byte("v"))
+	}
+	it := m.NewIter()
+	var prev base.InternalKey
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if n > 0 && prev.Compare(it.Key()) >= 0 {
+			t.Fatalf("out of order: %s then %s", prev, it.Key())
+		}
+		prev = it.Key().Clone()
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("iterated %d", n)
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if !it.SeekGE(base.MakeSearchKey([]byte("k0050"), base.MaxSeqNum)) {
+		t.Fatal("seek failed")
+	}
+	if string(it.Key().UserKey) != "k0050" {
+		t.Fatalf("seek landed on %q", it.Key().UserKey)
+	}
+}
+
+func TestMultipleVersionsIterateNewestFirst(t *testing.T) {
+	m := New()
+	m.Add(base.MakeInternalKey([]byte("k"), 1, base.KindSet), []byte("old"))
+	m.Add(base.MakeInternalKey([]byte("k"), 3, base.KindSet), []byte("new"))
+	m.Add(base.MakeInternalKey([]byte("k"), 2, base.KindDelete), base.EncodeTombstoneValue(0))
+	it := m.NewIter()
+	var seqs []base.SeqNum
+	for ok := it.First(); ok; ok = it.Next() {
+		seqs = append(seqs, it.Key().SeqNum())
+	}
+	if len(seqs) != 3 || seqs[0] != 3 || seqs[1] != 2 || seqs[2] != 1 {
+		t.Fatalf("version order = %v, want [3 2 1]", seqs)
+	}
+}
+
+func TestApproximateBytesGrows(t *testing.T) {
+	m := New()
+	before := m.ApproximateBytes()
+	m.Add(base.MakeInternalKey(make([]byte, 1000), 1, base.KindSet), make([]byte, 1000))
+	if m.ApproximateBytes() < before+2000 {
+		t.Fatalf("ApproximateBytes did not grow: %d", m.ApproximateBytes())
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	m := New()
+	v := []byte("original")
+	m.Add(base.MakeInternalKey([]byte("k"), 1, base.KindSet), v)
+	v[0] = 'X'
+	_, got, _, _ := m.Get([]byte("k"), base.MaxSeqNum)
+	if string(got) != "original" {
+		t.Fatalf("memtable aliased caller's value: %q", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package metrics provides the counters and histograms behind Acheron's
+// amplification and delete-persistence reporting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram records int64 samples (durations, sizes) in power-of-two
+// buckets. It is safe for concurrent use.
+type Histogram struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func bucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return 64 - leadingZeros(uint64(v))
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	b := bucketFor(v)
+	if b > 63 {
+		b = 63
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) using the
+// bucket upper edges. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	var seen int64
+	for b := 0; b < 64; b++ {
+		seen += h.buckets[b].Load()
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			if b >= 63 {
+				return math.MaxInt64
+			}
+			return 1<<b - 1 // upper edge of bucket b
+		}
+	}
+	return h.max.Load()
+}
+
+// CountAbove returns the number of samples strictly greater than v,
+// conservatively (bucket granularity; samples in v's bucket are not
+// counted).
+func (h *Histogram) CountAbove(v int64) int64 {
+	b := bucketFor(v)
+	var n int64
+	for i := b + 1; i < 64; i++ {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Counter is an atomic monotone counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Get returns the current value.
+func (c *Counter) Get() int64 { return c.v.Load() }
+
+// Gauge is an atomic last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Get returns the current value.
+func (g *Gauge) Get() int64 { return g.v.Load() }
+
+// Series is a time-ordered sequence of (x, y) points used by the harness to
+// reproduce the paper's figures. It is safe for concurrent appends.
+type Series struct {
+	mu  sync.Mutex
+	xs  []float64
+	ys  []float64
+	lbl string
+}
+
+// NewSeries creates a named series.
+func NewSeries(label string) *Series { return &Series{lbl: label} }
+
+// Label returns the series name.
+func (s *Series) Label() string { return s.lbl }
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+}
+
+// Points returns copies of the x and y vectors.
+func (s *Series) Points() (xs, ys []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.xs...), append([]float64(nil), s.ys...)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
+
+// String renders the series as "label: (x,y) (x,y) ...".
+func (s *Series) String() string {
+	xs, ys := s.Points()
+	out := s.lbl + ":"
+	for i := range xs {
+		out += fmt.Sprintf(" (%g,%g)", xs[i], ys[i])
+	}
+	return out
+}
+
+// Percentile computes the p-th percentile (0-100) of a float slice.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	for _, v := range []int64{1, 2, 4, 8, 1000} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-203) > 0.5 {
+		t.Fatalf("Mean = %f", mean)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	// Quantiles are bucket upper bounds: q(0.5) must be >= the true
+	// median and within one power of two of it.
+	q50 := h.Quantile(0.5)
+	if q50 < 500 || q50 > 1024 {
+		t.Fatalf("q50 = %d, want in [500, 1024]", q50)
+	}
+	q100 := h.Quantile(1.0)
+	if q100 < 1000 {
+		t.Fatalf("q100 = %d", q100)
+	}
+}
+
+func TestHistogramCountAbove(t *testing.T) {
+	var h Histogram
+	h.Record(10)   // bucket [8,16)
+	h.Record(100)  // bucket [64,128)
+	h.Record(5000) // bucket [4096,8192)
+	if got := h.CountAbove(128); got != 1 {
+		t.Fatalf("CountAbove(128) = %d", got)
+	}
+	if got := h.CountAbove(1); got != 3 {
+		t.Fatalf("CountAbove(1) = %d", got)
+	}
+	if got := h.CountAbove(1 << 40); got != 0 {
+		t.Fatalf("CountAbove(huge) = %d", got)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5)
+	if h.Count() != 2 {
+		t.Fatal("non-positive samples must still count")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("q50 of zeros = %d", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				h.Record(int64(i + g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80_000 {
+		t.Fatalf("lost samples: %d", h.Count())
+	}
+	if h.Max() < 9999 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get() != 4000 {
+		t.Fatalf("Counter = %d", c.Get())
+	}
+	if g.Get() != 0 {
+		t.Fatalf("Gauge = %d", g.Get())
+	}
+	g.Set(42)
+	if g.Get() != 42 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("tombstones")
+	if s.Label() != "tombstones" || s.Len() != 0 {
+		t.Fatal("fresh series wrong")
+	}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	xs, ys := s.Points()
+	if len(xs) != 2 || xs[1] != 2 || ys[1] != 20 {
+		t.Fatalf("points = %v %v", xs, ys)
+	}
+	// Points returns copies.
+	xs[0] = 99
+	nxs, _ := s.Points()
+	if nxs[0] != 1 {
+		t.Fatal("Points aliased internal storage")
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(vals, 50); math.Abs(p-5.5) > 0.01 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := Percentile(vals, 0); p != 1 {
+		t.Fatalf("p0 = %f", p)
+	}
+	if p := Percentile(vals, 100); p != 10 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %f", p)
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}

@@ -1,0 +1,166 @@
+// Package skiplist provides the ordered map backing Acheron's memtables: a
+// single-writer, multi-reader skiplist over byte-slice keys. Readers never
+// take locks; the engine serializes writers.
+package skiplist
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+const (
+	maxHeight = 12
+	// pValue is the branching probability; 1/4 gives the classic
+	// space/search trade-off used by LevelDB.
+	pValue = 0.25
+)
+
+// Compare orders two keys. Negative means a < b.
+type Compare func(a, b []byte) int
+
+type node struct {
+	key   []byte
+	value []byte
+	next  [maxHeight]atomic.Pointer[node]
+}
+
+// List is the skiplist. Create one with New. Concurrent readers are safe
+// with one concurrent writer; multiple writers must be serialized by the
+// caller.
+type List struct {
+	head   *node
+	cmp    Compare
+	height atomic.Int32
+	count  atomic.Int64
+	bytes  atomic.Int64
+	rng    splitmix
+}
+
+// splitmix is a tiny deterministic PRNG (SplitMix64); the list is
+// reproducible for a given insertion sequence, which keeps benchmarks and
+// property tests deterministic.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns an empty list ordered by cmp.
+func New(cmp Compare) *List {
+	l := &List{head: &node{}, cmp: cmp, rng: splitmix{state: 0x9E3779B97F4A7C15}}
+	l.height.Store(1)
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return int(l.count.Load()) }
+
+// Bytes returns the approximate memory consumed by keys and values.
+func (l *List) Bytes() int64 { return l.bytes.Load() }
+
+func (l *List) randomHeight() int {
+	h := 1
+	const threshold = uint64(float64(math.MaxUint64) * pValue)
+	for h < maxHeight && l.rng.next() < threshold {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= target, also filling prev with
+// the predecessor at every level when prev != nil.
+func (l *List) findGE(target []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && l.cmp(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Insert adds a key/value pair. The key must not already be present; the
+// engine guarantees uniqueness because every internal key carries a unique
+// sequence number. Key and value are retained, not copied.
+func (l *List) Insert(key, value []byte) {
+	var prev [maxHeight]*node
+	l.findGE(key, &prev)
+
+	h := l.randomHeight()
+	listH := int(l.height.Load())
+	if h > listH {
+		for i := listH; i < h; i++ {
+			prev[i] = l.head
+		}
+		l.height.Store(int32(h))
+	}
+	n := &node{key: key, value: value}
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	l.count.Add(1)
+	l.bytes.Add(int64(len(key) + len(value) + 64))
+}
+
+// Get returns the value stored at exactly key.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && l.cmp(n.key, key) == 0 {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// Iter is a stateful iterator over the list. It is safe to use concurrently
+// with one writer, observing some prefix of concurrent insertions.
+type Iter struct {
+	l *List
+	n *node
+}
+
+// NewIter returns an unpositioned iterator.
+func (l *List) NewIter() *Iter { return &Iter{l: l} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (i *Iter) Valid() bool { return i.n != nil }
+
+// Key returns the current key. It aliases stored memory and must not be
+// mutated.
+func (i *Iter) Key() []byte { return i.n.key }
+
+// Value returns the current value.
+func (i *Iter) Value() []byte { return i.n.value }
+
+// First positions the iterator on the smallest key.
+func (i *Iter) First() bool {
+	i.n = i.l.head.next[0].Load()
+	return i.n != nil
+}
+
+// SeekGE positions the iterator on the first key >= target.
+func (i *Iter) SeekGE(target []byte) bool {
+	i.n = i.l.findGE(target, nil)
+	return i.n != nil
+}
+
+// Next advances the iterator.
+func (i *Iter) Next() bool {
+	if i.n != nil {
+		i.n = i.n.next[0].Load()
+	}
+	return i.n != nil
+}

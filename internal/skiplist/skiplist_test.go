@@ -1,0 +1,154 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestInsertGet(t *testing.T) {
+	l := New(bytes.Compare)
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i*7%1000))
+		l.Insert(k, []byte(fmt.Sprintf("v%d", i)))
+	}
+	if l.Len() != 1000 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if _, ok := l.Get([]byte("key000500")); !ok {
+		t.Fatal("missing inserted key")
+	}
+	if _, ok := l.Get([]byte("absent")); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New(bytes.Compare)
+	perm := rand.New(rand.NewSource(3)).Perm(2000)
+	for _, i := range perm {
+		l.Insert([]byte(fmt.Sprintf("k%08d", i)), nil)
+	}
+	it := l.NewIter()
+	prev := []byte(nil)
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("out of order: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("iterated %d", n)
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := New(bytes.Compare)
+	var keys []string
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%06d", i*4)
+		keys = append(keys, k)
+		l.Insert([]byte(k), nil)
+	}
+	it := l.NewIter()
+	for trial := 0; trial < 500; trial++ {
+		target := fmt.Sprintf("k%06d", trial*4-1)
+		want := sort.SearchStrings(keys, target)
+		ok := it.SeekGE([]byte(target))
+		if want == len(keys) {
+			if ok {
+				t.Fatalf("SeekGE(%q) should be invalid", target)
+			}
+		} else if !ok || string(it.Key()) != keys[want] {
+			t.Fatalf("SeekGE(%q) = %q, want %q", target, it.Key(), keys[want])
+		}
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := New(bytes.Compare)
+	if l.Bytes() != 0 {
+		t.Fatal("fresh list should report 0 bytes")
+	}
+	l.Insert(make([]byte, 100), make([]byte, 50))
+	if got := l.Bytes(); got < 150 {
+		t.Fatalf("Bytes = %d, want >= 150", got)
+	}
+}
+
+// TestConcurrentReadersOneWriter checks the single-writer/many-readers
+// contract: readers must always observe a consistent ordered prefix.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	l := New(bytes.Compare)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				it := l.NewIter()
+				prev := []byte(nil)
+				for ok := it.First(); ok; ok = it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						t.Error("reader observed out-of-order keys")
+						return
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20_000; i++ {
+		l.Insert([]byte(fmt.Sprintf("k%08d", i*2654435761%20_000)), []byte("v"))
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestDeterministicHeights(t *testing.T) {
+	build := func() string {
+		l := New(bytes.Compare)
+		for i := 0; i < 100; i++ {
+			l.Insert([]byte(fmt.Sprintf("k%03d", i)), nil)
+		}
+		return fmt.Sprintf("%d", l.height.Load())
+	}
+	if build() != build() {
+		t.Fatal("same insertion sequence should produce identical structure")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := New(bytes.Compare)
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%012d", i*2654435761))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(keys[i], nil)
+	}
+}
+
+func BenchmarkSeekGE(b *testing.B) {
+	l := New(bytes.Compare)
+	for i := 0; i < 100_000; i++ {
+		l.Insert([]byte(fmt.Sprintf("k%012d", i)), nil)
+	}
+	it := l.NewIter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.SeekGE([]byte(fmt.Sprintf("k%012d", i%100_000)))
+	}
+}

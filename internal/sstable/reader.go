@@ -1,0 +1,401 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/base"
+	"repro/internal/block"
+	"repro/internal/bloom"
+	"repro/internal/cache"
+	"repro/internal/vfs"
+)
+
+// PageInfo describes one data page for compaction-time filtering: a KiWi
+// compaction drops a page (returns false from the filter) when a range
+// tombstone covers its whole delete-key span and it holds no tombstones.
+type PageInfo struct {
+	// DKMin and DKMax span the page's secondary delete keys. An empty
+	// span (DKMin > DKMax) means the page has no delete-keyed entries.
+	DKMin base.DeleteKey
+	DKMax base.DeleteKey
+	// MaxSeq is the largest sequence number of any entry in the page. A
+	// range tombstone only covers entries with smaller sequence numbers,
+	// so it can only drop a page whose MaxSeq is below its own.
+	MaxSeq base.SeqNum
+	// HasTombstones reports whether the page holds point tombstones.
+	HasTombstones bool
+}
+
+// Droppable reports whether rt may elide the whole page. Snapshot safety is
+// the caller's responsibility.
+func (p PageInfo) Droppable(rt base.RangeTombstone) bool {
+	return !p.HasTombstones && p.DKMin <= p.DKMax &&
+		p.MaxSeq < rt.Seq && rt.CoversRange(p.DKMin, p.DKMax)
+}
+
+// Reader provides random and sequential access to a finished table.
+// It is safe for concurrent use by multiple iterators.
+type Reader struct {
+	f     vfs.File
+	props Properties
+
+	blockCache *cache.Cache
+	cacheID    uint64
+
+	// index entries and their separators, decoded eagerly at open.
+	seps    [][]byte // encoded internal keys
+	entries []indexEntry
+	// groups[i] is the half-open range [start, end) of index positions
+	// forming tile i.
+	groups [][2]int
+
+	filter    bloom.Filter
+	hasFilter bool
+	rangeDels []base.RangeTombstone
+}
+
+// Open reads a table's metadata and returns a Reader. The file must remain
+// open for the Reader's lifetime; Close releases it.
+func Open(f vfs.File) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < FooterSize {
+		return nil, fmt.Errorf("sstable: file too small (%d bytes)", size)
+	}
+	fb := make([]byte, FooterSize)
+	if _, err := f.ReadAt(fb, size-FooterSize); err != nil {
+		return nil, err
+	}
+	ftr, err := decodeFooter(fb)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f}
+
+	pb, err := r.readBlock(ftr.props)
+	if err != nil {
+		return nil, err
+	}
+	if r.props, err = decodeProperties(pb); err != nil {
+		return nil, err
+	}
+
+	if ftr.filter.Length > 0 {
+		filterRaw, err := r.readBlock(ftr.filter)
+		if err != nil {
+			return nil, err
+		}
+		filter, ok := bloom.Decode(filterRaw)
+		if !ok {
+			return nil, fmt.Errorf("sstable: corrupt bloom filter block")
+		}
+		r.filter, r.hasFilter = filter, true
+	}
+
+	if ftr.rangeDel.Length > 0 {
+		raw, err := r.readBlock(ftr.rangeDel)
+		if err != nil {
+			return nil, err
+		}
+		for len(raw) > 0 {
+			rt, rest, ok := base.DecodeRangeTombstone(raw)
+			if !ok {
+				return nil, fmt.Errorf("sstable: corrupt range-tombstone block")
+			}
+			r.rangeDels = append(r.rangeDels, rt)
+			raw = rest
+		}
+	}
+
+	ib, err := r.readBlock(ftr.index)
+	if err != nil {
+		return nil, err
+	}
+	it, err := block.NewIter(ib, base.CompareEncoded)
+	if err != nil {
+		return nil, err
+	}
+	for valid := it.First(); valid; valid = it.Next() {
+		ent, ok := decodeIndexEntry(it.Value())
+		if !ok {
+			return nil, fmt.Errorf("sstable: corrupt index entry")
+		}
+		r.seps = append(r.seps, append([]byte(nil), it.Key()...))
+		r.entries = append(r.entries, ent)
+	}
+	if err := it.Error(); err != nil {
+		return nil, err
+	}
+	// Group consecutive pages by tile id.
+	for i := 0; i < len(r.entries); {
+		j := i + 1
+		for j < len(r.entries) && r.entries[j].tile == r.entries[i].tile {
+			j++
+		}
+		r.groups = append(r.groups, [2]int{i, j})
+		i = j
+	}
+	return r, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// SetCache attaches a shared block cache; id must be unique per file (the
+// file number). Data blocks read afterwards are served from and inserted
+// into the cache.
+func (r *Reader) SetCache(c *cache.Cache, id uint64) {
+	r.blockCache = c
+	r.cacheID = id
+}
+
+// Props returns the table's properties.
+func (r *Reader) Props() Properties { return r.props }
+
+// RangeTombstones returns the table's secondary-key range tombstones.
+func (r *Reader) RangeTombstones() []base.RangeTombstone { return r.rangeDels }
+
+// NumPages returns the number of data pages in the table.
+func (r *Reader) NumPages() int { return len(r.entries) }
+
+// NumTiles returns the number of delete tiles in the table.
+func (r *Reader) NumTiles() int { return len(r.groups) }
+
+// Page returns compaction-relevant info about page i.
+func (r *Reader) Page(i int) PageInfo {
+	e := r.entries[i]
+	return PageInfo{DKMin: e.dkMin, DKMax: e.dkMax, MaxSeq: e.maxSeq, HasTombstones: e.flags&pageFlagHasTombstones != 0}
+}
+
+// MayContain probes the Bloom filter for a user key. Tables without filters
+// always report true.
+func (r *Reader) MayContain(userKey []byte) bool {
+	if !r.hasFilter {
+		return true
+	}
+	return r.filter.MayContain(bloom.Hash(userKey))
+}
+
+// readBlock fetches a block — from the block cache when attached — and
+// verifies its CRC trailer on a cache miss.
+func (r *Reader) readBlock(h BlockHandle) ([]byte, error) {
+	if r.blockCache != nil {
+		if data, ok := r.blockCache.Get(r.cacheID, h.Offset); ok {
+			return data, nil
+		}
+	}
+	buf := make([]byte, h.Length+4)
+	if _, err := r.f.ReadAt(buf, int64(h.Offset)); err != nil {
+		return nil, fmt.Errorf("sstable: reading block at %d: %w", h.Offset, err)
+	}
+	data, crcStored := buf[:h.Length], binary.LittleEndian.Uint32(buf[h.Length:])
+	if got := crc32.Checksum(data, castagnoli); got != crcStored {
+		return nil, fmt.Errorf("sstable: block at offset %d: checksum mismatch (stored %#x, computed %#x)", h.Offset, crcStored, got)
+	}
+	if r.blockCache != nil {
+		r.blockCache.Put(r.cacheID, h.Offset, data)
+	}
+	return data, nil
+}
+
+// PageFilter decides whether a page should be read (true) or elided (false)
+// during iteration. Used by KiWi compactions to drop covered pages.
+type PageFilter func(PageInfo) bool
+
+// Iter iterates a table in internal-key order, transparently merging the
+// delete-key-ordered pages inside each tile. Not safe for concurrent use.
+type Iter struct {
+	r           *Reader
+	filter      PageFilter
+	dropped     uint64
+	bytesLoaded uint64
+
+	gi    int // current tile (group) index; len(groups) == exhausted
+	pages []*block.Iter
+	cur   int // index into pages of the minimal entry, -1 if none
+	ikey  base.InternalKey
+	err   error
+}
+
+// NewIter opens an iterator over the whole table.
+func (r *Reader) NewIter() *Iter { return &Iter{r: r, gi: -1, cur: -1} }
+
+// NewCompactionIter opens an iterator that elides pages rejected by filter
+// and counts them (Dropped).
+func (r *Reader) NewCompactionIter(filter PageFilter) *Iter {
+	return &Iter{r: r, filter: filter, gi: -1, cur: -1}
+}
+
+// Dropped returns the number of pages elided by the page filter so far.
+func (i *Iter) Dropped() uint64 { return i.dropped }
+
+// BytesLoaded returns the data-block bytes actually read so far; pages
+// elided by the page filter are never read and do not count.
+func (i *Iter) BytesLoaded() uint64 { return i.bytesLoaded }
+
+// Error returns the first I/O or corruption error encountered.
+func (i *Iter) Error() error { return i.err }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (i *Iter) Valid() bool { return i.cur >= 0 && i.err == nil }
+
+// Key returns the current internal key. Valid until the next positioning
+// call.
+func (i *Iter) Key() base.InternalKey { return i.ikey }
+
+// Value returns the current value, aliasing the page buffer.
+func (i *Iter) Value() []byte { return i.pages[i.cur].Value() }
+
+// loadTile opens the page iterators of tile gi. If seekTarget is non-nil
+// each page is positioned at the first entry >= target, else at its first
+// entry.
+func (i *Iter) loadTile(gi int, seekTarget []byte) bool {
+	i.gi = gi
+	i.pages = i.pages[:0]
+	i.cur = -1
+	if gi >= len(i.r.groups) {
+		return false
+	}
+	g := i.r.groups[gi]
+	for pi := g[0]; pi < g[1]; pi++ {
+		if i.filter != nil && !i.filter(i.r.Page(pi)) {
+			i.dropped++
+			continue
+		}
+		data, err := i.r.readBlock(i.r.entries[pi].handle)
+		if err != nil {
+			i.err = err
+			return false
+		}
+		i.bytesLoaded += i.r.entries[pi].handle.Length
+		it, err := block.NewIter(data, base.CompareEncoded)
+		if err != nil {
+			i.err = err
+			return false
+		}
+		if seekTarget != nil {
+			it.SeekGE(seekTarget)
+		} else {
+			it.First()
+		}
+		if err := it.Error(); err != nil {
+			i.err = err
+			return false
+		}
+		i.pages = append(i.pages, it)
+	}
+	return i.pickMin()
+}
+
+// pickMin selects the minimal current entry across the tile's pages.
+func (i *Iter) pickMin() bool {
+	i.cur = -1
+	for pi, it := range i.pages {
+		if !it.Valid() {
+			continue
+		}
+		if i.cur < 0 || base.CompareEncoded(it.Key(), i.pages[i.cur].Key()) < 0 {
+			i.cur = pi
+		}
+	}
+	if i.cur < 0 {
+		return false
+	}
+	i.ikey = base.DecodeInternalKey(i.pages[i.cur].Key())
+	return true
+}
+
+// First positions the iterator on the table's first entry.
+func (i *Iter) First() bool {
+	i.err = nil
+	gi := 0
+	for gi < len(i.r.groups) {
+		if i.loadTile(gi, nil) {
+			return true
+		}
+		if i.err != nil {
+			return false
+		}
+		gi++
+	}
+	i.cur = -1
+	return false
+}
+
+// SeekGE positions the iterator at the first entry with internal key >=
+// target.
+func (i *Iter) SeekGE(target base.InternalKey) bool {
+	i.err = nil
+	enc := target.Encode(nil)
+	// Binary search tiles: first tile whose separator (largest key) >=
+	// target holds the first candidate entry.
+	lo, hi := 0, len(i.r.groups)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		sep := i.r.seps[i.r.groups[mid][0]]
+		if base.CompareEncoded(sep, enc) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for gi := lo; gi < len(i.r.groups); gi++ {
+		if i.loadTile(gi, enc) {
+			return true
+		}
+		if i.err != nil {
+			return false
+		}
+		// The matching tile may be empty after page filtering; later
+		// tiles are entirely >= target, so position them at the start.
+		enc = nil
+	}
+	i.cur = -1
+	return false
+}
+
+// Next advances to the next entry in internal-key order.
+func (i *Iter) Next() bool {
+	if i.cur < 0 || i.err != nil {
+		return false
+	}
+	i.pages[i.cur].Next()
+	if err := i.pages[i.cur].Error(); err != nil {
+		i.err = err
+		return false
+	}
+	if i.pickMin() {
+		return true
+	}
+	// Tile exhausted; move to the next one.
+	for gi := i.gi + 1; gi < len(i.r.groups); gi++ {
+		if i.loadTile(gi, nil) {
+			return true
+		}
+		if i.err != nil {
+			return false
+		}
+	}
+	i.cur = -1
+	return false
+}
+
+// Get performs a point lookup: the newest visible entry for userKey at or
+// below seq. It returns the entry kind, its value, the entry's sequence
+// number, and whether it was found. The caller interprets KindDelete as
+// "definitively deleted". The Bloom filter is consulted by the caller via
+// MayContain so lookup statistics can be attributed.
+func (r *Reader) Get(userKey []byte, seq base.SeqNum) (base.Kind, []byte, base.SeqNum, bool, error) {
+	it := r.NewIter()
+	if it.SeekGE(base.MakeSearchKey(userKey, seq)) {
+		k := it.Key()
+		if base.Compare(k.UserKey, userKey) == 0 {
+			return k.Kind(), it.Value(), k.SeqNum(), true, it.Error()
+		}
+	}
+	return 0, nil, 0, false, it.Error()
+}

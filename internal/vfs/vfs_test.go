@@ -1,0 +1,271 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestMemFSCreateWriteRead(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("dir/file.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("dir/file.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello world" {
+		t.Fatalf("read %q", buf)
+	}
+	size, err := r.Size()
+	if err != nil || size != 11 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+}
+
+func TestMemFSWriteAt(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	if _, err := f.WriteAt([]byte("abc"), 5); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	if size != 8 {
+		t.Fatalf("sparse write size = %d, want 8", size)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[5:]) != "abc" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestMemFSReadPastEOF(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	f.Write([]byte("12345"))
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 3)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past end: %v", err)
+	}
+}
+
+func TestMemFSOpenMissing(t *testing.T) {
+	fs := NewMemFS()
+	if _, err := fs.Open("nope"); err == nil {
+		t.Fatal("expected error opening missing file")
+	}
+	if err := fs.Remove("nope"); err == nil {
+		t.Fatal("expected error removing missing file")
+	}
+	if err := fs.Rename("nope", "x"); err == nil {
+		t.Fatal("expected error renaming missing file")
+	}
+}
+
+func TestMemFSRename(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.Write([]byte("data"))
+	f.Close()
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a") || !fs.Exists("b") {
+		t.Fatal("rename did not move the file")
+	}
+	r, err := fs.Open("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	r.ReadAt(buf, 0)
+	if string(buf) != "data" {
+		t.Fatalf("content lost in rename: %q", buf)
+	}
+}
+
+func TestMemFSList(t *testing.T) {
+	fs := NewMemFS()
+	for _, name := range []string{"d/b", "d/a", "d/sub/c", "top"} {
+		f, _ := fs.Create(name)
+		f.Close()
+	}
+	names, err := fs.List("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List(d) = %v", names)
+	}
+	root, err := fs.List(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 1 || root[0] != "top" {
+		t.Fatalf("List(.) = %v", root)
+	}
+}
+
+func TestMemFSAccounting(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	f.Write(make([]byte, 100))
+	f.Write(make([]byte, 50))
+	if got := fs.BytesWritten(); got != 150 {
+		t.Fatalf("BytesWritten = %d", got)
+	}
+	if got := fs.DiskUsage(); got != 150 {
+		t.Fatalf("DiskUsage = %d", got)
+	}
+	// Overwrite in place should not grow disk usage.
+	f.WriteAt(make([]byte, 50), 0)
+	if got := fs.DiskUsage(); got != 150 {
+		t.Fatalf("DiskUsage after overwrite = %d", got)
+	}
+	if got := fs.BytesWritten(); got != 200 {
+		t.Fatalf("BytesWritten after overwrite = %d", got)
+	}
+	fs.Remove("f")
+	if got := fs.DiskUsage(); got != 0 {
+		t.Fatalf("DiskUsage after remove = %d", got)
+	}
+	if got := fs.BytesWritten(); got != 200 {
+		t.Fatal("BytesWritten should be cumulative across removals")
+	}
+}
+
+func TestMemFSSyncAccountingAndInjection(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Syncs() != 1 {
+		t.Fatalf("Syncs = %d", fs.Syncs())
+	}
+	boom := errors.New("boom")
+	fs.InjectSyncError(boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	// The injection is one-shot.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync should succeed: %v", err)
+	}
+}
+
+func TestMemFSClosedFile(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed file should fail")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read from closed file should fail")
+	}
+}
+
+func TestMemFSReadOnlyOpen(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("f")
+	f.Write([]byte("x"))
+	f.Close()
+	r, _ := fs.Open("f")
+	if _, err := r.Write([]byte("y")); err == nil {
+		t.Fatal("write through read-only handle should fail")
+	}
+}
+
+func TestMemFSConcurrent(t *testing.T) {
+	fs := NewMemFS()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			f, err := fs.Create(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 100; j++ {
+				f.Write([]byte("data"))
+			}
+			f.Sync()
+			f.Close()
+		}(i)
+	}
+	wg.Wait()
+	if got := fs.BytesWritten(); got != 8*100*4 {
+		t.Fatalf("BytesWritten = %d", got)
+	}
+}
+
+func TestOSFSRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OSFS{}
+	if err := fs.MkdirAll(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(dir + "/sub/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists(dir + "/sub/x") {
+		t.Fatal("file should exist")
+	}
+	names, err := fs.List(dir + "/sub")
+	if err != nil || len(names) != 1 || names[0] != "x" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := fs.Rename(dir+"/sub/x", dir+"/sub/y"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(dir + "/sub/y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := r.Size()
+	if size != 5 {
+		t.Fatalf("size = %d", size)
+	}
+	r.Close()
+	if err := fs.Remove(dir + "/sub/y"); err != nil {
+		t.Fatal(err)
+	}
+}

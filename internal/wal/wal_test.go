@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func writeLog(t *testing.T, fs *vfs.MemFS, name string, records [][]byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for _, r := range records {
+		if err := w.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fs *vfs.MemFS, name string) ([][]byte, error) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	fs := vfs.NewMemFS()
+	var records [][]byte
+	for i := 0; i < 100; i++ {
+		records = append(records, []byte(fmt.Sprintf("record-%d-%s", i, string(make([]byte, i)))))
+	}
+	writeLog(t, fs, "log", records)
+	got, err := readAll(t, fs, "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if string(got[i]) != string(records[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeLog(t, fs, "log", nil)
+	got, err := readAll(t, fs, "log")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty log read = %v, %v", got, err)
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeLog(t, fs, "log", [][]byte{{}, []byte("x"), {}})
+	got, err := readAll(t, fs, "log")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("read = %d records, %v", len(got), err)
+	}
+}
+
+// truncate rewrites the log at n bytes shorter.
+func truncate(t *testing.T, fs *vfs.MemFS, name string, n int) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	buf := make([]byte, size-int64(n))
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	f.Close()
+	w, _ := fs.Create(name)
+	w.Write(buf)
+	w.Close()
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	fs := vfs.NewMemFS()
+	records := [][]byte{[]byte("one"), []byte("two"), []byte("three-long-record")}
+	writeLog(t, fs, "log", records)
+	// Cut into the last record; replay should yield the first two.
+	truncate(t, fs, "log", 5)
+	got, err := readAll(t, fs, "log")
+	if err != nil {
+		t.Fatalf("torn tail should not error: %v", err)
+	}
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("torn replay = %q", got)
+	}
+}
+
+func TestTornTailInHeader(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeLog(t, fs, "log", [][]byte{[]byte("one"), []byte("two")})
+	// Leave only 3 bytes of the second record's frame.
+	f, _ := fs.Open("log")
+	size, _ := f.Size()
+	f.Close()
+	secondFrame := int(size) - (4 + 1 + 3) // crc + len + "two"
+	truncate(t, fs, "log", int(size)-secondFrame-3)
+	got, err := readAll(t, fs, "log")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d records, err %v", len(got), err)
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeLog(t, fs, "log", [][]byte{[]byte("aaaaaaaaaa"), []byte("bbbbbbbbbb")})
+	// Flip a payload byte of the FIRST record.
+	f, _ := fs.Open("log")
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0)
+	f.Close()
+	buf[6] ^= 0xff // inside first record's payload
+	w, _ := fs.Create("log")
+	w.Write(buf)
+	w.Close()
+
+	_, err := readAll(t, fs, "log")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption should surface ErrCorrupt, got %v", err)
+	}
+}
+
+func TestCorruptFinalRecordTreatedAsTorn(t *testing.T) {
+	fs := vfs.NewMemFS()
+	writeLog(t, fs, "log", [][]byte{[]byte("aaaaaaaaaa"), []byte("bbbbbbbbbb")})
+	f, _ := fs.Open("log")
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0)
+	f.Close()
+	buf[len(buf)-1] ^= 0xff // corrupt last byte of final record
+	w, _ := fs.Create("log")
+	w.Write(buf)
+	w.Close()
+
+	got, err := readAll(t, fs, "log")
+	if err != nil {
+		t.Fatalf("corrupt tail should be treated as torn, got %v", err)
+	}
+	if len(got) != 1 || string(got[0]) != "aaaaaaaaaa" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSyncIsIdempotent(t *testing.T) {
+	fs := vfs.NewMemFS()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	w.AddRecord([]byte("r"))
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Syncs() != 1 {
+		t.Fatalf("redundant sync hit the file: %d syncs", fs.Syncs())
+	}
+	w.AddRecord([]byte("r2"))
+	w.Sync()
+	if fs.Syncs() != 2 {
+		t.Fatalf("Syncs = %d", fs.Syncs())
+	}
+}
+
+func TestLargeRecords(t *testing.T) {
+	fs := vfs.NewMemFS()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	writeLog(t, fs, "log", [][]byte{big})
+	got, err := readAll(t, fs, "log")
+	if err != nil || len(got) != 1 || len(got[0]) != len(big) {
+		t.Fatalf("large record roundtrip failed: %v", err)
+	}
+}
+
+func BenchmarkAddRecord(b *testing.B) {
+	fs := vfs.NewMemFS()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	rec := make([]byte, 256)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.AddRecord(rec)
+	}
+}

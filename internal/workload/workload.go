@@ -1,0 +1,397 @@
+// Package workload generates the deterministic key-value workloads used by
+// Acheron's benchmark harness: YCSB-style distributions (uniform, zipfian,
+// latest), configurable operation mixes with point deletes, and the
+// streaming rolling-window pattern that motivates secondary range deletes.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/base"
+)
+
+// OpKind enumerates workload operations.
+type OpKind int
+
+const (
+	// OpInsert writes a brand-new key.
+	OpInsert OpKind = iota
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpDelete point-deletes an existing key.
+	OpDelete
+	// OpLookup reads a key (existing or not, per the spec's miss ratio).
+	OpLookup
+	// OpScan iterates a short key range.
+	OpScan
+	// OpRangeDelete deletes a secondary-key range [Lo, Hi).
+	OpRangeDelete
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	case OpScan:
+		return "scan"
+	case OpRangeDelete:
+		return "rangedelete"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+	// ScanLen is the number of keys an OpScan should visit.
+	ScanLen int
+	// Lo and Hi bound an OpRangeDelete on the delete key.
+	Lo, Hi base.DeleteKey
+}
+
+// Dist selects a key-popularity distribution.
+type Dist int
+
+const (
+	// Uniform draws keys uniformly.
+	Uniform Dist = iota
+	// Zipfian draws keys with a zipf(θ≈0.99) skew, YCSB-style.
+	Zipfian
+	// Latest skews toward recently inserted keys.
+	Latest
+	// Sequential walks the key space in order.
+	Sequential
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case Zipfian:
+		return "zipfian"
+	case Latest:
+		return "latest"
+	case Sequential:
+		return "sequential"
+	}
+	return "uniform"
+}
+
+// Mix is an operation mix in fractions that should sum to at most 1; the
+// remainder is OpInsert.
+type Mix struct {
+	Updates     float64
+	Deletes     float64
+	Lookups     float64
+	Scans       float64
+	RangeDelete float64
+}
+
+// Spec fully describes a workload.
+type Spec struct {
+	// Seed makes the workload reproducible.
+	Seed uint64
+	// KeySpace is the number of distinct keys.
+	KeySpace int
+	// ValueLen is the value size in bytes (minimum 8: the leading 8
+	// bytes embed the delete key).
+	ValueLen int
+	// Dist selects the popularity distribution for updates, deletes and
+	// lookups.
+	Dist Dist
+	// Mix is the operation mix.
+	Mix Mix
+	// ScanLen is the length of generated scans. Default 50.
+	ScanLen int
+	// LookupMissRatio is the fraction of lookups that target absent
+	// keys.
+	LookupMissRatio float64
+	// WindowSize, when > 0, turns range deletes into rolling-window
+	// drops: each OpRangeDelete removes delete keys [w, w+WindowSize)
+	// advancing w monotonically (the streaming pattern).
+	WindowSize uint64
+	// DeleteOldestFirst makes point deletes target keys in insertion
+	// order (FIFO retention). Combined with Dist == Sequential this
+	// clusters tombstones in few files — the timeseries pattern the
+	// delete-aware literature evaluates.
+	DeleteOldestFirst bool
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.KeySpace <= 0 {
+		s.KeySpace = 100_000
+	}
+	if s.ValueLen < 8 {
+		s.ValueLen = 64
+	}
+	if s.ScanLen <= 0 {
+		s.ScanLen = 50
+	}
+	if s.Seed == 0 {
+		s.Seed = 0x5eed
+	}
+	return s
+}
+
+// Generator produces a deterministic operation stream from a Spec.
+type Generator struct {
+	spec Spec
+	rng  rng
+	zipf *zipfGen
+
+	// nextTick is the logical timestamp embedded as each write's delete
+	// key.
+	nextTick uint64
+	// inserted tracks how many distinct keys have been inserted so far
+	// (keys are inserted in index order 0..KeySpace-1, then wrap to
+	// updates).
+	inserted int
+	// windowLo is the rolling-window lower bound.
+	windowLo uint64
+	// deleteCursor walks the insertion order for DeleteOldestFirst.
+	deleteCursor int
+
+	keyBuf []byte
+	valBuf []byte
+}
+
+// New creates a generator.
+func New(spec Spec) *Generator {
+	spec = spec.withDefaults()
+	g := &Generator{spec: spec, rng: rng{state: spec.Seed}}
+	g.zipf = newZipf(&g.rng, uint64(spec.KeySpace), 0.99)
+	return g
+}
+
+// Spec returns the generator's (defaulted) spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Inserted returns how many distinct keys have been inserted so far.
+func (g *Generator) Inserted() int { return g.inserted }
+
+// PrimeInserted tells the generator that the first n keys (in its insert
+// order) already exist — used when a store was preloaded by another
+// generator with the same seed and key space.
+func (g *Generator) PrimeInserted(n int) {
+	if n > g.spec.KeySpace {
+		n = g.spec.KeySpace
+	}
+	if n > g.inserted {
+		g.inserted = n
+	}
+}
+
+// KeyAt formats the canonical key for index i.
+func KeyAt(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+
+// ValueFor builds a value of length valueLen whose leading 8 bytes encode
+// dk, the record's secondary delete key.
+func ValueFor(dk uint64, valueLen int) []byte {
+	if valueLen < 8 {
+		valueLen = 8
+	}
+	v := make([]byte, valueLen)
+	binary.BigEndian.PutUint64(v, dk)
+	for i := 8; i < valueLen; i++ {
+		v[i] = byte('a' + (i+int(dk))%26)
+	}
+	return v
+}
+
+// ExtractDeleteKey is the base.DeleteKeyExtractor matching ValueFor.
+func ExtractDeleteKey(v []byte) base.DeleteKey {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+// pickExisting draws the index of an already-inserted key. Inserts happen
+// in permuted order, so the j-th inserted key is permute(j); applying the
+// same permutation keeps updates/deletes/lookups on live keys.
+func (g *Generator) pickExisting() int {
+	if g.inserted == 0 {
+		return 0
+	}
+	var j int
+	switch g.spec.Dist {
+	case Zipfian:
+		j = int(g.zipf.next() % uint64(g.inserted))
+	case Latest:
+		// Zipf over recency: offset 0 = newest insert.
+		off := int(g.zipf.next() % uint64(g.inserted))
+		j = g.inserted - 1 - off
+	default:
+		j = int(g.rng.next() % uint64(g.inserted))
+	}
+	if g.spec.Dist != Sequential && g.spec.KeySpace > 1 {
+		return permute(j, g.spec.KeySpace)
+	}
+	return j
+}
+
+// fill populates the generator's reusable op buffers.
+func (g *Generator) fillWrite(idx int) ([]byte, []byte) {
+	g.keyBuf = append(g.keyBuf[:0], KeyAt(idx)...)
+	tick := g.nextTick
+	g.nextTick++
+	g.valBuf = append(g.valBuf[:0], ValueFor(tick, g.spec.ValueLen)...)
+	return g.keyBuf, g.valBuf
+}
+
+// Next produces the next operation. The returned Op's byte slices are
+// reused across calls; callers must not retain them past the next call.
+func (g *Generator) Next() Op {
+	r := float64(g.rng.next()%1_000_000) / 1_000_000
+	m := g.spec.Mix
+	switch {
+	case g.inserted > 0 && r < m.Updates:
+		k, v := g.fillWrite(g.pickExisting())
+		return Op{Kind: OpUpdate, Key: k, Value: v}
+	case g.inserted > 0 && r < m.Updates+m.Deletes:
+		idx := g.pickExisting()
+		if g.spec.DeleteOldestFirst && g.deleteCursor < g.inserted {
+			j := g.deleteCursor
+			g.deleteCursor++
+			if g.spec.Dist != Sequential && g.spec.KeySpace > 1 {
+				idx = permute(j, g.spec.KeySpace)
+			} else {
+				idx = j
+			}
+		}
+		g.keyBuf = append(g.keyBuf[:0], KeyAt(idx)...)
+		return Op{Kind: OpDelete, Key: g.keyBuf}
+	case g.inserted > 0 && r < m.Updates+m.Deletes+m.Lookups:
+		idx := g.pickExisting()
+		if g.spec.LookupMissRatio > 0 &&
+			float64(g.rng.next()%1_000_000)/1_000_000 < g.spec.LookupMissRatio {
+			idx = g.spec.KeySpace + int(g.rng.next()%uint64(g.spec.KeySpace))
+		}
+		g.keyBuf = append(g.keyBuf[:0], KeyAt(idx)...)
+		return Op{Kind: OpLookup, Key: g.keyBuf}
+	case g.inserted > 0 && r < m.Updates+m.Deletes+m.Lookups+m.Scans:
+		g.keyBuf = append(g.keyBuf[:0], KeyAt(g.pickExisting())...)
+		return Op{Kind: OpScan, Key: g.keyBuf, ScanLen: g.spec.ScanLen}
+	case g.inserted > 0 && r < m.Updates+m.Deletes+m.Lookups+m.Scans+m.RangeDelete:
+		if g.spec.WindowSize > 0 {
+			lo := g.windowLo
+			hi := lo + g.spec.WindowSize
+			if hi > g.nextTick {
+				hi = g.nextTick
+			}
+			if lo >= hi {
+				break // nothing to drop yet; fall through to insert
+			}
+			g.windowLo = hi
+			return Op{Kind: OpRangeDelete, Lo: lo, Hi: hi}
+		}
+		span := g.nextTick / 10
+		if span == 0 {
+			break
+		}
+		lo := g.rng.next() % (g.nextTick - span + 1)
+		return Op{Kind: OpRangeDelete, Lo: lo, Hi: lo + span}
+	}
+	// Insert (or wrap to update when the key space is exhausted).
+	idx := g.inserted
+	if idx >= g.spec.KeySpace {
+		k, v := g.fillWrite(g.pickExisting())
+		return Op{Kind: OpUpdate, Key: k, Value: v}
+	}
+	if g.spec.Dist != Sequential && g.spec.KeySpace > 1 {
+		// Non-sequential workloads insert in shuffled order via a
+		// multiplicative permutation of the index space.
+		idx = permute(idx, g.spec.KeySpace)
+	}
+	g.inserted++
+	k, v := g.fillWrite(idx)
+	return Op{Kind: OpInsert, Key: k, Value: v}
+}
+
+// permute maps i to a pseudo-random permutation of [0, n) using a
+// multiplicative step coprime to n.
+func permute(i, n int) int {
+	const step = 0x9E3779B1 // large prime-ish odd constant
+	return int((uint64(i)*step + 0x7F4A7C15) % uint64(n))
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG + zipf
+
+// rng is SplitMix64.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// zipfGen draws zipf-distributed values in [0, n) with the YCSB rejection
+// inversion approximation.
+type zipfGen struct {
+	r     *rng
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func newZipf(r *rng, n uint64, theta float64) *zipfGen {
+	if n == 0 {
+		n = 1
+	}
+	z := &zipfGen{r: r, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact for small n, sampled approximation for large n (the harness
+	// uses key spaces <= ~1e6, where the approximation error is
+	// negligible for workload purposes).
+	var sum float64
+	if n <= 10_000 {
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / pow(float64(i), theta)
+		}
+		return sum
+	}
+	for i := uint64(1); i <= 10_000; i++ {
+		sum += 1 / pow(float64(i), theta)
+	}
+	// Integral tail approximation: ∫ x^-θ dx from 10^4 to n.
+	sum += (pow(float64(n), 1-theta) - pow(10_000, 1-theta)) / (1 - theta)
+	return sum
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+func (z *zipfGen) next() uint64 {
+	u := z.r.float()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * pow(z.eta*u-z.eta+1, z.alpha))
+}

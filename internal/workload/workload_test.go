@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	spec := Spec{Seed: 7, KeySpace: 1000, Mix: Mix{Updates: 0.3, Deletes: 0.2, Lookups: 0.2}}
+	a, b := New(spec), New(spec)
+	for i := 0; i < 5000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || string(oa.Key) != string(ob.Key) || string(oa.Value) != string(ob.Value) ||
+			oa.Lo != ob.Lo || oa.Hi != ob.Hi {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Spec{Seed: 1, KeySpace: 1000, Mix: Mix{Updates: 0.5}})
+	b := New(Spec{Seed: 2, KeySpace: 1000, Mix: Mix{Updates: 0.5}})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if string(oa.Key) == string(ob.Key) {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical keys", same)
+	}
+}
+
+func TestMixFractionsApproximate(t *testing.T) {
+	// The key space must exceed the op count: once it is exhausted,
+	// residual inserts convert to updates and skew the fractions.
+	g := New(Spec{Seed: 3, KeySpace: 1_000_000, Mix: Mix{Updates: 0.4, Deletes: 0.2, Lookups: 0.3}})
+	counts := map[OpKind]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	frac := func(k OpKind) float64 { return float64(counts[k]) / n }
+	if f := frac(OpUpdate); f < 0.35 || f > 0.45 {
+		t.Errorf("update fraction %.3f", f)
+	}
+	if f := frac(OpDelete); f < 0.15 || f > 0.25 {
+		t.Errorf("delete fraction %.3f", f)
+	}
+	if f := frac(OpLookup); f < 0.25 || f > 0.35 {
+		t.Errorf("lookup fraction %.3f", f)
+	}
+}
+
+func TestInsertPhaseCoversKeySpace(t *testing.T) {
+	const ks = 5000
+	g := New(Spec{Seed: 5, KeySpace: ks}) // pure-insert mix
+	seen := map[string]bool{}
+	for i := 0; i < ks; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("op %d kind %v during insert phase", i, op.Kind)
+		}
+		seen[string(op.Key)] = true
+	}
+	if len(seen) != ks {
+		t.Fatalf("inserted %d distinct keys, want %d (permutation not a bijection)", len(seen), ks)
+	}
+	if g.Inserted() != ks {
+		t.Fatalf("Inserted() = %d", g.Inserted())
+	}
+	// After exhaustion inserts become updates on existing keys.
+	op := g.Next()
+	if op.Kind != OpUpdate {
+		t.Fatalf("post-exhaustion op = %v", op.Kind)
+	}
+	if !seen[string(op.Key)] {
+		t.Fatal("update targeted a never-inserted key")
+	}
+}
+
+func TestPickExistingOnlyTargetsInserted(t *testing.T) {
+	g := New(Spec{Seed: 11, KeySpace: 10_000, Mix: Mix{Deletes: 0.5}})
+	inserted := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			inserted[string(op.Key)] = true
+		case OpDelete:
+			if !inserted[string(op.Key)] {
+				t.Fatalf("op %d deleted never-inserted key %q", i, op.Key)
+			}
+		}
+	}
+}
+
+func TestPrimeInserted(t *testing.T) {
+	g := New(Spec{Seed: 1, KeySpace: 100, Mix: Mix{Lookups: 1}})
+	g.PrimeInserted(100)
+	for i := 0; i < 100; i++ {
+		if op := g.Next(); op.Kind != OpLookup {
+			t.Fatalf("primed generator produced %v", op.Kind)
+		}
+	}
+	// Priming never exceeds the key space or regresses.
+	g.PrimeInserted(10_000)
+	if g.Inserted() != 100 {
+		t.Fatalf("Inserted = %d", g.Inserted())
+	}
+	g.PrimeInserted(5)
+	if g.Inserted() != 100 {
+		t.Fatal("PrimeInserted regressed the counter")
+	}
+}
+
+func TestValueForExtractRoundtrip(t *testing.T) {
+	for _, dk := range []uint64{0, 1, 999999, 1 << 60} {
+		v := ValueFor(dk, 64)
+		if len(v) != 64 {
+			t.Fatalf("len = %d", len(v))
+		}
+		if ExtractDeleteKey(v) != dk {
+			t.Fatalf("roundtrip %d failed", dk)
+		}
+	}
+	if ValueFor(5, 2); ExtractDeleteKey(ValueFor(5, 2)) != 5 {
+		t.Fatal("tiny value should still carry the delete key")
+	}
+	if ExtractDeleteKey([]byte{1}) != 0 {
+		t.Fatal("short value should extract 0")
+	}
+}
+
+func TestRollingWindowRangeDeletes(t *testing.T) {
+	g := New(Spec{
+		Seed: 9, KeySpace: 100_000, WindowSize: 500,
+		Mix: Mix{RangeDelete: 0.05},
+	})
+	var lastHi uint64
+	rds := 0
+	for i := 0; i < 30_000 && rds < 20; i++ {
+		op := g.Next()
+		if op.Kind != OpRangeDelete {
+			continue
+		}
+		rds++
+		if op.Lo != lastHi {
+			t.Fatalf("window not contiguous: lo=%d after hi=%d", op.Lo, lastHi)
+		}
+		if op.Hi <= op.Lo {
+			t.Fatalf("empty window [%d,%d)", op.Lo, op.Hi)
+		}
+		if op.Hi-op.Lo > 500 {
+			t.Fatalf("window too wide: %d", op.Hi-op.Lo)
+		}
+		lastHi = op.Hi
+	}
+	if rds == 0 {
+		t.Fatal("no range deletes generated")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Spec{Seed: 13, KeySpace: 10_000, Dist: Zipfian, Mix: Mix{Updates: 1}})
+	g.PrimeInserted(10_000) // all keys considered present
+	counts := map[string]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		counts[string(op.Key)]++
+	}
+	// The hottest key under zipf(0.99) over 10k keys should take a few
+	// percent of traffic; under uniform it would take ~0.01%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.005 {
+		t.Fatalf("zipf skew too weak: hottest key %.5f of traffic", float64(max)/n)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("zipf collapsed to %d distinct keys", len(counts))
+	}
+}
+
+func TestLookupMissRatio(t *testing.T) {
+	const ks = 1000
+	g := New(Spec{Seed: 17, KeySpace: ks, Mix: Mix{Lookups: 1}, LookupMissRatio: 0.5})
+	g.PrimeInserted(ks)
+	miss := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		var idx int
+		fmt.Sscanf(string(op.Key), "user%d", &idx)
+		if idx >= ks {
+			miss++
+		}
+	}
+	if f := float64(miss) / n; f < 0.4 || f > 0.6 {
+		t.Fatalf("miss ratio %.3f, want ~0.5", f)
+	}
+}
+
+func TestKeyAtStableFormat(t *testing.T) {
+	if string(KeyAt(42)) != "user000000000042" {
+		t.Fatalf("KeyAt changed: %q", KeyAt(42))
+	}
+	// Keys must sort in index order.
+	if string(KeyAt(9)) >= string(KeyAt(10)) {
+		t.Fatal("KeyAt not order-preserving")
+	}
+}
+
+func TestScanOps(t *testing.T) {
+	g := New(Spec{Seed: 19, KeySpace: 100, Mix: Mix{Scans: 1}, ScanLen: 25})
+	g.PrimeInserted(100)
+	op := g.Next()
+	if op.Kind != OpScan || op.ScanLen != 25 {
+		t.Fatalf("scan op: %+v", op)
+	}
+}

@@ -1,0 +1,242 @@
+package acheron
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func smokeOpts(fs FS) Options {
+	return Options{
+		FS:                     fs,
+		Clock:                  &LogicalClock{},
+		MemTableBytes:          64 << 10,
+		DisableAutoMaintenance: true,
+		Compaction: CompactionOptions{
+			BaseLevelBytes:  128 << 10,
+			TargetFileBytes: 32 << 10,
+			SizeRatio:       4,
+			L0Threshold:     2,
+		},
+	}
+}
+
+func TestSmokeBasic(t *testing.T) {
+	fs := NewMemFS()
+	db, err := Open("db", smokeOpts(fs))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v := []byte(fmt.Sprintf("val%06d", i))
+		if err := db.Put(k, v); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		v, err := db.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		if want := fmt.Sprintf("val%06d", i); string(v) != want {
+			t.Fatalf("Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+	// Delete a stripe and verify.
+	for i := 0; i < n; i += 10 {
+		if err := db.Delete([]byte(fmt.Sprintf("key%06d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	if _, err := db.Get([]byte(fmt.Sprintf("key%06d", 0))); err != ErrNotFound {
+		t.Fatalf("deleted key: got err %v, want ErrNotFound", err)
+	}
+	// Iterate and count.
+	it, err := db.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatalf("NewIter: %v", err)
+	}
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		count++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("iter: %v", err)
+	}
+	if want := n - n/10; count != want {
+		t.Fatalf("iterated %d keys, want %d", count, want)
+	}
+	// Compact everything and re-verify.
+	if err := db.CompactAll(); err != nil {
+		t.Fatalf("CompactAll: %v", err)
+	}
+	for i := 1; i < n; i += 101 {
+		k := []byte(fmt.Sprintf("key%06d", i))
+		_, err := db.Get(k)
+		if i%10 == 0 {
+			if err != ErrNotFound {
+				t.Fatalf("Get(%s) after compact: %v, want ErrNotFound", k, err)
+			}
+		} else if err != nil {
+			t.Fatalf("Get(%s) after compact: %v", k, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSmokeReopen(t *testing.T) {
+	fs := NewMemFS()
+	opts := smokeOpts(fs)
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%05d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db, err = Open("db", opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i += 13 {
+		v, err := db.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil {
+			t.Fatalf("Get after reopen: %v", err)
+		}
+		if want := fmt.Sprintf("v%05d", i); string(v) != want {
+			t.Fatalf("Get = %q, want %q", v, want)
+		}
+	}
+}
+
+func TestSmokeDPTPersistence(t *testing.T) {
+	fs := NewMemFS()
+	clk := &LogicalClock{}
+	opts := smokeOpts(fs)
+	opts.Clock = clk
+	opts.Compaction.DPT = 1000 // logical ticks
+	opts.Compaction.Picker = PickFADE
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	for i := 0; i < 4000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), make([]byte, 64)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete some keys, then advance time past the DPT and run
+	// maintenance: FADE must dispose of the tombstones.
+	for i := 0; i < 4000; i += 4 {
+		if err := db.Delete([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for tick := 0; tick < 20; tick++ {
+		clk.Advance(100)
+		if err := db.WaitIdle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if got := st.TombstonesPersisted.Get() + st.TombstonesSuperseded.Get(); got != 1000 {
+		t.Fatalf("persisted+superseded = %d, want 1000 (live=%d)", got, st.LiveTombstones.Get())
+	}
+	if max := st.PersistenceLatency.Max(); max > 2000 {
+		t.Fatalf("max persistence latency %d exceeds 2x DPT", max)
+	}
+}
+
+func TestSmokeSecondaryRangeDelete(t *testing.T) {
+	fs := NewMemFS()
+	opts := smokeOpts(fs)
+	opts.DeleteKeyFunc = func(v []byte) DeleteKey {
+		if len(v) < 8 {
+			return 0
+		}
+		var dk DeleteKey
+		for i := 0; i < 8; i++ {
+			dk = dk<<8 | DeleteKey(v[i])
+		}
+		return dk
+	}
+	opts.PagesPerTile = 4
+	opts.EagerRangeDeletes = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	// Values embed their timestamp (= i) as the delete key.
+	mkVal := func(i int) []byte {
+		v := make([]byte, 32)
+		for b := 0; b < 8; b++ {
+			v[b] = byte(uint64(i) >> (56 - 8*b))
+		}
+		return v
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%08d", i*7919%n)), mkVal(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Range-delete the first half of time.
+	if err := db.DeleteSecondaryRange(0, base.DeleteKey(n/2)); err != nil {
+		t.Fatalf("DeleteSecondaryRange: %v", err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := db.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		count++
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n/2 {
+		t.Fatalf("after range delete: %d live keys, want %d", count, n/2)
+	}
+}

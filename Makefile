@@ -1,0 +1,40 @@
+GO ?= go
+
+# Race-sensitive packages: everything with shared mutable state under
+# concurrent access. The -run filter matches the dedicated concurrency
+# tests so the race target stays fast enough for CI.
+RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
+            ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/...
+RACE_RUN  = 'Concurrent|Parallel|Stress'
+
+.PHONY: all build test race lint vet acheronlint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the concurrency-focused tests under the race detector. This is
+# the CI gate for data races in the commit pipeline, table cache, memtable,
+# and skiplist.
+race:
+	$(GO) test -race -run $(RACE_RUN) $(RACE_PKGS)
+
+# lint = stock go vet + the engine-specific acheronlint suite
+# (rawkeycompare, lockheld, closecheck, seqnumlit).
+lint: vet acheronlint
+
+vet:
+	$(GO) vet ./...
+
+acheronlint:
+	$(GO) run ./tools/acheronlint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -33,7 +33,8 @@ func main() {
 	if err != nil {
 		fatal("not an acheron sstable: %v", err)
 	}
-	defer r.Close()
+	// Read-only inspection: a close error at process exit changes nothing.
+	defer vfs.BestEffortClose(r)
 
 	switch cmd {
 	case "props":

@@ -129,6 +129,7 @@ func (ik InternalKey) String() string {
 // Compare orders internal keys: user key ascending, then sequence number
 // descending, then kind descending. Newer entries sort first.
 func (ik InternalKey) Compare(other InternalKey) int {
+	//lint:ignore rawkeycompare comparator implementation; user keys are defined as lexicographic byte order
 	if c := bytes.Compare(ik.UserKey, other.UserKey); c != 0 {
 		return c
 	}
@@ -144,17 +145,19 @@ func (ik InternalKey) Compare(other InternalKey) int {
 // CompareEncoded orders two encoded internal keys without decoding them.
 func CompareEncoded(a, b []byte) int {
 	ua, ub := a[:len(a)-8], b[:len(b)-8]
+	//lint:ignore rawkeycompare comparator implementation; user-key prefix is lexicographic by definition
 	if c := bytes.Compare(ua, ub); c != 0 {
 		return c
 	}
 	// Trailers are stored inverted, so plain byte comparison of the
 	// suffix already yields seqnum-descending order.
+	//lint:ignore rawkeycompare comparator implementation; inverted trailer bytes sort seqnum-descending
 	return bytes.Compare(a[len(a)-8:], b[len(b)-8:])
 }
 
 // Compare is the user-key comparator used throughout the engine.
 // It is plain lexicographic byte order.
-func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+func Compare(a, b []byte) int { return bytes.Compare(a, b) } //lint:ignore rawkeycompare this IS the engine comparator
 
 // Timestamp is a point on the engine's clock, in nanoseconds. The clock may
 // be the OS clock or a deterministic logical clock (benchmarks use the

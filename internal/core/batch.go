@@ -140,12 +140,14 @@ func (d *DB) Apply(b *Batch) error {
 	baseSeq := d.vs.LastSeqNum + 1
 	if !d.opts.DisableWAL {
 		rec := encodeWALBatch(baseSeq, b.ops)
+		//lint:ignore lockheld commit protocol: WAL append order must match seqnum assignment order, so the write stays under d.mu
 		if err := d.walW.AddRecord(rec); err != nil {
 			d.mu.Unlock()
 			return err
 		}
 		d.stats.WALBytes.Add(int64(len(rec)))
 		if d.opts.SyncWrites {
+			//lint:ignore lockheld commit protocol: sync-before-ack under d.mu keeps the ack ordered with the seqnum
 			if err := d.walW.Sync(); err != nil {
 				d.mu.Unlock()
 				return err

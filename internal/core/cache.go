@@ -57,7 +57,7 @@ func (c *tableCache) get(fn base.FileNum) (*sstable.Reader, func(), error) {
 	}
 	r, err := sstable.Open(f)
 	if err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return nil, nil, fmt.Errorf("core: opening table %s: %w", fn, err)
 	}
 	if c.blocks != nil {
@@ -68,7 +68,7 @@ func (c *tableCache) get(fn base.FileNum) (*sstable.Reader, func(), error) {
 	if existing, ok := c.tables[fn]; ok {
 		existing.refs++
 		c.mu.Unlock()
-		r.Close()
+		vfs.BestEffortClose(r)
 		return existing.reader, func() { c.release(fn, existing) }, nil
 	}
 	ct = &cachedTable{reader: r, refs: 1}
@@ -86,7 +86,7 @@ func (c *tableCache) release(fn base.FileNum, ct *cachedTable) {
 	}
 	c.mu.Unlock()
 	if closeNow {
-		ct.reader.Close()
+		vfs.BestEffortClose(ct.reader)
 	}
 }
 
@@ -109,7 +109,7 @@ func (c *tableCache) evict(fn base.FileNum) {
 	}
 	c.mu.Unlock()
 	if closeNow {
-		ct.reader.Close()
+		vfs.BestEffortClose(ct.reader)
 	}
 }
 
@@ -120,6 +120,6 @@ func (c *tableCache) close() {
 	c.tables = make(map[base.FileNum]*cachedTable)
 	c.mu.Unlock()
 	for _, ct := range tables {
-		ct.reader.Close()
+		vfs.BestEffortClose(ct.reader)
 	}
 }

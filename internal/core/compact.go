@@ -295,6 +295,7 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 			Level: c.OutputLevel, RunID: runID, Meta: fileMetaFrom(of.FileNum, of.Meta),
 		})
 	}
+	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
 	err = d.vs.LogAndApply(edit)
 	d.mu.Unlock()
 	if err != nil {
@@ -341,6 +342,7 @@ func (d *DB) trivialMove(v *manifest.Version, c *compaction.Candidate, f *manife
 		Deleted: []manifest.DeletedFileEntry{{Level: c.StartLevel, FileNum: f.FileNum}},
 		Added:   []manifest.NewFileEntry{{Level: c.OutputLevel, RunID: runID, Meta: f}},
 	}
+	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
 	if err := d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
@@ -470,6 +472,7 @@ func (d *DB) olderDataBelow(v *manifest.Version, l int, run *manifest.Run, f *ma
 func (d *DB) eagerDropFile(l int, f *manifest.FileMetadata) error {
 	d.mu.Lock()
 	edit := &manifest.VersionEdit{Deleted: []manifest.DeletedFileEntry{{Level: l, FileNum: f.FileNum}}}
+	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
 	err := d.vs.LogAndApply(edit)
 	d.mu.Unlock()
 	if err != nil {
@@ -560,6 +563,7 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 		_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
 	}
 	d.mu.Lock()
+	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
 	err = d.vs.LogAndApply(edit)
 	d.mu.Unlock()
 	if err != nil {

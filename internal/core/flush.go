@@ -117,6 +117,7 @@ func (d *DB) flushOne() (bool, error) {
 	if !d.opts.DisableWAL {
 		edit.LogNum = logNum
 	}
+	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
 	if err := d.vs.LogAndApply(edit); err != nil {
 		d.mu.Unlock()
 		return false, err

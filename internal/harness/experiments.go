@@ -286,7 +286,7 @@ func E4ReadThroughput(sc Scale) (*Table, error) {
 			scanN = 50
 		}
 		const scanLen = 100
-		var visited, stepped int64
+		var stepped int64
 		start = time.Now()
 		for i := 0; i < scanN; i++ {
 			key := workload.KeyAt(int(uint64(i*7919) % uint64(sc.KeySpace)))
@@ -299,7 +299,6 @@ func E4ReadThroughput(sc Scale) (*Table, error) {
 			for ok := it.SeekGE(key); ok && cnt < scanLen; ok = it.Next() {
 				cnt++
 			}
-			visited += int64(cnt)
 			stepped += it.Stepped()
 			if err := it.Close(); err != nil {
 				rt.Close()
@@ -319,7 +318,6 @@ func E4ReadThroughput(sc Scale) (*Table, error) {
 				scanSpeedup = scanTput / baseScan
 			}
 		}
-		_ = visited
 		t.AddRow(cfg.Name, Fx(lookupTput, 0), F(probes), Fx(scanTput, 0),
 			Fx(float64(stepped)/float64(scanN), 1), F(lookupSpeedup), F(scanSpeedup))
 		if err := rt.Close(); err != nil {

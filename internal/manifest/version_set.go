@@ -140,15 +140,17 @@ func Load(fs vfs.FS, dirname string) (*VersionSet, error) {
 	}
 	size, err := f.Size()
 	if err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return nil, err
 	}
 	nameBytes := make([]byte, size)
 	if _, err := f.ReadAt(nameBytes, 0); err != nil && err != io.EOF {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return nil, err
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
 	manifestName := strings.TrimSpace(string(nameBytes))
 
 	mf, err := fs.Open(filepath.Join(dirname, manifestName))
@@ -157,7 +159,7 @@ func Load(fs vfs.FS, dirname string) (*VersionSet, error) {
 	}
 	rdr, err := wal.NewReader(mf)
 	if err != nil {
-		mf.Close()
+		vfs.BestEffortClose(mf)
 		return nil, err
 	}
 	vs := &VersionSet{
@@ -173,20 +175,22 @@ func Load(fs vfs.FS, dirname string) (*VersionSet, error) {
 			break
 		}
 		if err != nil {
-			mf.Close()
+			vfs.BestEffortClose(mf)
 			return nil, err
 		}
 		edit, err := DecodeVersionEdit(rec)
 		if err != nil {
-			mf.Close()
+			vfs.BestEffortClose(mf)
 			return nil, err
 		}
 		if err := vs.applyLocked(edit); err != nil {
-			mf.Close()
+			vfs.BestEffortClose(mf)
 			return nil, err
 		}
 	}
-	mf.Close()
+	if err := mf.Close(); err != nil {
+		return nil, err
+	}
 	// Remember the manifest we recovered from so rolling below cleans it
 	// up once the replacement is durable.
 	if t, num, ok := ParseFilename(manifestName); ok && t == FileTypeManifest {
@@ -278,11 +282,11 @@ func (vs *VersionSet) rollManifest() error {
 	snap := vs.snapshotEdit()
 	snap.NextFileNum = vs.NextFileNum // includes the manifest's own number
 	if err := w.AddRecord(snap.Encode()); err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return err
 	}
 	if err := w.Sync(); err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return err
 	}
 
@@ -290,25 +294,25 @@ func (vs *VersionSet) rollManifest() error {
 	tmp := filepath.Join(vs.dirname, "CURRENT.tmp")
 	cf, err := vs.fs.Create(tmp)
 	if err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return err
 	}
 	if _, err := cf.Write([]byte(filepath.Base(path) + "\n")); err != nil {
-		cf.Close()
-		f.Close()
+		vfs.BestEffortClose(cf)
+		vfs.BestEffortClose(f)
 		return err
 	}
 	if err := cf.Sync(); err != nil {
-		cf.Close()
-		f.Close()
+		vfs.BestEffortClose(cf)
+		vfs.BestEffortClose(f)
 		return err
 	}
 	if err := cf.Close(); err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return err
 	}
 	if err := vs.fs.Rename(tmp, MakeFilename(vs.dirname, FileTypeCurrent, 0)); err != nil {
-		f.Close()
+		vfs.BestEffortClose(f)
 		return err
 	}
 

@@ -2,6 +2,7 @@ package memtable
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/base"
@@ -150,5 +151,60 @@ func TestValueCopied(t *testing.T) {
 	_, got, _, _ := m.Get([]byte("k"), base.MaxSeqNum)
 	if string(got) != "original" {
 		t.Fatalf("memtable aliased caller's value: %q", got)
+	}
+}
+
+// TestConcurrentReadWrite exercises the memtable's concurrency contract:
+// one serialized writer, many lock-free readers. Run under -race.
+func TestConcurrentReadWrite(t *testing.T) {
+	m := New()
+	const (
+		keys    = 64
+		seqs    = 32
+		readers = 4
+	)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("k%03d", i%keys))
+				kind, v, seq, ok := m.Get(key, base.MaxSeqNum)
+				if ok {
+					// Every visible entry must round-trip its own value.
+					want := fmt.Sprintf("%s#%d", key, seq)
+					if kind != base.KindSet || string(v) != want {
+						t.Errorf("reader %d: got %v %q at seq %d, want %q", r, kind, v, seq, want)
+						return
+					}
+				}
+				if rts := m.RangeTombstones(); len(rts) > seqs {
+					t.Errorf("reader %d: %d range tombstones, want <= %d", r, len(rts), seqs)
+					return
+				}
+			}
+		}(r)
+	}
+	var seq base.SeqNum
+	for s := 0; s < seqs; s++ {
+		for k := 0; k < keys; k++ {
+			seq++
+			key := fmt.Sprintf("k%03d", k)
+			m.Add(base.MakeInternalKey([]byte(key), seq, base.KindSet),
+				[]byte(fmt.Sprintf("%s#%d", key, seq)))
+		}
+		m.AddRangeTombstone(base.RangeTombstone{Lo: base.DeleteKey(s), Hi: base.DeleteKey(s + 1), Seq: seq})
+	}
+	close(done)
+	wg.Wait()
+	if kind, _, seq, ok := m.Get([]byte("k000"), base.MaxSeqNum); !ok || kind != base.KindSet || seq == 0 {
+		t.Fatalf("final get = %v seq=%d ok=%v", kind, seq, ok)
 	}
 }

@@ -44,6 +44,16 @@ type FS interface {
 	Exists(name string) bool
 }
 
+// BestEffortClose closes c and deliberately drops the error. It names the
+// one situation where discarding a close error is sound: the close cannot
+// affect correctness, either because the file was only read from or because
+// the surrounding path is already returning an earlier error. Durability
+// paths must propagate close errors instead; the closecheck analyzer
+// enforces the distinction.
+func BestEffortClose(c io.Closer) {
+	_ = c.Close()
+}
+
 // ---------------------------------------------------------------------------
 // OS filesystem
 

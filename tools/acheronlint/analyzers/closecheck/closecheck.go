@@ -1,0 +1,134 @@
+// Package closecheck flags discarded error returns from Close, Sync, and
+// Flush on the engine's durability-relevant types: vfs files and
+// filesystems, WAL writers, sstable writers/readers, and manifest version
+// sets.
+//
+// A dropped Close/Sync error on a write path is an acknowledged-but-lost
+// write waiting to happen: the WAL or sstable claims durability the disk
+// never confirmed. The analyzer flags three discard shapes —
+//
+//	w.Close()         // bare statement
+//	_ = w.Close()     // explicit blank assignment
+//	defer w.Close()   // deferred, error unobservable
+//
+// — when the method is Close/Sync/Flush returning exactly one error and the
+// receiver's type is declared in one of the tracked packages. Best-effort
+// cleanup (closing a read-only file, releasing resources on a path that is
+// already returning an error) routes through vfs.BestEffortClose, which
+// names the intent and is not flagged; fs.Remove cleanup is likewise outside
+// the tracked method set by design. Anything else gets a
+// //lint:ignore closecheck <reason> annotation.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/acheronlint/lintframe"
+)
+
+// Analyzer is the closecheck analyzer.
+var Analyzer = &lintframe.Analyzer{
+	Name: "closecheck",
+	Doc:  "flags discarded Close/Sync/Flush errors on WAL, sstable, manifest, and vfs writers",
+	Run:  run,
+}
+
+// trackedPkgSuffixes are the import-path suffixes of packages whose
+// Close/Sync/Flush errors are durability-relevant.
+var trackedPkgSuffixes = []string{
+	"internal/vfs",
+	"internal/wal",
+	"internal/sstable",
+	"internal/manifest",
+}
+
+func run(pass *lintframe.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if name, recv := trackedCloseCall(pass, s.X); name != "" {
+					pass.Reportf(s.Pos(),
+						"error from %s.%s is silently discarded; propagate it, or use vfs.BestEffortClose / //lint:ignore closecheck <reason> for best-effort cleanup", recv, name)
+				}
+			case *ast.DeferStmt:
+				if name, recv := trackedCloseCall(pass, s.Call); name != "" {
+					pass.Reportf(s.Pos(),
+						"deferred %s.%s discards its error; capture it in a named return or close explicitly on the success path", recv, name)
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+					return true
+				}
+				if id, ok := s.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+				if name, recv := trackedCloseCall(pass, s.Rhs[0]); name != "" {
+					pass.Reportf(s.Pos(),
+						"error from %s.%s is blank-assigned on a durability path; propagate it, or use vfs.BestEffortClose for best-effort cleanup", recv, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// trackedCloseCall reports whether e is a call to Close/Sync/Flush returning
+// exactly one error on a receiver type declared in a tracked package. It
+// returns the method name and a printable receiver expression, or "", "".
+func trackedCloseCall(pass *lintframe.Pass, e ast.Expr) (method, recv string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Close", "Sync", "Flush":
+	default:
+		return "", ""
+	}
+	// Attribute the call to the receiver's declared type as well as the
+	// method's declaring package: vfs.File.Close is promoted from
+	// io.Closer, and it is precisely the promoted methods a storage
+	// engine's durability types rely on.
+	tracked := false
+	for _, path := range lintframe.CalleePkgPaths(pass.TypesInfo, sel) {
+		if trackedPkg(path) {
+			tracked = true
+			break
+		}
+	}
+	if !tracked {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return "", ""
+	}
+	if !types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type()) {
+		return "", ""
+	}
+	return fn.Name(), types.ExprString(sel.X)
+}
+
+func trackedPkg(path string) bool {
+	for _, suf := range trackedPkgSuffixes {
+		if strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return false
+}

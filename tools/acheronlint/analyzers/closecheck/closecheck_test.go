@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/closecheck"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "closecheck")
+}

@@ -1,0 +1,73 @@
+package closecheck
+
+import (
+	"os"
+
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// bareDiscards drops durability errors on the floor in every shape the
+// analyzer recognizes.
+func bareDiscards(f vfs.File, w *wal.Writer) {
+	f.Sync()          // want `error from f.Sync is silently discarded`
+	f.Close()         // want `error from f.Close is silently discarded`
+	_ = w.Sync()      // want `error from w.Sync is blank-assigned on a durability path`
+	w.AddRecord(nil)  // not Close/Sync/Flush: out of scope for this analyzer
+}
+
+// deferredDiscard loses the WAL close error that decides whether the last
+// batch was durable.
+func deferredDiscard(w *wal.Writer) error {
+	defer w.Close() // want `deferred w.Close discards its error`
+	return w.AddRecord([]byte("rec"))
+}
+
+// propagated is the fixed shape for a durability path.
+func propagated(w *wal.Writer) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// checkedDefer captures the deferred close error in a named return.
+func checkedDefer(w *wal.Writer) (err error) {
+	defer func() {
+		if cerr := w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return w.AddRecord([]byte("rec"))
+}
+
+// bestEffort routes reader-side cleanup through the named helper, which the
+// analyzer deliberately does not track.
+func bestEffort(fs vfs.FS) ([]byte, error) {
+	in, err := fs.Open("CURRENT")
+	if err != nil {
+		return nil, err
+	}
+	defer vfs.BestEffortClose(in)
+	size, err := in.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	_, err = in.ReadAt(buf, 0)
+	return buf, err
+}
+
+// untracked types (os.File is not an engine durability type here) and
+// Remove cleanup are out of scope.
+func untracked(fs vfs.FS) {
+	f, _ := os.Create("tmp")
+	defer f.Close()
+	_ = fs.Remove("leftover")
+}
+
+// annotated acknowledges a discard the helper cannot express.
+func annotated(f vfs.File) {
+	//lint:ignore closecheck fault-injection shim, error checked by caller
+	f.Close()
+}

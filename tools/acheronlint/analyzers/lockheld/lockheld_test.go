@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/lockheld"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, "testdata", lockheld.Analyzer, "lockheld")
+}

@@ -1,0 +1,88 @@
+package lockheld
+
+import (
+	"os"
+	"sync"
+)
+
+type engine struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// ioUnderLock is the stall pattern: disk I/O inside the critical section.
+func (e *engine) ioUnderLock() {
+	e.mu.Lock()
+	os.Remove("wal.log") // want `I/O call os.Remove while "e.mu" is held`
+	e.ch <- 1            // want `blocking channel send while "e.mu" is held`
+	e.mu.Unlock()
+}
+
+// ioAfterUnlock hoists the I/O out; nothing is flagged.
+func (e *engine) ioAfterUnlock() {
+	e.mu.Lock()
+	n := 1
+	e.mu.Unlock()
+	os.Remove("wal.log")
+	e.ch <- n
+}
+
+// earlyReturn must not treat the error path's unlock as releasing the lock
+// on the fall-through path.
+func (e *engine) earlyReturn(closed bool) error {
+	e.mu.Lock()
+	if closed {
+		e.mu.Unlock()
+		return nil
+	}
+	os.Remove("wal.log") // want `I/O call os.Remove while "e.mu" is held`
+	e.mu.Unlock()
+	return nil
+}
+
+// deferUnlock holds the lock to function end.
+func (e *engine) deferUnlock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	os.Remove("wal.log") // want `I/O call os.Remove while "e.mu" is held`
+}
+
+// assignedIO catches I/O whose result is assigned, not just bare calls.
+func (e *engine) assignedIO() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, err := os.Create("tmp") // want `I/O call os.Create while "e.mu" is held`
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}
+
+// nonBlockingSend uses a select with default, which cannot stall.
+func (e *engine) nonBlockingSend() {
+	e.mu.Lock()
+	select {
+	case e.ch <- 1:
+	default:
+	}
+	e.mu.Unlock()
+}
+
+// goroutineFresh starts with its own lock state: the spawned goroutine does
+// not inherit the parent's critical section.
+func (e *engine) goroutineFresh() {
+	e.mu.Lock()
+	go func() {
+		os.Remove("wal.log")
+	}()
+	e.mu.Unlock()
+}
+
+// annotated records deliberate serialization.
+func (e *engine) annotated() {
+	e.mu.Lock()
+	//lint:ignore lockheld commit pipeline requires WAL append under mu
+	os.Remove("wal.log")
+	e.mu.Unlock()
+}

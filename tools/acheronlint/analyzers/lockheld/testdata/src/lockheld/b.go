@@ -1,0 +1,33 @@
+package lockheld
+
+import (
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// vfsUnderLock exercises the engine-specific callee set: any vfs FS or File
+// method is I/O.
+func vfsUnderLock(fs vfs.FS, mu *sync.Mutex) error {
+	mu.Lock()
+	err := fs.MkdirAll("dir") // want `I/O call fs.MkdirAll while "mu" is held`
+	mu.Unlock()
+	return err
+}
+
+// vfsOutsideLock is the fixed shape.
+func vfsOutsideLock(fs vfs.FS, mu *sync.Mutex) error {
+	mu.Lock()
+	dir := "dir"
+	mu.Unlock()
+	return fs.MkdirAll(dir)
+}
+
+// rwlockRead flags I/O under read locks too: a stalled RLock holder blocks
+// every writer behind it.
+func rwlockRead(f vfs.File, mu *sync.RWMutex) error {
+	mu.RLock()
+	err := f.Sync() // want `I/O call f.Sync while "mu" is held`
+	mu.RUnlock()
+	return err
+}

@@ -1,0 +1,51 @@
+// Package rawkeycompare flags uses of bytes.Compare and bytes.Equal.
+//
+// Acheron's invariants (tombstones persisting within the DPT, FADE never
+// dropping a live tombstone) all assume one total order over internal keys:
+// user key ascending, then trailer (seqnum, kind) descending, as implemented
+// by the base package's comparator functions. A raw bytes.Compare applied to
+// an encoded internal key, or to a user key in a context that should consult
+// the engine comparator, silently diverges from that order. Because in a
+// storage engine almost every byte-slice comparison is a key comparison, the
+// analyzer is strict: every reference to bytes.Compare/bytes.Equal in
+// non-test code is flagged, and the rare genuinely non-key comparison is
+// annotated with //lint:ignore rawkeycompare <reason>.
+package rawkeycompare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/acheronlint/lintframe"
+)
+
+// Analyzer is the rawkeycompare analyzer.
+var Analyzer = &lintframe.Analyzer{
+	Name: "rawkeycompare",
+	Doc:  "flags bytes.Compare/bytes.Equal where the base comparator functions must be used",
+	Run:  run,
+}
+
+func run(pass *lintframe.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "bytes" {
+				return true
+			}
+			if name := fn.Name(); name == "Compare" || name == "Equal" {
+				pass.Reportf(sel.Pos(),
+					"bytes.%s bypasses the engine key comparator; use base.Compare, base.CompareEncoded, or InternalKey.Compare, or annotate with //lint:ignore rawkeycompare <reason> if the operands are not keys", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package rawkeycompare_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/rawkeycompare"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestRawKeyCompare(t *testing.T) {
+	analysistest.Run(t, "testdata", rawkeycompare.Analyzer, "rawkeycompare")
+}

@@ -1,0 +1,37 @@
+package rawkeycompare
+
+import "bytes"
+
+// seekInRun is the violation shape: raw byte comparison applied to keys
+// that must be ordered by the engine comparator.
+func seekInRun(keys [][]byte, target []byte) int {
+	for i, k := range keys {
+		if bytes.Equal(k, target) { // want `bytes.Equal bypasses the engine key comparator`
+			return i
+		}
+		if bytes.Compare(k, target) > 0 { // want `bytes.Compare bypasses the engine key comparator`
+			return -1
+		}
+	}
+	return -1
+}
+
+// cmpValue flags even a bare function-value reference: handing
+// bytes.Compare to an iterator as its comparator is the same bug.
+var cmpValue = bytes.Compare // want `bytes.Compare bypasses the engine key comparator`
+
+// magicOK compares file magic bytes, not keys; the annotation records that.
+func magicOK(header []byte) bool {
+	//lint:ignore rawkeycompare file magic, not a key comparison
+	return bytes.Equal(header, []byte("ACHERON1"))
+}
+
+// trailingOK shows the same-line annotation form.
+func trailingOK(a, b []byte) bool {
+	return bytes.Equal(a, b) //lint:ignore rawkeycompare checksum bytes, not keys
+}
+
+// prefixOK uses a non-comparison bytes helper, which is fine.
+func prefixOK(k []byte) bool {
+	return bytes.HasPrefix(k, []byte("user/"))
+}

@@ -1,0 +1,90 @@
+// Package seqnumlit flags integer literals used where a base.SeqNum,
+// base.Kind, or base.Trailer is expected.
+//
+// Entry kinds have named constants (base.KindSet, base.KindDelete, ...) and
+// trailer packing belongs exclusively to the base package; a bare literal in
+// either position is at best opaque and at worst a mis-encoded kind that
+// makes FADE treat a tombstone as a live entry (or vice versa). Two zero
+// values are exempt: Kind 0 is deliberately invalid (KindSet starts at 1),
+// so `return 0, ...` on error paths is idiomatic; SeqNum literals 0 (the
+// zero value / "before everything") and 1 (the idiomatic seq+1 increment)
+// are likewise allowed. Everything else must name its meaning, e.g.
+// base.MaxSeqNum for seek targets.
+//
+// The base package itself is exempt: it defines the representation and
+// legitimately manipulates raw trailer bits.
+package seqnumlit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/acheronlint/lintframe"
+)
+
+// Analyzer is the seqnumlit analyzer.
+var Analyzer = &lintframe.Analyzer{
+	Name: "seqnumlit",
+	Doc:  "flags integer literals used where a base.SeqNum/Kind/Trailer constant is expected",
+	Run:  run,
+}
+
+// basePkgSuffix identifies the engine's base package by import-path suffix
+// so the analyzer works both on this module ("repro/internal/base") and on
+// testdata packages importing it.
+const basePkgSuffix = "internal/base"
+
+func run(pass *lintframe.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), basePkgSuffix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), basePkgSuffix) {
+				return true
+			}
+			switch obj.Name() {
+			case "SeqNum":
+				if tv.Value != nil {
+					if v, ok := constant.Uint64Val(tv.Value); ok && v <= 1 {
+						return true // 0 = zero value, 1 = seq+1 increment
+					}
+				}
+				pass.Reportf(lit.Pos(),
+					"integer literal %s used as base.SeqNum; use a named constant (e.g. base.MaxSeqNum) or derive it from an existing sequence number", lit.Value)
+			case "Kind":
+				if tv.Value != nil {
+					if v, ok := constant.Uint64Val(tv.Value); ok && v == 0 {
+						return true // 0 = invalid/zero kind, the idiomatic error return
+					}
+				}
+				pass.Reportf(lit.Pos(),
+					"integer literal %s used as base.Kind; use a named kind constant (base.KindSet, base.KindDelete, base.KindRangeDelete)", lit.Value)
+			case "Trailer":
+				pass.Reportf(lit.Pos(),
+					"integer literal %s used as base.Trailer; build trailers with base.MakeTrailer", lit.Value)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seqnumlit_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/seqnumlit"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestSeqNumLit(t *testing.T) {
+	analysistest.Run(t, "testdata", seqnumlit.Analyzer, "seqnumlit")
+}

@@ -1,0 +1,49 @@
+package seqnumlit
+
+import "repro/internal/base"
+
+// literalKinds is the violation shape: magic numbers where named constants
+// exist.
+func literalKinds() base.InternalKey {
+	k := base.MakeInternalKey([]byte("user"), 7, 2) // want `integer literal 7 used as base.SeqNum` `integer literal 2 used as base.Kind`
+	return k
+}
+
+// literalConversions are no better for being explicit.
+func literalConversions() {
+	var kind base.Kind = 3   // want `integer literal 3 used as base.Kind`
+	seq := base.SeqNum(9000) // want `integer literal 9000 used as base.SeqNum`
+	tr := base.Trailer(258)  // want `integer literal 258 used as base.Trailer`
+	_, _, _ = kind, seq, tr
+}
+
+// namedConstants is the fixed shape.
+func namedConstants(seq base.SeqNum) base.InternalKey {
+	search := base.MakeSearchKey([]byte("user"), base.MaxSeqNum)
+	_ = search
+	return base.MakeInternalKey([]byte("user"), seq, base.KindDelete)
+}
+
+// zeroAndIncrement are idiomatic and exempt: the zero sequence number and
+// the seq+1 bump.
+func zeroAndIncrement(seq base.SeqNum) base.SeqNum {
+	if seq == 0 {
+		return seq + 1
+	}
+	return base.MakeInternalKey(nil, 0, base.KindSet).SeqNum()
+}
+
+// zeroKindReturn is the idiomatic invalid-kind error return; Kind 0 is
+// deliberately not a valid kind, so the zero value is exempt.
+func zeroKindReturn(err error) (base.Kind, error) {
+	if err != nil {
+		return 0, err
+	}
+	return base.KindSet, nil
+}
+
+// annotated records a justified literal.
+func annotated() base.SeqNum {
+	//lint:ignore seqnumlit fixture mirrors the paper's Figure 3 seqnum
+	return base.SeqNum(42)
+}

@@ -1,0 +1,101 @@
+package lintframe
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Main is the entry point shared by the acheronlint binary. It detects the
+// `go vet -vettool` unitchecker protocol (a single *.cfg argument, plus the
+// -V=full and -flags probes the go command sends first) and otherwise runs
+// as a standalone checker over the given package patterns.
+//
+// Exit codes follow vet conventions: 0 clean, 1 usage/load failure,
+// 2 diagnostics reported.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+
+	// go vet protocol probes.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// The go command caches vet results keyed on this line.
+			fmt.Printf("acheronlint version 1 buildID=%s\n", buildFingerprint(analyzers))
+			return
+		case a == "-flags" || a == "--flags":
+			// No analyzer-selection flags are exposed: the suite always
+			// runs whole. An empty list tells the go command to pass none.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheckerMain(args[0], analyzers))
+	}
+
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		usage(analyzers)
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := LoadPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acheronlint: %v\n", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acheronlint: %s: %v\n", pkg.ImportPath, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+func usage(analyzers []*Analyzer) {
+	fmt.Println("usage: acheronlint [packages]")
+	fmt.Println()
+	fmt.Println("Runs the Acheron engine-specific analyzers over the given package")
+	fmt.Println("patterns (default ./...). Also usable as go vet -vettool=<binary>.")
+	fmt.Println()
+	fmt.Println("Suppress a finding with a //lint:ignore <analyzer> <reason> comment")
+	fmt.Println("on, or on the line above, the flagged line.")
+	fmt.Println()
+	fmt.Println("Analyzers:")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-14s %s\n", a.Name, doc)
+	}
+}
+
+// buildFingerprint folds the analyzer names and docs into a stable id so the
+// go command's vet cache invalidates when the suite changes shape.
+func buildFingerprint(analyzers []*Analyzer) string {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	for _, a := range analyzers {
+		mix(a.Name)
+		mix(a.Doc)
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -1,0 +1,29 @@
+package lintframe
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleePkgPaths returns the candidate package paths a method call should be
+// attributed to: the static type of the receiver expression (after
+// dereferencing pointers) and the method's declaring package. Both matter —
+// embedded interfaces promote methods into another package (vfs.File.Close
+// is declared by io.Closer), so classifying by declaring package alone
+// misses exactly the calls a storage engine cares about.
+func CalleePkgPaths(info *types.Info, sel *ast.SelectorExpr) []string {
+	var out []string
+	if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			out = append(out, named.Obj().Pkg().Path())
+		}
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		out = append(out, fn.Pkg().Path())
+	}
+	return out
+}

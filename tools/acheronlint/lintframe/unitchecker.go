@@ -1,0 +1,120 @@
+package lintframe
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors the JSON configuration file the go command hands a
+// -vettool binary for each package unit (see x/tools unitchecker for the
+// canonical schema; only the fields used here are declared).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain runs the analyzers over one vet unit described by cfgPath
+// and returns the process exit code.
+func unitcheckerMain(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acheronlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "acheronlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the facts output file to exist even though
+	// this suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "acheronlint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: nothing to do without facts.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acheronlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export-data files the go command built.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "acheronlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acheronlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

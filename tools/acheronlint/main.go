@@ -1,0 +1,39 @@
+// Command acheronlint is the Acheron engine's static-analysis gate: a
+// multichecker bundling four engine-specific analyzers.
+//
+//	rawkeycompare  bytes.Compare/Equal where the base comparator must be used
+//	lockheld       I/O or blocking channel sends under a held mutex
+//	closecheck     discarded Close/Sync/Flush errors on durability paths
+//	seqnumlit      integer literals where base.SeqNum/Kind constants belong
+//
+// Run standalone over package patterns:
+//
+//	go run ./tools/acheronlint ./...
+//
+// or as a vet tool, which also covers test files' build graph:
+//
+//	go build -o bin/acheronlint ./tools/acheronlint
+//	go vet -vettool=$(pwd)/bin/acheronlint ./...
+//
+// Suppress an individual finding with a staticcheck-style annotation on, or
+// immediately above, the flagged line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"repro/tools/acheronlint/analyzers/closecheck"
+	"repro/tools/acheronlint/analyzers/lockheld"
+	"repro/tools/acheronlint/analyzers/rawkeycompare"
+	"repro/tools/acheronlint/analyzers/seqnumlit"
+	"repro/tools/acheronlint/lintframe"
+)
+
+func main() {
+	lintframe.Main(
+		rawkeycompare.Analyzer,
+		lockheld.Analyzer,
+		closecheck.Analyzer,
+		seqnumlit.Analyzer,
+	)
+}

@@ -4,8 +4,9 @@ GO ?= go
 # concurrent access. The -run filter matches the dedicated concurrency
 # tests so the race target stays fast enough for CI.
 RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
-            ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/...
-RACE_RUN  = 'Concurrent|Parallel|Stress'
+            ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/... \
+            ./internal/manifest/... ./internal/compaction/...
+RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight'
 
 .PHONY: all build test race lint vet acheronlint bench clean
 

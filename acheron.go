@@ -66,6 +66,14 @@ type Batch = core.Batch
 // PersistenceLatency — the paper's headline metric.
 type Stats = core.Stats
 
+// JobInfo describes one completed maintenance job — id, kind, trigger,
+// levels, run window, bytes — as returned by DB.RecentMaintJobs.
+type JobInfo = core.JobInfo
+
+// JobKind classifies maintenance jobs (flush, compaction, eager range
+// delete).
+type JobKind = core.JobKind
+
 // CompactionOptions select shape, picker, size ratio and the DPT.
 type CompactionOptions = compaction.Options
 

@@ -48,8 +48,9 @@ func main() {
 		"A1": harness.A1TTLSplit,
 		"A2": harness.A2BloomBits,
 		"A3": harness.A3FADETieBreak,
+		"C1": harness.C1MaintenanceConcurrency,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1"}
 
 	var ids []string
 	if *expFlag == "all" {

@@ -280,8 +280,12 @@ func expired(o Options, f *manifest.FileMetadata, l, depth int, now base.Timesta
 // Pick inspects the version and returns the most urgent compaction, or nil
 // when nothing needs compacting. now is the engine clock reading used for
 // TTL expiry; haveSnapshots suppresses disposal-only compactions that an
-// open snapshot would block anyway.
-func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool) *Candidate {
+// open snapshot would block anyway. inflight, when non-nil, excludes files
+// and level/key-span rectangles claimed by running jobs so concurrent
+// executors pick disjoint work; a candidate that would conflict is simply
+// not returned (the picker does not search for a second-best disjoint
+// candidate at the same priority — the next tick retries).
+func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
 	o = o.WithDefaults()
 
 	depth := v.MaxPopulatedLevel()
@@ -292,14 +296,18 @@ func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool
 	// 1. FADE: TTL expiry takes priority — it is the delete-persistence
 	// guarantee. Choose the most overdue file.
 	if o.DPT != 0 {
-		if c := pickTTL(v, o, depth, now, haveSnapshots); c != nil {
+		if c := pickTTL(v, o, depth, now, haveSnapshots, inflight); c != nil {
 			return c
 		}
 	}
 
 	// 2. Level 0 run count.
 	if len(v.Levels[0]) >= o.L0Threshold {
-		return pickL0(v, o)
+		if c := pickL0(v, o); c != nil && !inflight.Conflicts(c) {
+			return c
+		}
+		// L0 is busy (a flush-adjacent or prior L0 job holds it); fall
+		// through so deeper saturated levels can still make progress.
 	}
 
 	// 3. Byte saturation of deeper levels; compact the worst level.
@@ -318,8 +326,8 @@ func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool
 			continue
 		}
 		if best == nil || score > best.Score {
-			c := pickSaturated(v, o, l, depth, now, haveSnapshots)
-			if c != nil {
+			c := pickSaturated(v, o, l, depth, now, haveSnapshots, inflight)
+			if c != nil && !inflight.Conflicts(c) {
 				c.Score = score
 				best = c
 			}
@@ -328,8 +336,10 @@ func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool
 	return best
 }
 
-// pickTTL finds the file with the most overdue tombstone.
-func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, haveSnapshots bool) *Candidate {
+// pickTTL finds the file with the most overdue tombstone. Files claimed by
+// running jobs are skipped — their expiry is already being serviced (or will
+// be re-examined next tick once the claim clears).
+func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
 	var (
 		worst        *manifest.FileMetadata
 		worstLevel   int
@@ -338,6 +348,9 @@ func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, have
 	for l := 0; l < manifest.NumLevels-1; l++ {
 		for _, r := range v.Levels[l] {
 			for _, f := range r.Files {
+				if inflight.FileClaimed(f.FileNum) {
+					continue
+				}
 				if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && (worst == nil || over > worstOverdue) {
 					worst, worstLevel, worstOverdue = f, l, over
 				}
@@ -367,6 +380,9 @@ func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, have
 				c.InputLevels = append(c.InputLevels, worstLevel+1)
 			}
 		}
+		if inflight.Conflicts(c) {
+			return nil
+		}
 		return c
 	}
 	// Batch every expired file of the level into one compaction: expired
@@ -374,6 +390,9 @@ func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, have
 	// one at a time would rewrite the same next-level overlap repeatedly.
 	var batch []*manifest.FileMetadata
 	for _, f := range v.Levels[worstLevel][0].Files {
+		if inflight.FileClaimed(f.FileNum) {
+			continue
+		}
 		if _, ok := expired(o, f, worstLevel, depth, now, haveSnapshots); ok {
 			batch = append(batch, f)
 		}
@@ -386,6 +405,9 @@ func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, have
 		Score:       float64(worstOverdue),
 	}
 	fillOutputOverlap(v, c)
+	if inflight.Conflicts(c) {
+		return nil
+	}
 	return c
 }
 
@@ -411,8 +433,9 @@ func compactWholeLevel(v *manifest.Version, o Options, l int) *Candidate {
 	return c
 }
 
-// pickSaturated picks the file(s) to evict from a saturated level.
-func pickSaturated(v *manifest.Version, o Options, l, depth int, now base.Timestamp, haveSnapshots bool) *Candidate {
+// pickSaturated picks the file(s) to evict from a saturated level. Files
+// claimed by running jobs are not considered.
+func pickSaturated(v *manifest.Version, o Options, l, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
 	if o.Shape == Tiering {
 		c := compactWholeLevel(v, o, l)
 		c.Trigger = TriggerSaturation
@@ -423,6 +446,15 @@ func pickSaturated(v *manifest.Version, o Options, l, depth int, now base.Timest
 		return nil
 	}
 	files := runs[0].Files
+	if inflight != nil {
+		unclaimed := make([]*manifest.FileMetadata, 0, len(files))
+		for _, f := range files {
+			if !inflight.FileClaimed(f.FileNum) {
+				unclaimed = append(unclaimed, f)
+			}
+		}
+		files = unclaimed
+	}
 	if len(files) == 0 {
 		return nil
 	}

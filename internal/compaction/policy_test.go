@@ -103,7 +103,7 @@ func TestPickNothingWhenHealthy(t *testing.T) {
 	v := &manifest.Version{}
 	v = addFiles(t, v, 1, 1, file(1, "a", "m", 1000))
 	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4}
-	if c := Pick(v, o, 0, false); c != nil {
+	if c := Pick(v, o, 0, false, nil); c != nil {
 		t.Fatalf("healthy tree picked %+v", c)
 	}
 }
@@ -114,7 +114,7 @@ func TestPickL0Threshold(t *testing.T) {
 		v = addFiles(t, v, 0, uint64(i+1), file(i+1, "a", "z", 100))
 	}
 	o := Options{L0Threshold: 4, BaseLevelBytes: 1 << 20}
-	c := Pick(v, o.WithDefaults(), 0, false)
+	c := Pick(v, o.WithDefaults(), 0, false, nil)
 	if c == nil || c.Trigger != TriggerL0 {
 		t.Fatalf("expected L0 trigger, got %+v", c)
 	}
@@ -131,7 +131,7 @@ func TestPickSaturationLeveling(t *testing.T) {
 		file(2, "g", "m", 600))
 	v = addFiles(t, v, 2, 2, file(3, "a", "c", 500))
 	o := Options{BaseLevelBytes: 1000, SizeRatio: 4, Picker: PickMinOverlap}.WithDefaults()
-	c := Pick(v, o, 0, false)
+	c := Pick(v, o, 0, false, nil)
 	if c == nil || c.Trigger != TriggerSaturation {
 		t.Fatalf("expected saturation trigger, got %+v", c)
 	}
@@ -150,7 +150,7 @@ func TestPickFADEPrefersTombstoneDensity(t *testing.T) {
 		file(1, "a", "f", 600),
 		tombFile(2, "g", "m", 600, 0, 3)) // tombstone-dense
 	o := Options{BaseLevelBytes: 1000, SizeRatio: 4, Picker: PickFADE}.WithDefaults()
-	c := Pick(v, o, 0, false)
+	c := Pick(v, o, 0, false, nil)
 	if c == nil {
 		t.Fatal("no candidate")
 	}
@@ -167,11 +167,11 @@ func TestPickTTLTakesPriority(t *testing.T) {
 	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4, DPT: 1000, Picker: PickFADE}.WithDefaults()
 
 	// Before the deadline: nothing to do.
-	if c := Pick(v, o, 10, false); c != nil {
+	if c := Pick(v, o, 10, false, nil); c != nil {
 		t.Fatalf("premature TTL pick: %+v", c)
 	}
 	// After the whole DPT has certainly elapsed: must fire.
-	c := Pick(v, o, 2000, false)
+	c := Pick(v, o, 2000, false, nil)
 	if c == nil || c.Trigger != TriggerTTL {
 		t.Fatalf("expected TTL trigger, got %+v", c)
 	}
@@ -191,7 +191,7 @@ func TestPickTTLBatchesExpiredFiles(t *testing.T) {
 		file(3, "m", "p", 100),             // no tombstones: not included
 	)
 	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4, DPT: 100, Picker: PickFADE}.WithDefaults()
-	c := Pick(v, o, 5000, false)
+	c := Pick(v, o, 5000, false, nil)
 	if c == nil || c.Trigger != TriggerTTL {
 		t.Fatalf("no TTL candidate: %+v", c)
 	}
@@ -217,7 +217,7 @@ func TestPickTTLOnlyExpiredAtDeadline(t *testing.T) {
 		tombFile(2, "e", "g", 100, 4950, 1), // not yet expired
 	)
 	o := Options{BaseLevelBytes: 1 << 20, SizeRatio: 4, DPT: 100, Picker: PickFADE}.WithDefaults()
-	c := Pick(v, o, 5000, false)
+	c := Pick(v, o, 5000, false, nil)
 	if c == nil {
 		t.Fatal("no candidate")
 	}
@@ -233,7 +233,7 @@ func TestPickTieringMergesWholeLevelOnRunCount(t *testing.T) {
 		v = addFiles(t, v, 1, uint64(i+1), file(i+1, "a", "z", 100))
 	}
 	o := Options{Shape: Tiering, SizeRatio: 4, BaseLevelBytes: 1 << 30}.WithDefaults()
-	c := Pick(v, o, 0, false)
+	c := Pick(v, o, 0, false, nil)
 	if c == nil || c.Trigger != TriggerSaturation {
 		t.Fatalf("expected tiering saturation, got %+v", c)
 	}
@@ -251,7 +251,7 @@ func TestTieringBelowRunThresholdIdle(t *testing.T) {
 		v = addFiles(t, v, 1, uint64(i+1), file(i+1, "a", "z", 1<<30))
 	}
 	o := Options{Shape: Tiering, SizeRatio: 4, BaseLevelBytes: 1}.WithDefaults()
-	if c := Pick(v, o, 0, false); c != nil {
+	if c := Pick(v, o, 0, false, nil); c != nil {
 		t.Fatalf("tiering should ignore byte saturation, got %+v", c)
 	}
 }
@@ -308,7 +308,7 @@ func TestCandidateScorePicksWorstLevel(t *testing.T) {
 	v = addFiles(t, v, 1, 1, file(1, "a", "m", 1500))   // 1.5x over
 	v = addFiles(t, v, 2, 2, file(2, "a", "m", 12_000)) // 3x over
 	o := Options{BaseLevelBytes: 1000, SizeRatio: 4, Picker: PickMinOverlap}.WithDefaults()
-	c := Pick(v, o, 0, false)
+	c := Pick(v, o, 0, false, nil)
 	if c == nil || c.StartLevel != 2 {
 		t.Fatalf("worst level not chosen: %+v", c)
 	}

@@ -137,7 +137,11 @@ func (d *DB) Apply(b *Batch) error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
-	baseSeq := d.vs.LastSeqNum + 1
+	if err := d.stallWritesLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	baseSeq := d.vs.LastSeqNum() + 1
 	if !d.opts.DisableWAL {
 		rec := encodeWALBatch(baseSeq, b.ops)
 		//lint:ignore lockheld commit protocol: WAL append order must match seqnum assignment order, so the write stays under d.mu
@@ -165,7 +169,7 @@ func (d *DB) Apply(b *Batch) error {
 	}
 	// Visibility flips atomically here: readers snapshot LastSeqNum under
 	// d.mu, so they see the whole batch or none of it.
-	d.vs.LastSeqNum = baseSeq + base.SeqNum(len(b.ops)) - 1
+	d.vs.SetLastSeqNum(baseSeq + base.SeqNum(len(b.ops)) - 1)
 	rotated, err := d.maybeRotateLocked()
 	d.mu.Unlock()
 	if err != nil {

@@ -17,7 +17,10 @@ func (d *DB) Checkpoint(destDir string) error {
 	if err := d.Flush(); err != nil {
 		return err
 	}
-	// Freeze compactions (and therefore file deletions) while copying.
+	// Freeze maintenance (and therefore file deletions) while copying:
+	// quiesce the executors, then take maintMu against synchronous callers.
+	d.sched.pause()
+	defer d.sched.resume()
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
 
@@ -27,9 +30,9 @@ func (d *DB) Checkpoint(destDir string) error {
 		return ErrClosed
 	}
 	v := d.vs.Current()
-	lastSeq := d.vs.LastSeqNum
-	nextFile := d.vs.NextFileNum
-	nextRun := d.vs.NextRunID
+	lastSeq := d.vs.LastSeqNum()
+	nextFile := d.vs.NextFileNum()
+	nextRun := d.vs.NextRunID()
 	d.mu.Unlock()
 
 	fs := d.opts.FS
@@ -70,13 +73,9 @@ func (d *DB) Checkpoint(destDir string) error {
 	if err != nil {
 		return err
 	}
-	vs.LastSeqNum = lastSeq
-	if nextFile > vs.NextFileNum {
-		vs.NextFileNum = nextFile
-	}
-	if nextRun > vs.NextRunID {
-		vs.NextRunID = nextRun
-	}
+	vs.SetLastSeqNum(lastSeq)
+	vs.EnsureFileNum(nextFile)
+	vs.EnsureRunID(nextRun)
 	//lint:ignore lockheld checkpoint manifest I/O deliberately runs under the maintMu compaction freeze
 	if err := vs.LogAndApply(edit); err != nil {
 		//lint:ignore lockheld checkpoint manifest I/O deliberately runs under the maintMu compaction freeze

@@ -1,40 +1,60 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/manifest"
 	"repro/internal/sstable"
+	"repro/internal/vfs"
 )
 
 // MaintenanceStep performs at most one unit of background work — a flush,
 // an eager range-delete pass, or a compaction — returning whether anything
 // was done. Deterministic benchmarks drive this directly with auto
-// maintenance disabled.
+// maintenance disabled; with MaintenanceConcurrency=1 the background worker
+// drives exactly this sequence, reproducing the seed engine's serialized
+// behaviour.
 func (d *DB) MaintenanceStep() (bool, error) {
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
-	if did, err := d.flushOne(); did || err != nil {
+	d.flushMu.Lock()
+	did, err := d.flushOne()
+	d.flushMu.Unlock()
+	if did || err != nil {
 		return did, err
 	}
 	if d.opts.EagerRangeDeletes {
-		if did, err := d.eagerRangeDeleteStep(); did || err != nil {
-			return did, err
+		if job, ok := d.pickEagerJob(); ok {
+			return true, d.runEagerJob(job)
 		}
 	}
-	return d.compactOnce()
+	job, ok := d.pickCompactionJob()
+	if !ok {
+		return false, nil
+	}
+	return true, d.runCompactionJob(job)
 }
 
-// WaitIdle runs maintenance until no work remains.
+// WaitIdle runs maintenance until no work remains — including work claimed
+// by concurrent executors, which it waits out before concluding idleness.
 func (d *DB) WaitIdle() error {
 	for {
 		did, err := d.MaintenanceStep()
 		if err != nil {
 			return err
 		}
-		if !did {
-			return nil
+		if did {
+			continue
 		}
+		// Nothing pickable, but an executor job may still be running (its
+		// claims hid work from the picker); wait and re-examine.
+		if d.sched.anyRunning() {
+			d.sched.waitQuiet()
+			continue
+		}
+		return nil
 	}
 }
 
@@ -42,6 +62,10 @@ func (d *DB) WaitIdle() error {
 // next one, leaving the tree fully compacted. Intended for tests and
 // benchmarks that want a settled tree.
 func (d *DB) CompactAll() error {
+	// Freeze the executors: the manually built whole-level candidates
+	// below are not claimed, so they must not race claimed jobs.
+	d.sched.pause()
+	defer d.sched.resume()
 	if err := d.Flush(); err != nil {
 		return err
 	}
@@ -64,7 +88,7 @@ func (d *DB) CompactAll() error {
 		if d.opts.Compaction.Shape == compaction.Leveling {
 			d.fillOutputOverlap(v, cand)
 		}
-		err := d.runCandidate(v, cand)
+		err := d.runCandidate(d.sched.newID(), v, cand)
 		d.maintMu.Unlock()
 		if err != nil {
 			return err
@@ -96,24 +120,6 @@ func (d *DB) fillOutputOverlap(v *manifest.Version, c *compaction.Candidate) {
 	}
 }
 
-// compactOnce picks and executes one compaction. Caller holds maintMu.
-func (d *DB) compactOnce() (bool, error) {
-	d.mu.Lock()
-	v := d.vs.Current()
-	now := d.opts.Clock.Now()
-	haveSnaps := len(d.snapshots) > 0
-	d.mu.Unlock()
-
-	cand := compaction.Pick(v, d.opts.Compaction, now, haveSnaps)
-	if cand == nil {
-		return false, nil
-	}
-	if err := d.runCandidate(v, cand); err != nil {
-		return false, err
-	}
-	return true, nil
-}
-
 // inputSpan returns the user-key bounds across the candidate's inputs and
 // output-run files.
 func inputSpan(c *compaction.Candidate) (lo, hi []byte) {
@@ -139,6 +145,14 @@ func inputSpan(c *compaction.Candidate) (lo, hi []byte) {
 // isBottommost reports whether no data below (or beside, for older runs of
 // the output level) the compaction could hold older versions of its keys,
 // which licenses tombstone disposal.
+//
+// v is the version the candidate was picked against. The evaluation stays
+// valid while the job's claim is held even if other jobs commit in the
+// meantime: a concurrent job could only introduce entries below this
+// compaction's output level by compacting overlapping keys from this or a
+// deeper level, and the claim rectangle (level range x key span) makes any
+// such job conflict with this one. Flushes add strictly newer data at L0,
+// which never threatens "no older versions below".
 func (d *DB) isBottommost(v *manifest.Version, c *compaction.Candidate) bool {
 	lo, hi := inputSpan(c)
 	if lo == nil {
@@ -169,9 +183,11 @@ func (d *DB) isBottommost(v *manifest.Version, c *compaction.Candidate) bool {
 }
 
 // runCandidate executes a compaction candidate end to end: trivial-move
-// fast path, merge execution, manifest edit, file GC, statistics. Caller
-// holds maintMu.
-func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
+// fast path, merge execution, manifest edit, file GC, statistics. The
+// candidate's input and output files must be claimed in d.inflight (or all
+// executors quiesced) so no concurrent job touches them; v is the version
+// the candidate was built against.
+func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidate) error {
 	// Trivial move: a single input file with nothing to merge against
 	// moves by metadata edit alone. Files carrying tombstones are
 	// excluded so disposal opportunities (and TTL accounting) are never
@@ -182,9 +198,10 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 	}
 	if d.opts.Compaction.Shape == compaction.Leveling &&
 		len(files) == 1 && len(c.OutputRunFiles) == 0 && !files[0].HasTombstones {
-		return d.trivialMove(v, c, files[0])
+		return d.trivialMove(id, c, files[0])
 	}
 
+	start := time.Now()
 	bottom := d.isBottommost(v, c)
 	d.mu.Lock()
 	snaps := append([]base.SeqNum(nil), d.snapshots...)
@@ -193,6 +210,10 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 
 	// A range tombstone is retired only when no file outside this
 	// compaction could still hold an entry old enough for it to cover.
+	// Like isBottommost, the claim rectangle keeps this stale-version
+	// evaluation safe against concurrent commits: flushes only add files
+	// whose entries postdate the tombstone (skipped by the SmallestSeqNum
+	// check), and overlapping compactions conflict with this job's claim.
 	inCompaction := make(map[base.FileNum]bool)
 	for _, r := range c.Inputs {
 		for _, f := range r.Files {
@@ -237,11 +258,7 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 			releases = append(releases, release)
 			return r, nil
 		},
-		AllocFileNum: func() base.FileNum {
-			d.mu.Lock()
-			defer d.mu.Unlock()
-			return d.vs.AllocFileNum()
-		},
+		AllocFileNum:             d.vs.AllocFileNum,
 		Now:                      now,
 		Snapshots:                snaps,
 		Bottommost:               bottom,
@@ -274,7 +291,10 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 		return err
 	}
 
-	// Build and apply the edit.
+	// Build the deletions up front; the additions' run id is resolved at
+	// the commit point, against the version current then — two concurrent
+	// compactions into the same (previously empty) leveling output must
+	// both land in the single run the first one creates.
 	edit := &manifest.VersionEdit{}
 	for i, r := range c.Inputs {
 		level := c.InputLevel(i)
@@ -285,22 +305,30 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 	for _, f := range c.OutputRunFiles {
 		edit.Deleted = append(edit.Deleted, manifest.DeletedFileEntry{Level: c.OutputLevel, FileNum: f.FileNum})
 	}
-	d.mu.Lock()
-	runID := c.OutputRunID
-	if runID == 0 || d.opts.Compaction.Shape == compaction.Tiering {
-		runID = d.vs.AllocRunID()
-	}
-	for _, of := range res.Outputs {
-		edit.Added = append(edit.Added, manifest.NewFileEntry{
-			Level: c.OutputLevel, RunID: runID, Meta: fileMetaFrom(of.FileNum, of.Meta),
-		})
-	}
-	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
-	err = d.vs.LogAndApply(edit)
-	d.mu.Unlock()
+	err = d.vs.LogAndApplyFunc(func(cur *manifest.Version) (*manifest.VersionEdit, error) {
+		runID := c.OutputRunID
+		if d.opts.Compaction.Shape == compaction.Tiering {
+			runID = d.vs.AllocRunID()
+		} else if runID == 0 {
+			if outRuns := cur.Levels[c.OutputLevel]; len(outRuns) > 0 {
+				runID = outRuns[0].ID
+			} else {
+				runID = d.vs.AllocRunID()
+			}
+		}
+		edit.Added = edit.Added[:0]
+		for _, of := range res.Outputs {
+			edit.Added = append(edit.Added, manifest.NewFileEntry{
+				Level: c.OutputLevel, RunID: runID, Meta: fileMetaFrom(of.FileNum, of.Meta),
+			})
+		}
+		return edit, nil
+	})
 	if err != nil {
 		return err
 	}
+	// L0 may have shrunk; wake stalled writers.
+	d.stallCond.Broadcast()
 
 	// Cache new range tombstones, then GC replaced files.
 	for _, of := range res.Outputs {
@@ -311,10 +339,12 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 		}
 	}
 	dead := make([]base.FileNum, 0, len(edit.Deleted))
+	d.eagerMu.Lock()
 	for _, del := range edit.Deleted {
 		delete(d.eagerDone, del.FileNum)
 		dead = append(dead, del.FileNum)
 	}
+	d.eagerMu.Unlock()
 	d.deleteTables(dead)
 
 	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
@@ -323,70 +353,151 @@ func (d *DB) runCandidate(v *manifest.Version, c *compaction.Candidate) error {
 	d.stats.ShadowedDropped.Add(int64(res.ShadowedDropped))
 	d.stats.PagesDropped.Add(int64(res.PagesDropped))
 	d.stats.RangeCoveredDropped.Add(int64(res.RangeCoveredDropped))
+	d.stats.JobLatencyByTrigger[int(c.Trigger)].Record(time.Since(start).Nanoseconds())
+	d.sched.record(JobInfo{
+		ID:          id,
+		Kind:        JobCompact,
+		Trigger:     c.Trigger,
+		StartLevel:  c.StartLevel,
+		OutputLevel: c.OutputLevel,
+		Started:     start,
+		Finished:    time.Now(),
+		BytesIn:     res.BytesRead,
+		BytesOut:    res.BytesWritten,
+	})
 	return nil
 }
 
 // trivialMove relocates a file by manifest edit alone.
-func (d *DB) trivialMove(v *manifest.Version, c *compaction.Candidate, f *manifest.FileMetadata) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	runID := c.OutputRunID
-	if runID == 0 {
-		if runs := v.Levels[c.OutputLevel]; len(runs) > 0 && d.opts.Compaction.Shape == compaction.Leveling {
-			runID = runs[0].ID
-		} else {
-			runID = d.vs.AllocRunID()
+func (d *DB) trivialMove(id uint64, c *compaction.Candidate, f *manifest.FileMetadata) error {
+	start := time.Now()
+	err := d.vs.LogAndApplyFunc(func(cur *manifest.Version) (*manifest.VersionEdit, error) {
+		runID := c.OutputRunID
+		if runID == 0 {
+			if runs := cur.Levels[c.OutputLevel]; len(runs) > 0 && d.opts.Compaction.Shape == compaction.Leveling {
+				runID = runs[0].ID
+			} else {
+				runID = d.vs.AllocRunID()
+			}
 		}
-	}
-	edit := &manifest.VersionEdit{
-		Deleted: []manifest.DeletedFileEntry{{Level: c.StartLevel, FileNum: f.FileNum}},
-		Added:   []manifest.NewFileEntry{{Level: c.OutputLevel, RunID: runID, Meta: f}},
-	}
-	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
-	if err := d.vs.LogAndApply(edit); err != nil {
+		return &manifest.VersionEdit{
+			Deleted: []manifest.DeletedFileEntry{{Level: c.StartLevel, FileNum: f.FileNum}},
+			Added:   []manifest.NewFileEntry{{Level: c.OutputLevel, RunID: runID, Meta: f}},
+		}, nil
+	})
+	if err != nil {
 		return err
 	}
+	d.stallCond.Broadcast()
 	d.stats.TrivialMoves.Add(1)
 	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
+	d.stats.JobLatencyByTrigger[int(c.Trigger)].Record(time.Since(start).Nanoseconds())
+	d.sched.record(JobInfo{
+		ID:          id,
+		Kind:        JobCompact,
+		Trigger:     c.Trigger,
+		StartLevel:  c.StartLevel,
+		OutputLevel: c.OutputLevel,
+		Started:     start,
+		Finished:    time.Now(),
+		BytesIn:     f.Size,
+	})
 	return nil
 }
 
 // ---------------------------------------------------------------------------
 // Eager secondary range deletes (the KiWi fast path)
 
-// eagerRangeDeleteStep scans the tree for files a live range tombstone can
-// erase: fully covered files are dropped by a metadata-only edit; partially
-// covered files are rewritten in place without their covered pages. One
-// step handles one file; it returns true if it did anything. Caller holds
-// maintMu.
-func (d *DB) eagerRangeDeleteStep() (bool, error) {
+// eagerJob is a picked-and-claimed unit of eager range-delete work: drop or
+// rewrite one file a live range tombstone can erase.
+type eagerJob struct {
+	id         uint64
+	level      int
+	runID      uint64
+	f          *manifest.FileMetadata
+	action     eagerAction
+	applicable base.SeqNum
+	rts        []base.RangeTombstone
+	snaps      []base.SeqNum
+}
+
+// pickEagerJob scans the tree for a file a live range tombstone can act on:
+// fully covered files are dropped by a metadata-only edit; partially
+// covered files are rewritten in place without their covered pages. The
+// chosen file is claimed (with its level-row key span) so concurrent
+// compactions exclude it.
+func (d *DB) pickEagerJob() (*eagerJob, bool) {
+	d.pickMu.Lock()
+	defer d.pickMu.Unlock()
+	// Claims must be copied before the version is read (see
+	// InFlightSet.Snapshot): a job committing in between is then either
+	// still claimed or already applied, never invisible to both checks.
+	claims := d.inflight.Snapshot()
 	d.mu.Lock()
 	v := d.vs.Current()
 	snaps := append([]base.SeqNum(nil), d.snapshots...)
 	// Collect all live tombstones, including unflushed ones. WAL
 	// durability for them is ensured at issue time.
-	rs := readState{mem: d.mem, imms: append([]immEntry(nil), d.imm...), version: v, seq: d.vs.LastSeqNum}
+	rs := readState{mem: d.mem, imms: append([]immEntry(nil), d.imm...), version: v, seq: d.vs.LastSeqNum()}
 	d.mu.Unlock()
 	rts := d.collectRangeTombstones(rs)
 	if len(rts) == 0 {
-		return false, nil
+		return nil, false
 	}
 
 	for l := 0; l < manifest.NumLevels; l++ {
 		for _, run := range v.Levels[l] {
 			for _, f := range run.Files {
-				action, applicable := d.classifyEager(v, l, run, f, rts, snaps)
-				switch action {
-				case eagerDrop:
-					delete(d.eagerDone, f.FileNum)
-					return true, d.eagerDropFile(l, f)
-				case eagerRewrite:
-					return true, d.eagerRewriteFile(l, run.ID, f, rts, snaps, applicable)
+				if claims.FileClaimed(f.FileNum) {
+					continue
 				}
+				action, applicable := d.classifyEager(v, l, run, f, rts, snaps)
+				if action == eagerNone {
+					continue
+				}
+				lo, hi := f.Smallest.UserKey, f.Largest.UserKey
+				if claims.Overlaps(l, l, lo, hi) {
+					continue
+				}
+				id := d.sched.newID()
+				d.inflight.Claim(id, []*manifest.FileMetadata{f}, l, l, lo, hi)
+				return &eagerJob{
+					id: id, level: l, runID: run.ID, f: f,
+					action: action, applicable: applicable, rts: rts, snaps: snaps,
+				}, true
 			}
 		}
 	}
-	return false, nil
+	return nil, false
+}
+
+// runEagerJob executes a claimed eager range-delete job and releases its
+// claim.
+func (d *DB) runEagerJob(j *eagerJob) error {
+	start := time.Now()
+	var err error
+	switch j.action {
+	case eagerDrop:
+		d.eagerMu.Lock()
+		delete(d.eagerDone, j.f.FileNum)
+		d.eagerMu.Unlock()
+		err = d.eagerDropFile(j.level, j.f)
+	case eagerRewrite:
+		err = d.eagerRewriteFile(j.level, j.runID, j.f, j.rts, j.snaps, j.applicable)
+	}
+	d.inflight.Release(j.id)
+	d.stallCond.Broadcast()
+	d.sched.record(JobInfo{
+		ID:          j.id,
+		Kind:        JobEagerRangeDelete,
+		StartLevel:  j.level,
+		OutputLevel: j.level,
+		Started:     start,
+		Finished:    time.Now(),
+		BytesIn:     j.f.Size,
+		Err:         err,
+	})
+	return err
 }
 
 type eagerAction int
@@ -434,7 +545,10 @@ func (d *DB) classifyEager(v *manifest.Version, l int, run *manifest.Run, f *man
 	if action == eagerNone {
 		return eagerNone, 0
 	}
-	if done, ok := d.eagerDone[f.FileNum]; ok && applicable <= done {
+	d.eagerMu.Lock()
+	done, ok := d.eagerDone[f.FileNum]
+	d.eagerMu.Unlock()
+	if ok && applicable <= done {
 		return eagerNone, 0 // nothing new since the last pass over f
 	}
 	// Erasing newest versions is only safe when nothing older sits below.
@@ -470,12 +584,8 @@ func (d *DB) olderDataBelow(v *manifest.Version, l int, run *manifest.Run, f *ma
 
 // eagerDropFile removes a fully covered file with a metadata-only edit.
 func (d *DB) eagerDropFile(l int, f *manifest.FileMetadata) error {
-	d.mu.Lock()
 	edit := &manifest.VersionEdit{Deleted: []manifest.DeletedFileEntry{{Level: l, FileNum: f.FileNum}}}
-	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
-	err := d.vs.LogAndApply(edit)
-	d.mu.Unlock()
-	if err != nil {
+	if err := d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
 	d.deleteTables([]base.FileNum{f.FileNum})
@@ -486,7 +596,9 @@ func (d *DB) eagerDropFile(l int, f *manifest.FileMetadata) error {
 // eagerRewriteFile rewrites a partially covered file without its covered
 // pages and entries, keeping it at the same level and run. applicable is
 // the tombstone watermark memoized so a no-op rewrite is never repeated.
-func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts []base.RangeTombstone, snaps []base.SeqNum, applicable base.SeqNum) error {
+// On any error after the output file is created, the partial table is
+// closed and unlinked.
+func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts []base.RangeTombstone, snaps []base.SeqNum, applicable base.SeqNum) (err error) {
 	r, release, err := d.cache.get(f.FileNum)
 	if err != nil {
 		return err
@@ -514,13 +626,18 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 		return false
 	}
 
-	d.mu.Lock()
 	newFn := d.vs.AllocFileNum()
-	d.mu.Unlock()
-	out, err := d.opts.FS.Create(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+	newPath := manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn)
+	out, err := d.opts.FS.Create(newPath)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			vfs.BestEffortClose(out)
+			_ = d.opts.FS.Remove(newPath)
+		}
+	}()
 	w := sstable.NewWriter(out, d.writerOptions())
 	it := r.NewCompactionIter(droppablePage)
 	var kept, covered uint64
@@ -530,12 +647,12 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 			covered++
 			continue
 		}
-		if err := w.Add(ik, it.Value()); err != nil {
+		if err = w.Add(ik, it.Value()); err != nil {
 			return err
 		}
 		kept++
 	}
-	if err := it.Error(); err != nil {
+	if err = it.Error(); err != nil {
 		return err
 	}
 	w.NoteDroppedPages(it.Dropped())
@@ -549,8 +666,10 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 		// The file's delete-key span intersects a tombstone but no
 		// entry is actually covered: discard the identical rewrite and
 		// remember the watermark so this file is not scanned again.
-		_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+		_ = d.opts.FS.Remove(newPath)
+		d.eagerMu.Lock()
 		d.eagerDone[f.FileNum] = applicable
+		d.eagerMu.Unlock()
 		return nil
 	}
 
@@ -560,20 +679,18 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 	if meta.HasEntries() {
 		edit.Added = []manifest.NewFileEntry{{Level: l, RunID: runID, Meta: fileMetaFrom(newFn, meta)}}
 	} else {
-		_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+		_ = d.opts.FS.Remove(newPath)
 	}
-	d.mu.Lock()
-	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
-	err = d.vs.LogAndApply(edit)
-	d.mu.Unlock()
-	if err != nil {
+	if err = d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
 	d.deleteTables([]base.FileNum{f.FileNum})
+	d.eagerMu.Lock()
 	delete(d.eagerDone, f.FileNum)
 	if meta.HasEntries() {
 		d.eagerDone[newFn] = applicable
 	}
+	d.eagerMu.Unlock()
 	d.stats.PagesDropped.Add(int64(it.Dropped()))
 	d.stats.RangeCoveredDropped.Add(int64(covered))
 	d.stats.CompactBytesRead.Add(int64(bytesRead))

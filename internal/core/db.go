@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/base"
+	"repro/internal/compaction"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
@@ -48,7 +49,7 @@ type DB struct {
 	stats   Stats
 	cache   *tableCache
 
-	mu        sync.Mutex // guards everything below plus vs counters
+	mu        sync.Mutex // guards everything below
 	vs        *manifest.VersionSet
 	mem       *memtable.MemTable
 	memLog    base.FileNum
@@ -62,13 +63,33 @@ type DB struct {
 	// lazily open them.
 	activeReads    int
 	pendingDeletes []base.FileNum
+	// stallCond (condition over d.mu) wakes writers stalled on
+	// backpressure: commits wait while immutables or L0 runs pile past
+	// their limits, and flush pops / compaction commits broadcast.
+	stallCond *sync.Cond
 
-	// maintMu serializes all flush/compaction/range-delete maintenance.
+	// maintMu serializes the synchronous maintenance entry points
+	// (MaintenanceStep, Checkpoint, CompactAll). Executor goroutines do
+	// not take it — their mutual exclusion is per-resource: flushMu for
+	// the flush queue, pickMu+inflight claims for compactions.
 	maintMu sync.Mutex
-	// eagerDone records, per file, the highest range-tombstone sequence
-	// number already applied eagerly, so a file whose delete-key span
-	// merely intersects a tombstone (with no entry actually covered) is
-	// not rewritten again and again. Guarded by maintMu.
+	// flushMu serializes flushOne callers (manual Flush, the flush
+	// executor, MaintenanceStep) so two cannot pop the same immutable.
+	flushMu sync.Mutex
+	// pickMu makes pick+claim atomic across compaction executors.
+	pickMu sync.Mutex
+	// inflight tracks the file and level/key-span claims of running
+	// maintenance jobs; pickers exclude them.
+	inflight *compaction.InFlightSet
+	// sched coordinates executor lifecycle (pause/quiesce) and records
+	// per-job observability.
+	sched *scheduler
+
+	// eagerMu guards eagerDone: per file, the highest range-tombstone
+	// sequence number already applied eagerly, so a file whose delete-key
+	// span merely intersects a tombstone (with no entry actually covered)
+	// is not rewritten again and again.
+	eagerMu   sync.Mutex
 	eagerDone map[base.FileNum]base.SeqNum
 
 	// rtMu guards fileRTs, the cache of each live file's range
@@ -76,7 +97,9 @@ type DB struct {
 	rtMu    sync.RWMutex
 	fileRTs map[base.FileNum][]base.RangeTombstone
 
-	workCh  chan struct{}
+	workCh  chan struct{} // legacy single-worker wakeup
+	flushCh chan struct{} // flush-executor wakeup
+	compCh  chan struct{} // compaction-executor wakeup
 	closeCh chan struct{}
 	closing atomic.Bool
 	wg      sync.WaitGroup
@@ -114,9 +137,14 @@ func Open(dirname string, opts Options) (*DB, error) {
 		mem:       memtable.New(),
 		fileRTs:   make(map[base.FileNum][]base.RangeTombstone),
 		eagerDone: make(map[base.FileNum]base.SeqNum),
+		inflight:  compaction.NewInFlightSet(),
+		sched:     newScheduler(),
 		workCh:    make(chan struct{}, 1),
+		flushCh:   make(chan struct{}, 1),
+		compCh:    make(chan struct{}, 1),
 		closeCh:   make(chan struct{}),
 	}
+	d.stallCond = sync.NewCond(&d.mu)
 
 	if err := d.recoverAndClean(); err != nil {
 		vfs.BestEffortClose(vs)
@@ -137,8 +165,22 @@ func Open(dirname string, opts Options) (*DB, error) {
 	}
 
 	if !opts.DisableAutoMaintenance {
-		d.wg.Add(1)
-		go d.worker()
+		if opts.MaintenanceConcurrency <= 1 {
+			// Serialized mode: the classic single worker, which drives
+			// flush → eager → compaction strictly in order and
+			// reproduces the seed engine's behaviour exactly.
+			d.wg.Add(1)
+			go d.worker()
+		} else {
+			// Concurrent mode: one dedicated flush executor plus a pool
+			// of compaction executors picking disjoint jobs.
+			d.wg.Add(1)
+			go d.flushExecutor()
+			for i := 1; i < opts.MaintenanceConcurrency; i++ {
+				d.wg.Add(1)
+				go d.compactionExecutor()
+			}
+		}
 	}
 	return d, nil
 }
@@ -166,7 +208,7 @@ func (d *DB) recoverAndClean() error {
 				_ = fs.Remove(manifest.MakeFilename(d.dirname, t, fn))
 			}
 		case manifest.FileTypeLog:
-			if fn >= d.vs.LogNum {
+			if fn >= d.vs.LogNum() {
 				logNums = append(logNums, fn)
 			} else {
 				_ = fs.Remove(manifest.MakeFilename(d.dirname, t, fn))
@@ -177,7 +219,7 @@ func (d *DB) recoverAndClean() error {
 
 	// Replay surviving logs into a recovery memtable.
 	rec := memtable.New()
-	maxSeq := d.vs.LastSeqNum
+	maxSeq := d.vs.LastSeqNum()
 	for _, fn := range logNums {
 		f, err := fs.Open(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, fn))
 		if err != nil {
@@ -210,7 +252,7 @@ func (d *DB) recoverAndClean() error {
 			return err
 		}
 	}
-	d.vs.LastSeqNum = maxSeq
+	d.vs.SetLastSeqNum(maxSeq)
 
 	// Open a fresh WAL for new writes.
 	if !d.opts.DisableWAL {
@@ -221,7 +263,7 @@ func (d *DB) recoverAndClean() error {
 		}
 		d.walW = wal.NewWriter(f)
 		d.memLog = newLog
-		d.vs.LogNum = newLog
+		d.vs.SetLogNum(newLog)
 	}
 
 	// Flush recovered data immediately so the old logs can go, then
@@ -255,6 +297,9 @@ func (d *DB) Close() error {
 	if d.closing.Swap(true) {
 		return ErrClosed
 	}
+	// Wake writers stalled on backpressure so they observe the shutdown
+	// instead of waiting on maintenance that is about to stop.
+	d.stallCond.Broadcast()
 	close(d.closeCh)
 	d.wg.Wait()
 
@@ -373,7 +418,11 @@ func (d *DB) apply(kind base.Kind, key, value []byte) error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
-	seq := d.vs.LastSeqNum + 1
+	if err := d.stallWritesLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	seq := d.vs.LastSeqNum() + 1
 	if !d.opts.DisableWAL {
 		rec := encodeWALRecord(kind, seq, key, value)
 		//lint:ignore lockheld commit protocol: WAL append order must match seqnum assignment order, so the write stays under d.mu
@@ -390,7 +439,7 @@ func (d *DB) apply(kind base.Kind, key, value []byte) error {
 			}
 		}
 	}
-	d.vs.LastSeqNum = seq
+	d.vs.SetLastSeqNum(seq)
 	d.mem.Add(base.MakeInternalKey(key, seq, kind), value)
 	d.stats.BytesIngested.Add(int64(len(key) + len(value)))
 	rotated, err := d.maybeRotateLocked()
@@ -420,7 +469,7 @@ func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
-	seq := d.vs.LastSeqNum + 1
+	seq := d.vs.LastSeqNum() + 1
 	rt := base.RangeTombstone{Lo: lo, Hi: hi, Seq: seq, CreatedAt: now}
 	if !d.opts.DisableWAL {
 		rec := encodeWALRangeDelete(rt)
@@ -439,12 +488,42 @@ func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
 			return err
 		}
 	}
-	d.vs.LastSeqNum = seq
+	d.vs.SetLastSeqNum(seq)
 	d.mem.AddRangeTombstone(rt)
 	d.mu.Unlock()
 	d.stats.RangeDeletesIssued.Add(1)
 	d.notifyWork()
 	return nil
+}
+
+// stallWritesLocked blocks the commit path while the flush/compaction
+// backlog exceeds its limits. Backpressure only engages with auto
+// maintenance: a caller driving MaintenanceStep manually from the writing
+// goroutine must never be made to wait for work only it can perform.
+// Called with d.mu held; may release and reacquire it.
+func (d *DB) stallWritesLocked() error {
+	if d.opts.DisableAutoMaintenance {
+		return nil
+	}
+	stalled := false
+	for {
+		if d.closed || d.closing.Load() {
+			return ErrClosed
+		}
+		immFull := d.opts.MaxImmutableMemTables > 0 && len(d.imm) >= d.opts.MaxImmutableMemTables
+		l0Full := d.opts.L0StallRuns > 0 && len(d.vs.Current().Levels[0]) >= d.opts.L0StallRuns
+		if !immFull && !l0Full {
+			return nil
+		}
+		if !stalled {
+			stalled = true
+			d.stats.WriteStalls.Add(1)
+		}
+		d.notifyWork()
+		start := time.Now()
+		d.stallCond.Wait()
+		d.stats.WriteStallNanos.Add(time.Since(start).Nanoseconds())
+	}
 }
 
 // maybeRotateLocked rotates the memtable when it exceeds its budget.
@@ -470,6 +549,12 @@ func (d *DB) rotateLocked() error {
 		}
 		newW = wal.NewWriter(f)
 		if err := d.walW.Close(); err != nil {
+			// The old segment's tail is in doubt; abandon the rotation
+			// and surface the error. The fresh segment was never linked
+			// to any state, so close and unlink it rather than orphaning
+			// the file and its number.
+			vfs.BestEffortClose(newW)
+			_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, newLog))
 			return err
 		}
 	}
@@ -477,23 +562,29 @@ func (d *DB) rotateLocked() error {
 	d.mem = memtable.New()
 	d.memLog = newLog
 	d.walW = newW
+	d.stats.FlushQueueDepth.Set(int64(len(d.imm)))
 	return nil
 }
 
+// notifyWork nudges whichever maintenance goroutines exist. The sends are
+// non-blocking: a full wakeup channel already has a pending wakeup.
 func (d *DB) notifyWork() {
 	if d.opts.DisableAutoMaintenance {
 		return
 	}
-	select {
-	case d.workCh <- struct{}{}:
-	default:
+	for _, ch := range [...]chan struct{}{d.workCh, d.flushCh, d.compCh} {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
 	}
 }
 
-// worker is the background maintenance goroutine.
+// worker is the background maintenance goroutine of serialized mode
+// (MaintenanceConcurrency = 1).
 func (d *DB) worker() {
 	defer d.wg.Done()
-	ticker := time.NewTicker(25 * time.Millisecond)
+	ticker := time.NewTicker(d.opts.MaintenanceTickInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -534,7 +625,7 @@ type Snapshot struct {
 func (d *DB) NewSnapshot() *Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	seq := d.vs.LastSeqNum
+	seq := d.vs.LastSeqNum()
 	i := sort.Search(len(d.snapshots), func(i int) bool { return d.snapshots[i] >= seq })
 	d.snapshots = append(d.snapshots, 0)
 	copy(d.snapshots[i+1:], d.snapshots[i:])
@@ -577,7 +668,7 @@ func (d *DB) acquireReadState(snap *Snapshot) (readState, error) {
 		mem:     d.mem,
 		imms:    append([]immEntry(nil), d.imm...),
 		version: d.vs.Current(),
-		seq:     d.vs.LastSeqNum,
+		seq:     d.vs.LastSeqNum(),
 	}
 	if snap != nil {
 		rs.seq = snap.seq

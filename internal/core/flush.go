@@ -1,10 +1,13 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/base"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
+	"repro/internal/vfs"
 )
 
 // writerOptions builds the sstable writer configuration from the engine
@@ -18,25 +21,31 @@ func (d *DB) writerOptions() sstable.WriterOptions {
 	}
 }
 
-// writeMemTable materializes a memtable as a new level-0 table file.
-func (d *DB) writeMemTable(m *memtable.MemTable) (base.FileNum, sstable.WriterMeta, error) {
-	d.mu.Lock()
+// writeMemTable materializes a memtable as a new level-0 table file. On any
+// error after the file is created, the partial table is closed and unlinked
+// so a failed flush leaves no orphan behind.
+func (d *DB) writeMemTable(m *memtable.MemTable) (_ base.FileNum, _ sstable.WriterMeta, err error) {
 	fn := d.vs.AllocFileNum()
-	d.mu.Unlock()
-
-	f, err := d.opts.FS.Create(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, fn))
+	path := manifest.MakeFilename(d.dirname, manifest.FileTypeTable, fn)
+	f, err := d.opts.FS.Create(path)
 	if err != nil {
 		return 0, sstable.WriterMeta{}, err
 	}
+	defer func() {
+		if err != nil {
+			vfs.BestEffortClose(f)
+			_ = d.opts.FS.Remove(path)
+		}
+	}()
 	w := sstable.NewWriter(f, d.writerOptions())
 	it := m.NewIter()
 	for valid := it.First(); valid; valid = it.Next() {
-		if err := w.Add(it.Key(), it.Value()); err != nil {
+		if err = w.Add(it.Key(), it.Value()); err != nil {
 			return 0, sstable.WriterMeta{}, err
 		}
 	}
 	for _, rt := range m.RangeTombstones() {
-		if err := w.AddRangeTombstone(rt); err != nil {
+		if err = w.AddRangeTombstone(rt); err != nil {
 			return 0, sstable.WriterMeta{}, err
 		}
 	}
@@ -63,9 +72,9 @@ func (d *DB) Flush() error {
 	}
 	d.mu.Unlock()
 	for {
-		d.maintMu.Lock()
+		d.flushMu.Lock()
 		did, err := d.flushOne()
-		d.maintMu.Unlock()
+		d.flushMu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -76,7 +85,7 @@ func (d *DB) Flush() error {
 }
 
 // flushOne flushes the oldest sealed memtable, if any. Caller holds
-// maintMu.
+// flushMu.
 func (d *DB) flushOne() (bool, error) {
 	d.mu.Lock()
 	if len(d.imm) == 0 {
@@ -86,6 +95,7 @@ func (d *DB) flushOne() (bool, error) {
 	e := d.imm[0]
 	d.mu.Unlock()
 
+	start := time.Now()
 	var (
 		added []manifest.NewFileEntry
 		size  uint64
@@ -100,9 +110,7 @@ func (d *DB) flushOne() (bool, error) {
 		newFn = fn
 		size = meta.Size
 		nRT = meta.Props.NumRangeDeletes
-		d.mu.Lock()
 		added = append(added, manifest.NewFileEntry{Level: 0, RunID: d.vs.AllocRunID(), Meta: fileMetaFrom(fn, meta)})
-		d.mu.Unlock()
 	}
 
 	d.mu.Lock()
@@ -117,13 +125,21 @@ func (d *DB) flushOne() (bool, error) {
 	if !d.opts.DisableWAL {
 		edit.LogNum = logNum
 	}
-	//lint:ignore lockheld manifest edits are serialized by d.mu; LogAndApply is the version-set commit point
+	// LogAndApply stays under d.mu so the flush's version installation is
+	// atomic with the imm pop below: readers never see the flushed table
+	// and its still-queued memtable at once, nor neither.
+	//lint:ignore lockheld flush commit point: the version install and imm pop must be atomic under d.mu
 	if err := d.vs.LogAndApply(edit); err != nil {
 		d.mu.Unlock()
 		return false, err
 	}
 	d.imm = d.imm[1:]
+	d.stats.FlushQueueDepth.Set(int64(len(d.imm)))
 	d.mu.Unlock()
+	// The flush queue shrank (and L0 is examined afresh by stalled
+	// writers); wake them.
+	d.stallCond.Broadcast()
+	d.notifyWork()
 
 	if nRT > 0 {
 		if err := d.loadFileRTs(newFn); err != nil {
@@ -136,6 +152,14 @@ func (d *DB) flushOne() (bool, error) {
 	if len(added) > 0 {
 		d.stats.Flushes.Add(1)
 		d.stats.BytesFlushed.Add(int64(size))
+		d.stats.FlushLatency.Record(time.Since(start).Nanoseconds())
+		d.sched.record(JobInfo{
+			ID:       d.sched.newID(),
+			Kind:     JobFlush,
+			Started:  start,
+			Finished: time.Now(),
+			BytesOut: size,
+		})
 	}
 	return true, nil
 }

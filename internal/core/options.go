@@ -10,6 +10,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/base"
@@ -68,6 +69,25 @@ type Options struct {
 	// worker; callers drive MaintenanceStep themselves (deterministic
 	// benchmarks do this).
 	DisableAutoMaintenance bool
+	// MaintenanceConcurrency sets how many maintenance executors run when
+	// auto maintenance is enabled. 1 reproduces the classic single-worker
+	// engine exactly (flush, eager range deletes, and compactions strictly
+	// serialized — deterministic benches rely on this). Values >= 2 run a
+	// dedicated flush executor plus MaintenanceConcurrency-1 compaction
+	// executors picking level/key-disjoint jobs concurrently, with
+	// TTL-triggered (DPT-critical) jobs taking priority over saturation
+	// work. Default: 2 when GOMAXPROCS > 1, else 1.
+	MaintenanceConcurrency int
+	// MaintenanceTickInterval is how often idle executors re-examine the
+	// tree (TTL expiry detection is tick-driven). Default 25ms.
+	MaintenanceTickInterval time.Duration
+	// MaxImmutableMemTables stalls writes when this many immutable
+	// memtables are queued for flush (only with auto maintenance; manual
+	// drivers are never stalled). Default 4; negative disables stalling.
+	MaxImmutableMemTables int
+	// L0StallRuns stalls writes when level 0 holds at least this many
+	// runs (only with auto maintenance). Default 12; negative disables.
+	L0StallRuns int
 	// Logger, when set, receives diagnostic messages.
 	Logger func(format string, args ...any)
 }
@@ -93,6 +113,21 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PagesPerTile <= 0 {
 		o.PagesPerTile = 1
+	}
+	if o.MaintenanceConcurrency <= 0 {
+		o.MaintenanceConcurrency = 1
+		if runtime.GOMAXPROCS(0) > 1 {
+			o.MaintenanceConcurrency = 2
+		}
+	}
+	if o.MaintenanceTickInterval <= 0 {
+		o.MaintenanceTickInterval = 25 * time.Millisecond
+	}
+	if o.MaxImmutableMemTables == 0 {
+		o.MaxImmutableMemTables = 4
+	}
+	if o.L0StallRuns == 0 {
+		o.L0StallRuns = 12
 	}
 	o.Compaction = o.Compaction.WithDefaults()
 	return o

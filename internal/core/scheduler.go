@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/manifest"
+)
+
+// JobKind classifies a maintenance job.
+type JobKind int
+
+const (
+	// JobFlush drains one immutable memtable to level 0.
+	JobFlush JobKind = iota
+	// JobCompact merges runs between levels.
+	JobCompact
+	// JobEagerRangeDelete drops or rewrites a file covered by a secondary
+	// range tombstone (the KiWi fast path).
+	JobEagerRangeDelete
+)
+
+// String implements fmt.Stringer.
+func (k JobKind) String() string {
+	switch k {
+	case JobCompact:
+		return "compact"
+	case JobEagerRangeDelete:
+		return "eager-range-delete"
+	}
+	return "flush"
+}
+
+// JobInfo records one completed maintenance job for observability. The
+// interval [Started, Finished] lets tests and tools detect overlap between
+// jobs — e.g. that a TTL compaction ran while a saturation compaction was
+// still in flight.
+type JobInfo struct {
+	ID          uint64
+	Kind        JobKind
+	Trigger     compaction.Trigger
+	StartLevel  int
+	OutputLevel int
+	Started     time.Time
+	Finished    time.Time
+	BytesIn     uint64
+	BytesOut    uint64
+	Err         error
+}
+
+// maxRecentJobs bounds the completed-job ring buffer.
+const maxRecentJobs = 64
+
+// scheduler coordinates the maintenance executors: it counts running jobs,
+// supports pausing (checkpoint/CompactAll quiescing), and keeps a ring of
+// recently completed jobs. Job priority lives in the picker, not here —
+// every executor asks the picker for the most urgent disjoint job, and the
+// picker orders TTL (DPT-critical) ahead of L0 ahead of saturation.
+type scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	paused  int // pause depth; executors idle while > 0
+	running int
+
+	nextID atomic.Uint64
+
+	recent  [maxRecentJobs]JobInfo
+	nRecent uint64 // total jobs ever recorded
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// newID allocates a job id.
+func (s *scheduler) newID() uint64 { return s.nextID.Add(1) }
+
+// begin registers an executor job start. It is non-blocking: when the
+// scheduler is paused it returns false and the executor must back off. (A
+// blocking begin could deadlock against a pauser that holds a resource the
+// executor's caller owns.)
+func (s *scheduler) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.paused > 0 {
+		return false
+	}
+	s.running++
+	return true
+}
+
+// end registers an executor job completion.
+func (s *scheduler) end() {
+	s.mu.Lock()
+	s.running--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// pause blocks new executor jobs and waits for running ones to finish.
+// Pauses nest.
+func (s *scheduler) pause() {
+	s.mu.Lock()
+	s.paused++
+	for s.running > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// resume undoes one pause.
+func (s *scheduler) resume() {
+	s.mu.Lock()
+	s.paused--
+	s.mu.Unlock()
+}
+
+// waitQuiet blocks until no executor job is running.
+func (s *scheduler) waitQuiet() {
+	s.mu.Lock()
+	for s.running > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// anyRunning reports whether an executor job is in flight.
+func (s *scheduler) anyRunning() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running > 0
+}
+
+// record appends a completed job to the ring.
+func (s *scheduler) record(ji JobInfo) {
+	s.mu.Lock()
+	s.recent[s.nRecent%maxRecentJobs] = ji
+	s.nRecent++
+	s.mu.Unlock()
+}
+
+// recentJobs returns the completed jobs still in the ring, oldest first.
+func (s *scheduler) recentJobs() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.nRecent
+	if n > maxRecentJobs {
+		n = maxRecentJobs
+	}
+	out := make([]JobInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, s.recent[(s.nRecent-n+i)%maxRecentJobs])
+	}
+	return out
+}
+
+// RecentMaintJobs returns the most recently completed maintenance jobs
+// (flushes, compactions, eager range deletes), oldest first. The window is
+// bounded; it is an observability aid, not a durable log.
+func (d *DB) RecentMaintJobs() []JobInfo { return d.sched.recentJobs() }
+
+// ---------------------------------------------------------------------------
+// Executors (MaintenanceConcurrency >= 2)
+
+// flushExecutor drains immutable memtables independently of compactions, so
+// a long merge never backs up the write path.
+func (d *DB) flushExecutor() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.opts.MaintenanceTickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.closeCh:
+			return
+		case <-d.flushCh:
+		case <-ticker.C:
+		}
+		for {
+			select {
+			case <-d.closeCh:
+				return
+			default:
+			}
+			if !d.sched.begin() {
+				break // paused; the pauser drives any needed work
+			}
+			did, err := d.runFlushStep()
+			d.sched.end()
+			if err != nil {
+				d.opts.logf("acheron: flush error: %v", err)
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// runFlushStep flushes one immutable memtable if any is queued.
+func (d *DB) runFlushStep() (bool, error) {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+	return d.flushOne()
+}
+
+// compactionExecutor runs compactions (and eager range-delete work) that are
+// level/key-disjoint from every other in-flight job.
+func (d *DB) compactionExecutor() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.opts.MaintenanceTickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.closeCh:
+			return
+		case <-d.compCh:
+		case <-ticker.C:
+		}
+		for {
+			select {
+			case <-d.closeCh:
+				return
+			default:
+			}
+			if !d.sched.begin() {
+				break
+			}
+			did, err := d.runCompactionStep()
+			d.sched.end()
+			if err != nil {
+				d.opts.logf("acheron: compaction error: %v", err)
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// runCompactionStep claims and runs one unit of non-flush maintenance:
+// eager range-delete work first (it is cheap and unblocks space), then the
+// most urgent disjoint compaction.
+func (d *DB) runCompactionStep() (bool, error) {
+	if d.opts.EagerRangeDeletes {
+		if job, ok := d.pickEagerJob(); ok {
+			return true, d.runEagerJob(job)
+		}
+	}
+	job, ok := d.pickCompactionJob()
+	if !ok {
+		return false, nil
+	}
+	return true, d.runCompactionJob(job)
+}
+
+// compactJob is a picked-and-claimed compaction awaiting execution.
+type compactJob struct {
+	id   uint64
+	v    *manifest.Version // the version the candidate was picked against
+	cand *compaction.Candidate
+}
+
+// pickCompactionJob atomically picks the most urgent compaction disjoint
+// from all in-flight jobs and claims its files and rectangle. pickMu makes
+// pick+claim atomic: without it two executors could pick overlapping work
+// before either claim landed.
+func (d *DB) pickCompactionJob() (*compactJob, bool) {
+	d.pickMu.Lock()
+	defer d.pickMu.Unlock()
+	// Claims must be copied before the version is read (see
+	// InFlightSet.Snapshot): a job committing in between is then either
+	// still claimed or already applied, never invisible to both checks.
+	claims := d.inflight.Snapshot()
+	d.mu.Lock()
+	v := d.vs.Current()
+	now := d.opts.Clock.Now()
+	haveSnaps := len(d.snapshots) > 0
+	d.mu.Unlock()
+
+	cand := compaction.Pick(v, d.opts.Compaction, now, haveSnaps, claims)
+	if cand == nil {
+		return nil, false
+	}
+	id := d.sched.newID()
+	d.inflight.ClaimCandidate(id, cand)
+	return &compactJob{id: id, v: v, cand: cand}, true
+}
+
+// runCompactionJob executes a claimed compaction and releases its claim.
+func (d *DB) runCompactionJob(j *compactJob) error {
+	d.stats.CompactionsInFlight.Add(1)
+	err := d.runCandidate(j.id, j.v, j.cand)
+	d.stats.CompactionsInFlight.Add(-1)
+	d.inflight.Release(j.id)
+	// A committed compaction may have shrunk L0; unblock stalled writers.
+	d.stallCond.Broadcast()
+	return err
+}

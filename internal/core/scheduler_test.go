@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/manifest"
+	"repro/internal/vfs"
+)
+
+// slowFS delays sstable creation while armed, widening the window in which
+// maintenance jobs overlap. Everything else passes straight through.
+type slowFS struct {
+	vfs.FS
+	armed atomic.Bool
+	delay time.Duration
+}
+
+func (s *slowFS) Create(name string) (vfs.File, error) {
+	if s.armed.Load() && strings.HasSuffix(name, ".sst") {
+		time.Sleep(s.delay)
+	}
+	return s.FS.Create(name)
+}
+
+// TestSchedulerConcurrentStress hammers a 3-executor engine (flush executor
+// plus two compaction executors) with concurrent writers, point and range
+// deletes, snapshots, readers and scanners, then reopens the store and
+// scrubs it. Run with -race.
+func TestSchedulerConcurrentStress(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := Options{
+		FS:                     fs,
+		MemTableBytes:          32 << 10,
+		DeleteKeyFunc:          testDK,
+		EagerRangeDeletes:      true,
+		MaintenanceConcurrency: 3,
+		MaxImmutableMemTables:  2,
+		Compaction: compaction.Options{
+			SizeRatio:       4,
+			L0Threshold:     2,
+			BaseLevelBytes:  128 << 10,
+			TargetFileBytes: 32 << 10,
+			DPT:             base.Duration(50 * time.Millisecond),
+			Picker:          compaction.PickFADE,
+		},
+	}
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const opsPerWriter = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%05d", w, i%1200))
+				var err error
+				switch i % 23 {
+				case 4, 9:
+					err = d.Delete(k)
+				case 17:
+					lo := base.DeleteKey(uint64(w*opsPerWriter + i))
+					err = d.DeleteSecondaryRange(lo, lo+40)
+				case 21:
+					b := NewBatch()
+					b.Put(k, testValue(uint64(i), i))
+					b.Delete([]byte(fmt.Sprintf("w%d-k%05d", w, (i+7)%1200)))
+					err = d.Apply(b)
+				default:
+					err = d.Put(k, testValue(uint64(w*opsPerWriter+i), i))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n%3 == 0 {
+					s := d.NewSnapshot()
+					k := []byte(fmt.Sprintf("w%d-k%05d", r, (r*31+n)%1200))
+					if _, err := d.GetAt(k, s); err != nil && err != ErrNotFound {
+						t.Errorf("snapshot get: %v", err)
+						s.Release()
+						return
+					}
+					s.Release()
+					continue
+				}
+				it, err := d.NewIter(IterOptions{})
+				if err != nil {
+					t.Errorf("iter: %v", err)
+					return
+				}
+				seen := 0
+				for ok := it.First(); ok && seen < 300; ok = it.Next() {
+					seen++
+				}
+				if err := it.Close(); err != nil {
+					t.Errorf("iter close: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := d.RecentMaintJobs()
+	if len(jobs) == 0 {
+		t.Fatal("no maintenance jobs recorded under a stress workload")
+	}
+	for _, j := range jobs {
+		if j.Err != nil {
+			t.Fatalf("job %d (%s) failed: %v", j.ID, j.Kind, j.Err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.DisableAutoMaintenance = true
+	d2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.VerifyChecksums(); err != nil {
+		t.Fatalf("scrub after stress: %v", err)
+	}
+}
+
+// layoutString renders a version's physical layout — levels, run ids, file
+// numbers, key bounds, entry counts — for exact comparison.
+func layoutString(v *manifest.Version) string {
+	var b strings.Builder
+	for l := range v.Levels {
+		for _, r := range v.Levels[l] {
+			fmt.Fprintf(&b, "L%d run%d:", l, r.ID)
+			for _, f := range r.Files {
+				fmt.Fprintf(&b, " %d[%s..%s #%d]", f.FileNum, f.Smallest.UserKey, f.Largest.UserKey, f.NumEntries)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestSchedulerSerializedDeterminism replays one seeded trace twice through
+// manually driven maintenance and requires bit-identical physical layouts:
+// the refactor must keep the serialized mode's pick order, file numbering
+// and run assignment exactly reproducible.
+func TestSchedulerSerializedDeterminism(t *testing.T) {
+	run := func() string {
+		clk := &base.LogicalClock{}
+		opts := testOptions(vfs.NewMemFS(), clk)
+		opts.EagerRangeDeletes = true
+		opts.Compaction.DPT = 50
+		opts.Compaction.Picker = compaction.PickFADE
+		d, err := Open("db", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 6000; i++ {
+			k := []byte(fmt.Sprintf("k%05d", rng.Intn(2500)))
+			switch rng.Intn(20) {
+			case 0:
+				if err := d.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				lo := base.DeleteKey(rng.Intn(4000))
+				if err := d.DeleteSecondaryRange(lo, lo+base.DeleteKey(rng.Intn(100)+1)); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if err := d.Put(k, testValue(uint64(rng.Intn(4000)), i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			clk.Advance(1)
+			if i%97 == 0 {
+				if _, err := d.MaintenanceStep(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WaitIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return layoutString(d.vs.Current())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("serialized maintenance is not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestSchedulerTTLPreemption: with two compaction executors, a TTL-triggered
+// (DPT-critical) compaction must be able to run while a saturation or L0
+// compaction is still in flight, instead of queueing behind it. Slow sstable
+// creation keeps jobs in flight long enough for the overlap to be observable
+// in the per-job log.
+func TestSchedulerTTLPreemption(t *testing.T) {
+	fs := &slowFS{FS: vfs.NewMemFS(), delay: 3 * time.Millisecond}
+	opts := Options{
+		FS:                     fs,
+		MemTableBytes:          16 << 10,
+		DeleteKeyFunc:          testDK,
+		MaintenanceConcurrency: 3,
+		Compaction: compaction.Options{
+			SizeRatio:       4,
+			L0Threshold:     2,
+			BaseLevelBytes:  64 << 10,
+			TargetFileBytes: 8 << 10,
+			DPT:             base.Duration(30 * time.Millisecond),
+			Picker:          compaction.PickFADE,
+		},
+	}
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	fs.armed.Store(true)
+	deadline := time.Now().Add(15 * time.Second)
+	for round := 0; ; round++ {
+		// Saturation fodder in the "a" keyspace, deletes (TTL fodder) in
+		// the disjoint "b" keyspace.
+		for i := 0; i < 1500; i++ {
+			ka := []byte(fmt.Sprintf("a%06d", (round*1500+i)%5000))
+			if err := d.Put(ka, testValue(uint64(i), i)); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				kb := []byte(fmt.Sprintf("b%06d", (round*500+i)%3000))
+				if err := d.Put(kb, testValue(uint64(i)+1<<32, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i%9 == 0 {
+				kb := []byte(fmt.Sprintf("b%06d", (round*500+i)%3000))
+				if err := d.Delete(kb); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond) // let DPT clocks expire and jobs overlap
+
+		jobs := d.RecentMaintJobs()
+		for _, tj := range jobs {
+			if tj.Kind != JobCompact || tj.Trigger != compaction.TriggerTTL {
+				continue
+			}
+			for _, sj := range jobs {
+				if sj.Kind != JobCompact || sj.Trigger == compaction.TriggerTTL || sj.ID == tj.ID {
+					continue
+				}
+				// Overlap: the TTL job ran inside the other job's window.
+				if tj.Started.Before(sj.Finished) && sj.Started.Before(tj.Finished) {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no TTL compaction overlapped a saturation/L0 compaction after %d rounds (%d jobs recorded)", round+1, len(jobs))
+		}
+	}
+}
+
+// TestSchedulerWriteBackpressure: with a one-deep immutable queue and slow
+// flushes, a fast writer must hit the stall path (and get released by flush
+// completions) rather than queueing memtables without bound.
+func TestSchedulerWriteBackpressure(t *testing.T) {
+	fs := &slowFS{FS: vfs.NewMemFS(), delay: 2 * time.Millisecond}
+	fs.armed.Store(true)
+	opts := Options{
+		FS:                     fs,
+		MemTableBytes:          4 << 10,
+		DeleteKeyFunc:          testDK,
+		MaintenanceConcurrency: 2,
+		MaxImmutableMemTables:  1,
+		Compaction: compaction.Options{
+			SizeRatio:       4,
+			L0Threshold:     4,
+			BaseLevelBytes:  64 << 10,
+			TargetFileBytes: 16 << 10,
+		},
+	}
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%06d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	queued := len(d.imm)
+	d.mu.Unlock()
+	if max := opts.MaxImmutableMemTables; queued > max+1 {
+		t.Fatalf("immutable queue reached %d with MaxImmutableMemTables=%d", queued, max)
+	}
+	if d.stats.WriteStalls.Get() == 0 {
+		t.Fatal("a fast writer against 2ms flushes never stalled")
+	}
+	if d.stats.WriteStallNanos.Get() == 0 {
+		t.Fatal("stalls were counted but no stall time accumulated")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerPauseQuiesces covers the scheduler primitive itself: begin
+// refuses work while paused, pause waits for running jobs, pauses nest.
+func TestSchedulerPauseQuiesces(t *testing.T) {
+	s := newScheduler()
+	if !s.begin() {
+		t.Fatal("begin failed on an idle scheduler")
+	}
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.end()
+		close(done)
+	}()
+	s.pause() // must block until end()
+	select {
+	case <-done:
+	default:
+		t.Fatal("pause returned while a job was still running")
+	}
+	if s.begin() {
+		t.Fatal("begin succeeded while paused")
+	}
+	s.pause() // nested
+	s.resume()
+	if s.begin() {
+		t.Fatal("begin succeeded with one pause still held")
+	}
+	s.resume()
+	if !s.begin() {
+		t.Fatal("begin failed after full resume")
+	}
+	s.end()
+}

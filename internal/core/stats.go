@@ -58,6 +58,23 @@ type Stats struct {
 	// compactions.
 	ShadowedDropped metrics.Counter
 
+	// FlushQueueDepth gauges immutable memtables queued for flush; its
+	// peak records the worst backlog ever reached.
+	FlushQueueDepth metrics.PeakGauge
+	// CompactionsInFlight gauges currently running compaction jobs.
+	CompactionsInFlight metrics.Gauge
+	// FlushLatency records wall-clock nanoseconds per flush job.
+	FlushLatency metrics.Histogram
+	// JobLatencyByTrigger records wall-clock nanoseconds per compaction
+	// job, by trigger (0=l0, 1=saturation, 2=ttl). The TTL row is the
+	// DPT-critical one: with concurrent executors it must not inherit the
+	// latency of in-flight saturation work.
+	JobLatencyByTrigger [3]metrics.Histogram
+	// WriteStalls counts commits that blocked on backpressure;
+	// WriteStallNanos accumulates the total time spent stalled.
+	WriteStalls     metrics.Counter
+	WriteStallNanos metrics.Counter
+
 	// Gets, GetHits count point lookups and those that found a live key.
 	Gets    metrics.Counter
 	GetHits metrics.Counter
@@ -100,6 +117,11 @@ func (s *Stats) String() string {
 		s.PersistenceLatency.Quantile(0.99), s.PersistenceLatency.Max())
 	fmt.Fprintf(&b, "range_deletes=%d range_persisted=%d pages_dropped=%d range_covered_dropped=%d shadowed=%d\n",
 		s.RangeDeletesIssued.Get(), s.RangeTombstonesPersisted.Get(), s.PagesDropped.Get(), s.RangeCoveredDropped.Get(), s.ShadowedDropped.Get())
+	fmt.Fprintf(&b, "flush_queue=%d peak_flush_queue=%d compactions_in_flight=%d p99_flush_ns=%d\n",
+		s.FlushQueueDepth.Get(), s.FlushQueueDepth.Peak(), s.CompactionsInFlight.Get(), s.FlushLatency.Quantile(0.99))
+	fmt.Fprintf(&b, "p99_job_ns[l0=%d sat=%d ttl=%d] write_stalls=%d stall_ns=%d\n",
+		s.JobLatencyByTrigger[0].Quantile(0.99), s.JobLatencyByTrigger[1].Quantile(0.99), s.JobLatencyByTrigger[2].Quantile(0.99),
+		s.WriteStalls.Get(), s.WriteStallNanos.Get())
 	fmt.Fprintf(&b, "gets=%d hits=%d bloom_skips=%d tables_probed=%d",
 		s.Gets.Get(), s.GetHits.Get(), s.BloomSkips.Get(), s.TablesProbed.Get())
 	return b.String()

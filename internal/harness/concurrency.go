@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// C1MaintenanceConcurrency measures the concurrent maintenance scheduler:
+// the same delete-heavy FADE workload is run with one serialized maintenance
+// worker and with a split flush executor + compaction executor pool. Unlike
+// E1..E8 (logical clock, manually driven maintenance), this experiment runs
+// the real background executors against the wall clock, so the numbers vary
+// run to run; the point is the shape — with concurrency, TTL-triggered
+// (DPT-critical) jobs stop queueing behind saturation merges, which shows up
+// as overlapped TTL jobs and a lower TTL job latency tail.
+func C1MaintenanceConcurrency(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "C1",
+		Title:  "maintenance concurrency: serialized worker vs executor pool (wall clock)",
+		Header: []string{"conc", "flushes", "compact[l0/sat/ttl]", "ttl_overlapped", "p99_ttl_ms", "p99_flush_ms", "stalls", "peak_flush_q"},
+		Notes: []string{
+			"ttl_overlapped counts TTL compactions whose run window intersected another in-flight compaction",
+			"wall-clock experiment: absolute numbers vary run to run",
+		},
+	}
+	for _, conc := range []int{1, 4} {
+		opts := core.Options{
+			FS:                      vfs.NewMemFS(),
+			MemTableBytes:           sc.MemTableBytes / 2,
+			BloomBitsPerKey:         10,
+			DeleteKeyFunc:           workload.ExtractDeleteKey,
+			MaintenanceConcurrency:  conc,
+			MaintenanceTickInterval: 2 * time.Millisecond,
+			Compaction: compaction.Options{
+				Shape:           compaction.Leveling,
+				Picker:          compaction.PickFADE,
+				SizeRatio:       sc.SizeRatio,
+				BaseLevelBytes:  sc.BaseLevelBytes,
+				TargetFileBytes: sc.TargetFileBytes,
+				DPT:             base.Duration(10 * time.Millisecond),
+			},
+		}
+		db, err := core.Open("bench-db", opts)
+		if err != nil {
+			return nil, err
+		}
+		g := workload.New(workload.Spec{
+			Seed:     99,
+			KeySpace: sc.KeySpace,
+			ValueLen: sc.ValueLen,
+			Dist:     workload.Uniform,
+			Mix:      workload.Mix{Updates: 0.4, Deletes: 0.25},
+		})
+		for i := 0; i < sc.Ops; i++ {
+			op := g.Next()
+			switch op.Kind {
+			case workload.OpDelete:
+				err = db.Delete(op.Key)
+			default:
+				err = db.Put(op.Key, op.Value)
+			}
+			if err != nil {
+				db.Close()
+				return nil, fmt.Errorf("c1 op %d: %w", i, err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := db.WaitIdle(); err != nil {
+			db.Close()
+			return nil, err
+		}
+
+		jobs := db.RecentMaintJobs()
+		overlapped := 0
+		for _, tj := range jobs {
+			if tj.Kind != core.JobCompact || tj.Trigger != compaction.TriggerTTL {
+				continue
+			}
+			for _, oj := range jobs {
+				if oj.Kind == core.JobCompact && oj.ID != tj.ID &&
+					tj.Started.Before(oj.Finished) && oj.Started.Before(tj.Finished) {
+					overlapped++
+					break
+				}
+			}
+		}
+		st := db.Stats()
+		ms := func(ns int64) string { return Fx(float64(ns)/1e6, 2) }
+		t.AddRow(I(int64(conc)), I(st.Flushes.Get()),
+			fmt.Sprintf("%d/%d/%d", st.CompactionsByTrigger[0].Get(), st.CompactionsByTrigger[1].Get(), st.CompactionsByTrigger[2].Get()),
+			I(int64(overlapped)),
+			ms(st.JobLatencyByTrigger[int(compaction.TriggerTTL)].Quantile(0.99)),
+			ms(st.FlushLatency.Quantile(0.99)),
+			I(st.WriteStalls.Get()), I(st.FlushQueueDepth.Peak()))
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

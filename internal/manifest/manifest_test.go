@@ -3,6 +3,7 @@ package manifest
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/base"
@@ -220,7 +221,7 @@ func TestVersionSetCreateLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs.LastSeqNum = 42
+	vs.SetLastSeqNum(42)
 	edit := &VersionEdit{Added: []NewFileEntry{
 		{Level: 0, RunID: vs.AllocRunID(), Meta: fileMeta(int(vs.AllocFileNum()), "a", "m")},
 	}}
@@ -233,7 +234,7 @@ func TestVersionSetCreateLoad(t *testing.T) {
 	if err := vs.LogAndApply(edit2); err != nil {
 		t.Fatal(err)
 	}
-	nextFile, nextRun := vs.NextFileNum, vs.NextRunID
+	nextFile, nextRun := vs.NextFileNum(), vs.NextRunID()
 	if err := vs.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -243,11 +244,11 @@ func TestVersionSetCreateLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	if re.LastSeqNum != 42 {
-		t.Fatalf("LastSeqNum = %d", re.LastSeqNum)
+	if re.LastSeqNum() != 42 {
+		t.Fatalf("LastSeqNum = %d", re.LastSeqNum())
 	}
-	if re.NextFileNum < nextFile || re.NextRunID < nextRun {
-		t.Fatalf("counters regressed: file %d<%d or run %d<%d", re.NextFileNum, nextFile, re.NextRunID, nextRun)
+	if re.NextFileNum() < nextFile || re.NextRunID() < nextRun {
+		t.Fatalf("counters regressed: file %d<%d or run %d<%d", re.NextFileNum(), nextFile, re.NextRunID(), nextRun)
 	}
 	v := re.Current()
 	if v.NumFiles() != 2 || len(v.Levels[0]) != 1 || len(v.Levels[1]) != 1 {
@@ -379,4 +380,51 @@ func TestSnapshotEditReconstructsState(t *testing.T) {
 		t.Fatal("snapshot edit loses files")
 	}
 	vs.Close()
+}
+
+// TestConcurrentLogAndApply drives many goroutines through LogAndApplyFunc at
+// once. The commit point serializes them, so every edit must land exactly once
+// and the counters must be monotone.
+func TestConcurrentLogAndApply(t *testing.T) {
+	fs := vfs.NewMemFS()
+	vs, err := Create(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				fn := vs.AllocFileNum()
+				lo := fmt.Sprintf("w%02d-%03d", w, i)
+				err := vs.LogAndApplyFunc(func(cur *Version) (*VersionEdit, error) {
+					return &VersionEdit{Added: []NewFileEntry{
+						{Level: 6, RunID: vs.AllocRunID(), Meta: fileMeta(int(fn), lo, lo+"z")},
+					}}, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := vs.Current().NumFiles(); got != workers*perWorker {
+		t.Fatalf("NumFiles = %d, want %d", got, workers*perWorker)
+	}
+	vs.Close()
+
+	re, err := Load(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Current().NumFiles(); got != workers*perWorker {
+		t.Fatalf("reloaded NumFiles = %d, want %d", got, workers*perWorker)
+	}
+	re.Close()
 }

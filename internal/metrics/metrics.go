@@ -127,6 +127,43 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Get returns the current value.
 func (g *Gauge) Get() int64 { return g.v.Load() }
 
+// PeakGauge is a gauge that additionally remembers the largest value it has
+// ever held — the natural shape for queue depths, where the instantaneous
+// value says how backed up the system is now and the peak says how backed
+// up it ever got. It is safe for concurrent use.
+type PeakGauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Set stores v and raises the peak if v exceeds it.
+func (g *PeakGauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		cur := g.peak.Load()
+		if v <= cur || g.peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Add adjusts the gauge by d, raising the peak if the result exceeds it.
+func (g *PeakGauge) Add(d int64) {
+	v := g.v.Add(d)
+	for {
+		cur := g.peak.Load()
+		if v <= cur || g.peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Get returns the current value.
+func (g *PeakGauge) Get() int64 { return g.v.Load() }
+
+// Peak returns the largest value the gauge has held.
+func (g *PeakGauge) Peak() int64 { return g.peak.Load() }
+
 // Series is a time-ordered sequence of (x, y) points used by the harness to
 // reproduce the paper's figures. It is safe for concurrent appends.
 type Series struct {

@@ -162,3 +162,46 @@ func TestPercentile(t *testing.T) {
 		t.Fatal("Percentile mutated its input")
 	}
 }
+
+func TestPeakGauge(t *testing.T) {
+	var g PeakGauge
+	if g.Get() != 0 || g.Peak() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	g.Set(5)
+	g.Set(2)
+	if g.Get() != 2 || g.Peak() != 5 {
+		t.Fatalf("got (%d, peak %d), want (2, peak 5)", g.Get(), g.Peak())
+	}
+	g.Add(10)
+	if g.Get() != 12 || g.Peak() != 12 {
+		t.Fatalf("got (%d, peak %d), want (12, peak 12)", g.Get(), g.Peak())
+	}
+	g.Add(-12)
+	g.Set(-3)
+	if g.Get() != -3 || g.Peak() != 12 {
+		t.Fatalf("got (%d, peak %d), want (-3, peak 12)", g.Get(), g.Peak())
+	}
+}
+
+func TestPeakGaugeConcurrent(t *testing.T) {
+	var g PeakGauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Get() != 0 {
+		t.Fatalf("gauge = %d after balanced adds", g.Get())
+	}
+	if p := g.Peak(); p < 1 || p > 8 {
+		t.Fatalf("peak = %d, want within [1, 8]", p)
+	}
+}

@@ -20,7 +20,7 @@ func (d *DB) Checkpoint(destDir string) error {
 	// Freeze maintenance (and therefore file deletions) while copying:
 	// quiesce the executors, then take maintMu against synchronous callers.
 	d.sched.pause()
-	defer d.sched.resume()
+	defer d.resumeMaintenance()
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
 

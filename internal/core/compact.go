@@ -65,7 +65,7 @@ func (d *DB) CompactAll() error {
 	// Freeze the executors: the manually built whole-level candidates
 	// below are not claimed, so they must not race claimed jobs.
 	d.sched.pause()
-	defer d.sched.resume()
+	defer d.resumeMaintenance()
 	if err := d.Flush(); err != nil {
 		return err
 	}
@@ -328,7 +328,7 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 		return err
 	}
 	// L0 may have shrunk; wake stalled writers.
-	d.stallCond.Broadcast()
+	d.wakeStalledWriters()
 
 	// Cache new range tombstones, then GC replaced files.
 	for _, of := range res.Outputs {
@@ -388,7 +388,7 @@ func (d *DB) trivialMove(id uint64, c *compaction.Candidate, f *manifest.FileMet
 	if err != nil {
 		return err
 	}
-	d.stallCond.Broadcast()
+	d.wakeStalledWriters()
 	d.stats.TrivialMoves.Add(1)
 	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
 	d.stats.JobLatencyByTrigger[int(c.Trigger)].Record(time.Since(start).Nanoseconds())
@@ -486,7 +486,7 @@ func (d *DB) runEagerJob(j *eagerJob) error {
 		err = d.eagerRewriteFile(j.level, j.runID, j.f, j.rts, j.snaps, j.applicable)
 	}
 	d.inflight.Release(j.id)
-	d.stallCond.Broadcast()
+	d.wakeStalledWriters()
 	d.sched.record(JobInfo{
 		ID:          j.id,
 		Kind:        JobEagerRangeDelete,

@@ -298,8 +298,11 @@ func (d *DB) Close() error {
 		return ErrClosed
 	}
 	// Wake writers stalled on backpressure so they observe the shutdown
-	// instead of waiting on maintenance that is about to stop.
-	d.stallCond.Broadcast()
+	// instead of waiting on maintenance that is about to stop. The
+	// broadcast must hold d.mu (see wakeStalledWriters): a writer that
+	// checked d.closing before the flag flipped is then guaranteed to be
+	// parked in Wait already, not between its check and the Wait.
+	d.wakeStalledWriters()
 	close(d.closeCh)
 	d.wg.Wait()
 
@@ -320,11 +323,13 @@ func (d *DB) Close() error {
 		err = d.walW.Close()
 		d.walW = nil
 	}
-	//lint:ignore lockheld shutdown path: d.mu guards the closed flag and serializes against in-flight writers
+	d.mu.Unlock()
+	// The version set closes outside d.mu: its Close takes the commit
+	// mutex, which flush commits hold while acquiring d.mu for the version
+	// install — closing under d.mu would deadlock against a racing flush.
 	if cerr := d.vs.Close(); err == nil {
 		err = cerr
 	}
-	d.mu.Unlock()
 	d.cache.close()
 	return err
 }
@@ -494,6 +499,19 @@ func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
 	d.stats.RangeDeletesIssued.Add(1)
 	d.notifyWork()
 	return nil
+}
+
+// wakeStalledWriters broadcasts the stall condition while holding d.mu.
+// The mutex is what closes the lost-wakeup window: stallWritesLocked
+// evaluates its condition and parks under d.mu, so a broadcaster that also
+// holds d.mu is guaranteed to find every stalled writer either before its
+// condition check (it will observe the new state) or already parked in
+// Wait (it will receive the broadcast) — never in between. Callers must
+// not hold d.mu.
+func (d *DB) wakeStalledWriters() {
+	d.mu.Lock()
+	d.stallCond.Broadcast()
+	d.mu.Unlock()
 }
 
 // stallWritesLocked blocks the commit path while the flush/compaction

@@ -116,29 +116,36 @@ func (d *DB) flushOne() (bool, error) {
 	d.mu.Lock()
 	// The WAL segments of everything still buffered must survive; the
 	// oldest survivor is the next sealed memtable's (or the mutable
-	// one's) log.
+	// one's) log. A rotation racing the commit below only appends newer
+	// segments, so the value read here stays a valid lower bound.
 	logNum := d.memLog
 	if len(d.imm) > 1 {
 		logNum = d.imm[1].logNum
 	}
+	d.mu.Unlock()
 	edit := &manifest.VersionEdit{Added: added}
 	if !d.opts.DisableWAL {
 		edit.LogNum = logNum
 	}
-	// LogAndApply stays under d.mu so the flush's version installation is
-	// atomic with the imm pop below: readers never see the flushed table
-	// and its still-queued memtable at once, nor neither.
-	//lint:ignore lockheld flush commit point: the version install and imm pop must be atomic under d.mu
-	if err := d.vs.LogAndApply(edit); err != nil {
+	// The manifest append+fsync runs outside d.mu — a concurrent
+	// compaction commit holding the version set's commit mutex across its
+	// own fsync must not park the whole read/write path behind this
+	// flush. The install callback then makes the version installation
+	// atomic with the imm pop under d.mu: readers never see the flushed
+	// table and its still-queued memtable at once, nor neither.
+	err := d.vs.LogAndApplyInstall(edit, func(commit func()) {
+		d.mu.Lock()
+		commit()
+		d.imm = d.imm[1:]
+		d.stats.FlushQueueDepth.Set(int64(len(d.imm)))
 		d.mu.Unlock()
+	})
+	if err != nil {
 		return false, err
 	}
-	d.imm = d.imm[1:]
-	d.stats.FlushQueueDepth.Set(int64(len(d.imm)))
-	d.mu.Unlock()
 	// The flush queue shrank (and L0 is examined afresh by stalled
 	// writers); wake them.
-	d.stallCond.Broadcast()
+	d.wakeStalledWriters()
 	d.notifyWork()
 
 	if nRT > 0 {

@@ -112,11 +112,14 @@ func (s *scheduler) pause() {
 	s.mu.Unlock()
 }
 
-// resume undoes one pause.
-func (s *scheduler) resume() {
+// resume undoes one pause, reporting whether the pause depth returned to
+// zero (executors may pick up work again).
+func (s *scheduler) resume() bool {
 	s.mu.Lock()
 	s.paused--
+	resumed := s.paused == 0
 	s.mu.Unlock()
+	return resumed
 }
 
 // waitQuiet blocks until no executor job is running.
@@ -156,6 +159,18 @@ func (s *scheduler) recentJobs() []JobInfo {
 		out = append(out, s.recent[(s.nRecent-n+i)%maxRecentJobs])
 	}
 	return out
+}
+
+// resumeMaintenance undoes one scheduler pause; when the pause depth
+// returns to zero it re-notifies the executors, whose begin() calls failed
+// (backed off to their select loops) while the pause was in force. Without
+// the nudge, maintenance left pending at resume time — and any writer
+// stalled on backpressure waiting for it — would sit idle until the next
+// MaintenanceTickInterval tick.
+func (d *DB) resumeMaintenance() {
+	if d.sched.resume() {
+		d.notifyWork()
+	}
 }
 
 // RecentMaintJobs returns the most recently completed maintenance jobs
@@ -299,6 +314,6 @@ func (d *DB) runCompactionJob(j *compactJob) error {
 	d.stats.CompactionsInFlight.Add(-1)
 	d.inflight.Release(j.id)
 	// A committed compaction may have shrunk L0; unblock stalled writers.
-	d.stallCond.Broadcast()
+	d.wakeStalledWriters()
 	return err
 }

@@ -350,6 +350,133 @@ func TestSchedulerWriteBackpressure(t *testing.T) {
 	}
 }
 
+// gateFS blocks sstable creation while armed until the gate channel is
+// closed, pinning a flush in flight for as long as a test needs.
+type gateFS struct {
+	vfs.FS
+	armed atomic.Bool
+	gate  chan struct{}
+}
+
+func (g *gateFS) Create(name string) (vfs.File, error) {
+	if g.armed.Load() && strings.HasSuffix(name, ".sst") {
+		<-g.gate
+	}
+	return g.FS.Create(name)
+}
+
+// TestSchedulerCloseReleasesStalledWriter: a writer stalled on backpressure
+// must be woken by Close and return ErrClosed, even though the flush that
+// would normally release it is stuck — shutdown itself is a stall-exit
+// condition, not just maintenance progress.
+func TestSchedulerCloseReleasesStalledWriter(t *testing.T) {
+	fs := &gateFS{FS: vfs.NewMemFS(), gate: make(chan struct{})}
+	opts := Options{
+		FS:                     fs,
+		MemTableBytes:          4 << 10,
+		DeleteKeyFunc:          testDK,
+		MaintenanceConcurrency: 2,
+		MaxImmutableMemTables:  1,
+	}
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.armed.Store(true)
+
+	writerDone := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			if err := d.Put([]byte(fmt.Sprintf("k%06d", i)), testValue(uint64(i), i)); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+	}()
+
+	// Wait for the writer to stall behind the gated flush.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.stats.WriteStalls.Get() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never stalled against a gated flush")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- d.Close() }()
+
+	// The stalled writer must observe the shutdown while the flush is
+	// still pinned — no maintenance completion will ever re-broadcast.
+	select {
+	case err := <-writerDone:
+		if err != ErrClosed {
+			t.Fatalf("stalled writer returned %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled writer still blocked 10s after Close began")
+	}
+	close(fs.gate) // release the pinned flush so Close can finish
+	if err := <-closeDone; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestSchedulerResumeNotifiesExecutors: work that became pending while the
+// scheduler was paused must start promptly once the pause is released,
+// instead of waiting for the next maintenance tick (set here to an hour so
+// a missed resume wakeup cannot be papered over).
+func TestSchedulerResumeNotifiesExecutors(t *testing.T) {
+	opts := Options{
+		FS:                      vfs.NewMemFS(),
+		MemTableBytes:           4 << 10,
+		DeleteKeyFunc:           testDK,
+		MaintenanceConcurrency:  2,
+		MaintenanceTickInterval: time.Hour,
+		MaxImmutableMemTables:   -1, // writers must not stall while paused
+		L0StallRuns:             -1,
+	}
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	d.sched.pause()
+	for i := 0; ; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%06d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+		d.mu.Lock()
+		queued := len(d.imm)
+		d.mu.Unlock()
+		if queued > 0 {
+			break
+		}
+		if i > 100000 {
+			t.Fatal("memtable never rotated")
+		}
+	}
+	// Let the executors consume the write-path wakeups and back off
+	// against the paused scheduler, so only the resume can revive them.
+	time.Sleep(100 * time.Millisecond)
+	d.resumeMaintenance()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d.mu.Lock()
+		queued := len(d.imm)
+		d.mu.Unlock()
+		if queued == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d immutable memtables still queued 10s after resume", queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestSchedulerPauseQuiesces covers the scheduler primitive itself: begin
 // refuses work while paused, pause waits for running jobs, pauses nest.
 func TestSchedulerPauseQuiesces(t *testing.T) {

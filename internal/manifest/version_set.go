@@ -250,18 +250,28 @@ func (vs *VersionSet) applyLocked(e *VersionEdit) error {
 	if err != nil {
 		return err
 	}
+	vs.installVersion(nv)
+	vs.noteEditCounters(e)
+	return nil
+}
+
+// installVersion publishes nv as the current version.
+func (vs *VersionSet) installVersion(nv *Version) {
 	vs.mu.Lock()
 	vs.current = nv
 	vs.mu.Unlock()
-	// Counters only move forward; during a live run the stamped values can
-	// never exceed the current ones (they were read from these atomics
-	// before concurrent allocations advanced them), so the max-merge only
-	// has effect during recovery replay.
+}
+
+// noteEditCounters merges the edit's stamped counters into the live ones.
+// Counters only move forward; during a live run the stamped values can
+// never exceed the current ones (they were read from these atomics before
+// concurrent allocations advanced them), so the max-merge only has effect
+// during recovery replay.
+func (vs *VersionSet) noteEditCounters(e *VersionEdit) {
 	casMax(&vs.lastSeqNum, uint64(e.LastSeqNum))
 	casMax(&vs.nextFileNum, uint64(e.NextFileNum))
 	casMax(&vs.logNum, uint64(e.LogNum))
 	casMax(&vs.nextRunID, e.NextRunID)
-	return nil
 }
 
 // LogAndApply durably records the edit, then installs the resulting
@@ -283,6 +293,42 @@ func (vs *VersionSet) LogAndApplyFunc(build func(cur *Version) (*VersionEdit, er
 	if err != nil {
 		return err
 	}
+	nv, err := vs.commitLocked(e)
+	if err != nil {
+		return err
+	}
+	vs.installVersion(nv)
+	vs.noteEditCounters(e)
+	return nil
+}
+
+// LogAndApplyInstall durably records the edit like LogAndApply but hands the
+// installation point to the caller: after the manifest append+fsync, install
+// is invoked once with a commit function that publishes the resulting
+// version. The caller runs commit under its own lock, making the version
+// install atomic with a caller-side state change (a flush pops its immutable
+// memtable this way) without holding that lock across the manifest fsync.
+// install must call commit exactly once before returning, and must not block
+// on locks ordered before the version set's commit mutex.
+func (vs *VersionSet) LogAndApplyInstall(e *VersionEdit, install func(commit func())) error {
+	vs.commitMu.Lock()
+	defer vs.commitMu.Unlock()
+	nv, err := vs.commitLocked(e)
+	if err != nil {
+		return err
+	}
+	install(func() { vs.installVersion(nv) })
+	vs.noteEditCounters(e)
+	return nil
+}
+
+// commitLocked stamps the engine counters into the edit, durably logs it,
+// and materializes (without installing) the version it produces. Caller
+// holds commitMu.
+func (vs *VersionSet) commitLocked(e *VersionEdit) (*Version, error) {
+	if vs.writer == nil {
+		return nil, errors.New("manifest: version set closed")
+	}
 	// Stamp counters into the edit so recovery replays them.
 	e.LastSeqNum = vs.LastSeqNum()
 	e.NextFileNum = vs.NextFileNum()
@@ -291,17 +337,19 @@ func (vs *VersionSet) LogAndApplyFunc(build func(cur *Version) (*VersionEdit, er
 	// The record append and fsync deliberately stay under commitMu: the
 	// commit point IS durable-log order, so releasing the mutex before the
 	// sync would let a later version install ahead of an earlier edit's
-	// durability. commitMu is leaf-ordered — no writer or reader path
-	// blocks on it — so the engine's hot locks never wait on this I/O.
+	// durability. No reader or writer path blocks on commitMu — engine
+	// locks are only ever acquired after it (a flush install takes the
+	// engine mutex under commitMu), never held while waiting for it — so
+	// the hot paths never wait on this I/O.
 	//lint:ignore lockheld version-set commit point: log order must equal install order, so append+fsync stay under commitMu
 	if err := vs.writer.AddRecord(e.Encode()); err != nil {
-		return err
+		return nil, err
 	}
 	//lint:ignore lockheld version-set commit point: the edit must be durable before the version it produces is installed
 	if err := vs.writer.Sync(); err != nil {
-		return err
+		return nil, err
 	}
-	return vs.applyLocked(e)
+	return vs.current.Apply(e)
 }
 
 // snapshotEdit captures the full current state as one edit.

@@ -49,8 +49,8 @@ var ioMethods = map[string]map[string]bool{
 		"Add": true, "AddRangeTombstone": true, "Finish": true, "Close": true,
 	},
 	"internal/manifest": {
-		"LogAndApply": true, "LogAndApplyFunc": true, "Create": true,
-		"Load": true, "Close": true,
+		"LogAndApply": true, "LogAndApplyFunc": true, "LogAndApplyInstall": true,
+		"Create": true, "Load": true, "Close": true,
 	},
 }
 

@@ -6,9 +6,9 @@ GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
             ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/... \
             ./internal/manifest/... ./internal/compaction/...
-RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight'
+RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|FailingFlush'
 
-.PHONY: all build test race lint vet acheronlint bench clean
+.PHONY: all build test race faults lint vet acheronlint bench clean
 
 all: build lint test
 
@@ -23,6 +23,14 @@ test:
 # and skiplist.
 race:
 	$(GO) test -race -run $(RACE_RUN) $(RACE_PKGS)
+
+# faults runs the fault-injection and crash-recovery suites: the randomized
+# crash torture matrix (fixed seeds, deterministic) plus the background-error
+# state-machine tests. -count=1 defeats the test cache so the errorfs rules
+# actually execute on every run.
+faults:
+	$(GO) test -count=1 -run 'TestCrashRecoveryTorture|TestStalledWriter|TestTransient|TestCloseDuring|TestBackoffDelay|TestWALCorruptionLocated|TestManifestCorruptionLocated' ./internal/core
+	$(GO) test -count=1 ./internal/vfs/...
 
 # lint = stock go vet + the engine-specific acheronlint suite
 # (rawkeycompare, lockheld, closecheck, seqnumlit).

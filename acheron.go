@@ -133,6 +133,12 @@ func NewMemFS() *vfs.MemFS { return vfs.NewMemFS() }
 // ErrNotFound is returned by Get for missing or deleted keys.
 var ErrNotFound = core.ErrNotFound
 
+// ErrBackgroundError wraps every write rejected because a permanent
+// background failure (ENOSPC, corruption, retry exhaustion) turned the
+// store read-only. The cause stays in the chain; DB.BackgroundError
+// returns it, and reopening the store is the only recovery.
+var ErrBackgroundError = core.ErrBackgroundError
+
 // NewBatch returns an empty write batch.
 func NewBatch() *Batch { return core.NewBatch() }
 

@@ -137,6 +137,10 @@ func (d *DB) Apply(b *Batch) error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
+	if err := d.backgroundErrLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	if err := d.stallWritesLocked(); err != nil {
 		d.mu.Unlock()
 		return err

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/vfs"
+	"repro/internal/vfs/errorfs"
+	"repro/internal/wal"
+)
+
+// faultOptions is testOptions with auto maintenance on and tight retry
+// timing, so fault tests converge in milliseconds instead of seconds.
+func faultOptions(fs vfs.FS, concurrency int) Options {
+	opts := testOptions(fs, &base.LogicalClock{})
+	opts.DisableAutoMaintenance = false
+	opts.MaintenanceConcurrency = concurrency
+	opts.MaintenanceTickInterval = time.Millisecond
+	opts.MaxImmutableMemTables = 1
+	opts.MaxBackgroundRetries = 3
+	opts.BackgroundRetryBaseDelay = time.Millisecond
+	opts.BackgroundRetryMaxDelay = 4 * time.Millisecond
+	return opts
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	opts := testOptions(vfs.NewMemFS(), &base.LogicalClock{})
+	opts.BackgroundRetryBaseDelay = 10 * time.Millisecond
+	opts.BackgroundRetryMaxDelay = 80 * time.Millisecond
+	d := mustOpen(t, opts)
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := d.backoffDelay(i + 1); got != w {
+			t.Fatalf("backoffDelay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestStalledWriterReleasedByBackgroundError is the acceptance scenario: a
+// permanently failing flush must release a stalled writer with a wrapped
+// ErrBackgroundError in bounded time, reads keep serving committed data in
+// read-only mode, and Close returns cleanly. Exercised in both serialized
+// (worker) and concurrent (executor) scheduling modes.
+func TestStalledWriterReleasedByBackgroundError(t *testing.T) {
+	for _, conc := range []int{1, 2} {
+		t.Run(fmt.Sprintf("concurrency=%d", conc), func(t *testing.T) {
+			mem := vfs.NewMemFS()
+			efs := errorfs.Wrap(mem, 1)
+			d, err := Open("db", faultOptions(efs, conc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put([]byte("committed"), testValue(7, 7)); err != nil {
+				t.Fatal(err)
+			}
+			// Every table create from here on is out of space — permanent.
+			efs.Add(&errorfs.Rule{
+				Ops:      []errorfs.Op{errorfs.OpCreate},
+				PathGlob: "*.sst",
+				Sticky:   true,
+				Kind:     errorfs.FaultNoSpace,
+			})
+
+			errCh := make(chan error, 1)
+			go func() {
+				for i := 0; ; i++ {
+					if err := d.Put([]byte(fmt.Sprintf("k%06d", i)), testValue(uint64(i), i)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+			var werr error
+			select {
+			case werr = <-errCh:
+			case <-time.After(30 * time.Second):
+				t.Fatal("stalled writer hung: background error never released it")
+			}
+			if !errors.Is(werr, ErrBackgroundError) {
+				t.Fatalf("writer error = %v, want wrapped ErrBackgroundError", werr)
+			}
+			if !errors.Is(werr, vfs.ErrNoSpace) {
+				t.Fatalf("writer error = %v, want ENOSPC cause in chain", werr)
+			}
+
+			// Read-only mode: reads serve, writes fail fast.
+			if _, err := d.Get([]byte("committed")); err != nil {
+				t.Fatalf("read in read-only mode: %v", err)
+			}
+			if err := d.Put([]byte("x"), testValue(1, 1)); !errors.Is(err, ErrBackgroundError) {
+				t.Fatalf("Put after background error = %v", err)
+			}
+			if err := d.DeleteSecondaryRange(1, 2); !errors.Is(err, ErrBackgroundError) {
+				t.Fatalf("DeleteSecondaryRange after background error = %v", err)
+			}
+			if err := d.Checkpoint("ckpt"); !errors.Is(err, ErrBackgroundError) {
+				t.Fatalf("Checkpoint after background error = %v", err)
+			}
+			if d.BackgroundError() == nil {
+				t.Fatal("BackgroundError() must report the sticky error")
+			}
+			if d.Stats().ReadOnly.Get() != 1 {
+				t.Fatal("ReadOnly gauge not set")
+			}
+			if d.Stats().BackgroundErrors.Get() == 0 {
+				t.Fatal("BackgroundErrors counter not bumped")
+			}
+			// The failed job landed in the observability ring with its error.
+			var foundErr bool
+			for _, ji := range d.RecentMaintJobs() {
+				if ji.Err != nil && errors.Is(ji.Err, vfs.ErrNoSpace) {
+					foundErr = true
+				}
+			}
+			if !foundErr {
+				t.Fatal("no RecentMaintJobs entry carries the flush error")
+			}
+			if err := d.Close(); err != nil {
+				t.Fatalf("Close in read-only mode: %v", err)
+			}
+		})
+	}
+}
+
+// TestTransientFlushErrorRetriesAndRecovers: a one-shot transient fault is
+// absorbed by backoff-retry; the engine stays healthy and the data lands.
+func TestTransientFlushErrorRetriesAndRecovers(t *testing.T) {
+	mem := vfs.NewMemFS()
+	efs := errorfs.Wrap(mem, 1)
+	opts := faultOptions(efs, 2)
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	efs.Add(&errorfs.Rule{
+		Ops:      []errorfs.Op{errorfs.OpSync},
+		PathGlob: "*.sst",
+		Kind:     errorfs.FaultTransient, // one-shot: first sst sync fails
+	})
+	for i := 0; i < 3000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%05d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Stats().Flushes.Get() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flush never succeeded after transient fault")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.BackgroundError(); err != nil {
+		t.Fatalf("transient fault escalated to background error: %v", err)
+	}
+	if d.Stats().JobRetries.Get() == 0 {
+		t.Fatal("JobRetries counter not bumped")
+	}
+	if d.Stats().ReadOnly.Get() != 0 {
+		t.Fatal("ReadOnly gauge set after a recovered transient fault")
+	}
+}
+
+// TestTransientRetriesExhaustedGoReadOnly: a fault that keeps reading as
+// transient still escalates once MaxBackgroundRetries consecutive attempts
+// fail.
+func TestTransientRetriesExhaustedGoReadOnly(t *testing.T) {
+	mem := vfs.NewMemFS()
+	efs := errorfs.Wrap(mem, 1)
+	opts := faultOptions(efs, 2)
+	opts.MaxBackgroundRetries = 2
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efs.Add(&errorfs.Rule{
+		Ops:      []errorfs.Op{errorfs.OpSync},
+		PathGlob: "*.sst",
+		Sticky:   true,
+		Kind:     errorfs.FaultTransient,
+	})
+	for i := 0; i < 3000; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%05d", i)), testValue(uint64(i), i)); err != nil {
+			if errors.Is(err, ErrBackgroundError) {
+				break // stalled writer released by the escalation — fine
+			}
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for d.BackgroundError() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("retry exhaustion never escalated to a background error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	werr := d.BackgroundError()
+	if !errors.Is(werr, ErrBackgroundError) || !errors.Is(werr, errorfs.ErrInjected) {
+		t.Fatalf("background error = %v", werr)
+	}
+	if got := d.Stats().JobRetries.Get(); got != int64(opts.MaxBackgroundRetries) {
+		t.Fatalf("JobRetries = %d, want %d", got, opts.MaxBackgroundRetries)
+	}
+	if _, err := d.Get([]byte("k00000")); err != nil {
+		t.Fatalf("read in read-only mode: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseDuringRepeatedlyFailingFlush: Close must neither hang nor leak
+// while a flush is failing and retrying (before any escalation).
+func TestCloseDuringRepeatedlyFailingFlush(t *testing.T) {
+	mem := vfs.NewMemFS()
+	efs := errorfs.Wrap(mem, 1)
+	opts := faultOptions(efs, 2)
+	opts.MaxBackgroundRetries = -1 // retry forever: escalation never rescues Close
+	opts.BackgroundRetryMaxDelay = 50 * time.Millisecond
+	// Plenty of immutable-queue headroom: the fill below must not stall,
+	// since retry-forever means no background error ever releases it.
+	opts.MaxImmutableMemTables = 100
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := efs.Add(&errorfs.Rule{
+		Ops:      []errorfs.Op{errorfs.OpCreate},
+		PathGlob: "*.sst",
+		Sticky:   true,
+		Kind:     errorfs.FaultTransient,
+	})
+	// Fill past one rotation so a flush is pending and failing.
+	for i := 0; i < 2500; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%05d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for rule.Fired() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flush never attempted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Close() }()
+	select {
+	case err := <-done:
+		// Close's own final flush hits the fault; the error is surfaced
+		// but the shutdown still completed.
+		if err != nil && !errors.Is(err, errorfs.ErrInjected) {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked against a repeatedly failing flush")
+	}
+}
+
+// TestWALCorruptionLocated: Open over a mid-log-corrupt WAL fails with a
+// typed error naming the segment file and byte offset.
+func TestWALCorruptionLocated(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash (abandon without Close), then flip a byte inside the first
+	// record — mid-log, so replay must fail loudly rather than truncate.
+	names, _ := fs.List("db")
+	var logName string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".log") {
+			logName = "db/" + n
+		}
+	}
+	if logName == "" {
+		t.Fatal("no WAL found")
+	}
+	corruptByteAt(t, fs, logName, 6)
+
+	_, err = Open("db", opts)
+	if err == nil {
+		t.Fatal("open over corrupt WAL succeeded")
+	}
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("error does not wrap wal.ErrCorrupt: %v", err)
+	}
+	var ce *wal.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error carries no CorruptionError: %v", err)
+	}
+	if ce.Path != logName {
+		t.Fatalf("corruption located in %q, want %q", ce.Path, logName)
+	}
+	if ce.Offset != 0 {
+		t.Fatalf("corruption offset = %d, want 0 (first frame)", ce.Offset)
+	}
+}
+
+// TestManifestCorruptionLocated: manifest replay reports mid-log corruption
+// with the manifest path and offset, mirroring the WAL path.
+func TestManifestCorruptionLocated(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i))
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Put([]byte(fmt.Sprintf("j%04d", i)), testValue(uint64(i), i))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Find the live manifest via CURRENT and corrupt an early byte; the
+	// flush edits behind it make the damage mid-log, not a torn tail.
+	cur, err := fs.Open("db/CURRENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := cur.Size()
+	buf := make([]byte, size)
+	cur.ReadAt(buf, 0)
+	vfs.BestEffortClose(cur)
+	manifestName := "db/" + strings.TrimSpace(string(buf))
+	corruptByteAt(t, fs, manifestName, 6)
+
+	_, err = Open("db", opts)
+	if err == nil {
+		t.Fatal("open over corrupt manifest succeeded")
+	}
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("error does not wrap wal.ErrCorrupt: %v", err)
+	}
+	var ce *wal.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error carries no CorruptionError: %v", err)
+	}
+	if ce.Path != manifestName {
+		t.Fatalf("corruption located in %q, want %q", ce.Path, manifestName)
+	}
+}
+
+// corruptByteAt flips one byte of a file in place.
+func corruptByteAt(t *testing.T, fs *vfs.MemFS, name string, off int64) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	if off >= size {
+		t.Fatalf("corrupt offset %d beyond file size %d", off, size)
+	}
+	data := make([]byte, size)
+	f.ReadAt(data, 0)
+	vfs.BestEffortClose(f)
+	data[off] ^= 0xFF
+	w, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,12 @@ import (
 // The checkpoint captures the state as of the implicit flush it performs;
 // writes racing with the checkpoint may or may not be included.
 func (d *DB) Checkpoint(destDir string) error {
+	// A checkpoint is a write of the whole store; in read-only mode it
+	// fails fast like any other write (and the flush below would fail
+	// anyway).
+	if err := d.BackgroundError(); err != nil {
+		return err
+	}
 	if err := d.Flush(); err != nil {
 		return err
 	}

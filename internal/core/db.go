@@ -57,6 +57,11 @@ type DB struct {
 	imm       []immEntry    // oldest first
 	snapshots []base.SeqNum // ascending, duplicates allowed
 	closed    bool
+	// bgErr is the sticky background error. Once set the DB is read-only:
+	// writes fail with ErrBackgroundError, stalled writers are released
+	// with it, executors stop, and reads keep serving committed data. It
+	// never clears; recovery is reopening the DB.
+	bgErr error
 	// activeReads counts outstanding read states (gets, iterators).
 	// While any exist, physical deletion of replaced table files is
 	// deferred to pendingDeletes: an old read state's version may still
@@ -221,7 +226,8 @@ func (d *DB) recoverAndClean() error {
 	rec := memtable.New()
 	maxSeq := d.vs.LastSeqNum()
 	for _, fn := range logNums {
-		f, err := fs.Open(manifest.MakeFilename(d.dirname, manifest.FileTypeLog, fn))
+		logPath := manifest.MakeFilename(d.dirname, manifest.FileTypeLog, fn)
+		f, err := fs.Open(logPath)
 		if err != nil {
 			return err
 		}
@@ -237,7 +243,10 @@ func (d *DB) recoverAndClean() error {
 			}
 			if err != nil {
 				vfs.BestEffortClose(f)
-				return fmt.Errorf("acheron: replaying %s: %w", fn, err)
+				// Mid-log corruption comes back as a wal.CorruptionError
+				// carrying the byte offset; attach the segment path so the
+				// operator knows which file to inspect.
+				return fmt.Errorf("acheron: wal replay: %w", wal.Locate(err, logPath))
 			}
 			seq, err := applyWALRecord(rec, payload)
 			if err != nil {
@@ -307,8 +316,16 @@ func (d *DB) Close() error {
 	d.wg.Wait()
 
 	// Flush outstanding memtables so DisableWAL stores survive reopen.
-	if err := d.Flush(); err != nil && !errors.Is(err, ErrClosed) {
-		return err
+	// With a sticky background error the flush is known to fail (and the
+	// data it would persist is already durable in the WAL for synced
+	// writes); skip it so Close completes cleanly in read-only mode. A
+	// flush error here must not abort the shutdown: record it, finish
+	// releasing resources, and return it at the end.
+	var err error
+	if d.BackgroundError() == nil {
+		if ferr := d.Flush(); ferr != nil && !errors.Is(ferr, ErrClosed) {
+			err = ferr
+		}
 	}
 
 	d.mu.Lock()
@@ -317,10 +334,11 @@ func (d *DB) Close() error {
 		return ErrClosed
 	}
 	d.closed = true
-	var err error
 	if d.walW != nil {
 		//lint:ignore lockheld shutdown path: d.mu guards the closed flag and serializes against in-flight writers
-		err = d.walW.Close()
+		if werr := d.walW.Close(); err == nil {
+			err = werr
+		}
 		d.walW = nil
 	}
 	d.mu.Unlock()
@@ -423,6 +441,10 @@ func (d *DB) apply(kind base.Kind, key, value []byte) error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
+	if err := d.backgroundErrLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	if err := d.stallWritesLocked(); err != nil {
 		d.mu.Unlock()
 		return err
@@ -473,6 +495,10 @@ func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
 	if d.closed {
 		d.mu.Unlock()
 		return ErrClosed
+	}
+	if err := d.backgroundErrLocked(); err != nil {
+		d.mu.Unlock()
+		return err
 	}
 	seq := d.vs.LastSeqNum() + 1
 	rt := base.RangeTombstone{Lo: lo, Hi: hi, Seq: seq, CreatedAt: now}
@@ -527,6 +553,12 @@ func (d *DB) stallWritesLocked() error {
 	for {
 		if d.closed || d.closing.Load() {
 			return ErrClosed
+		}
+		// A sticky background error means the maintenance this writer is
+		// waiting for will never happen; release it with the error rather
+		// than parking it until Close.
+		if err := d.backgroundErrLocked(); err != nil {
+			return err
 		}
 		immFull := d.opts.MaxImmutableMemTables > 0 && len(d.imm) >= d.opts.MaxImmutableMemTables
 		l0Full := d.opts.L0StallRuns > 0 && len(d.vs.Current().Levels[0]) >= d.opts.L0StallRuns
@@ -599,11 +631,14 @@ func (d *DB) notifyWork() {
 }
 
 // worker is the background maintenance goroutine of serialized mode
-// (MaintenanceConcurrency = 1).
+// (MaintenanceConcurrency = 1). Transient job errors retry with capped
+// exponential backoff; permanent or retry-exhausted errors set the sticky
+// background error and stop the worker.
 func (d *DB) worker() {
 	defer d.wg.Done()
 	ticker := time.NewTicker(d.opts.MaintenanceTickInterval)
 	defer ticker.Stop()
+	failures := 0
 	for {
 		select {
 		case <-d.closeCh:
@@ -619,9 +654,16 @@ func (d *DB) worker() {
 			}
 			did, err := d.MaintenanceStep()
 			if err != nil {
-				d.opts.logf("acheron: maintenance error: %v", err)
-				break
+				failures++
+				if !d.noteJobError("maintenance", failures, err) {
+					return
+				}
+				if !d.backoffWait(d.backoffDelay(failures)) {
+					return
+				}
+				continue
 			}
+			failures = 0
 			if !did {
 				break
 			}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/manifest"
 	"repro/internal/vfs"
+	"repro/internal/vfs/errorfs"
 )
 
 // TestOrphanTablesRemovedAtOpen: tables on disk that the manifest does not
@@ -102,29 +103,35 @@ func TestTornWALTailRecovered(t *testing.T) {
 }
 
 // TestFlushSyncErrorSurfaces: an injected sync failure during flush is
-// reported, not swallowed.
+// reported, not swallowed. The fault targets *.sst syncs specifically, so
+// unlike the old MemFS.InjectSyncError (next sync on any file) it cannot be
+// consumed by a racing WAL sync.
 func TestFlushSyncErrorSurfaces(t *testing.T) {
-	fs := vfs.NewMemFS()
-	opts := testOptions(fs, &base.LogicalClock{})
+	mem := vfs.NewMemFS()
+	efs := errorfs.Wrap(mem, 1)
+	opts := testOptions(efs, &base.LogicalClock{})
 	d := mustOpen(t, opts)
 	for i := 0; i < 100; i++ {
 		d.Put([]byte(fmt.Sprintf("k%04d", i)), testValue(uint64(i), i))
 	}
-	boom := errors.New("disk on fire")
-	fs.InjectSyncError(boom)
+	rule := efs.Add(&errorfs.Rule{
+		Ops:      []errorfs.Op{errorfs.OpSync},
+		PathGlob: "*.sst",
+		Kind:     errorfs.FaultTransient,
+	})
 	err := d.Flush()
-	if err == nil {
-		// The injected error may have been consumed by a WAL rotation
-		// sync instead; either way SOME path must surface it — try
-		// again with a fresh injection on the table write.
-		fs.InjectSyncError(boom)
-		for i := 0; i < 100; i++ {
-			d.Put([]byte(fmt.Sprintf("j%04d", i)), testValue(uint64(i), i))
-		}
-		err = d.Flush()
-	}
-	if err == nil || !errors.Is(err, boom) {
+	if err == nil || !errors.Is(err, errorfs.ErrInjected) {
 		t.Fatalf("sync failure not surfaced: %v", err)
+	}
+	if rule.Fired() != 1 {
+		t.Fatalf("rule fired %d times, want 1", rule.Fired())
+	}
+	// The rule was one-shot; the retry succeeds and the data lands.
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush after fault cleared: %v", err)
+	}
+	if _, err := d.Get([]byte("k0042")); err != nil {
+		t.Fatalf("get after recovered flush: %v", err)
 	}
 }
 

@@ -64,6 +64,10 @@ func (d *DB) Flush() error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
+	if err := d.backgroundErrLocked(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	if !d.mem.Empty() {
 		if err := d.rotateLocked(); err != nil {
 			d.mu.Unlock()
@@ -105,6 +109,7 @@ func (d *DB) flushOne() (bool, error) {
 	if !e.mem.Empty() {
 		fn, meta, err := d.writeMemTable(e.mem)
 		if err != nil {
+			d.recordFailedJob(JobFlush, start, err)
 			return false, err
 		}
 		newFn = fn
@@ -141,6 +146,12 @@ func (d *DB) flushOne() (bool, error) {
 		d.mu.Unlock()
 	})
 	if err != nil {
+		// The new table file is orphaned (its edit never committed);
+		// remove it so a retry does not leak one file per attempt.
+		if len(added) > 0 {
+			_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, newFn))
+		}
+		d.recordFailedJob(JobFlush, start, err)
 		return false, err
 	}
 	// The flush queue shrank (and L0 is examined afresh by stalled

@@ -88,6 +88,17 @@ type Options struct {
 	// L0StallRuns stalls writes when level 0 holds at least this many
 	// runs (only with auto maintenance). Default 12; negative disables.
 	L0StallRuns int
+	// MaxBackgroundRetries bounds consecutive transient failures of a
+	// background job (flush, compaction, eager range delete) before the
+	// engine gives up and enters read-only mode with a sticky background
+	// error. Permanent failures (out of space, corruption) escalate
+	// immediately regardless. Default 5; negative retries forever.
+	MaxBackgroundRetries int
+	// BackgroundRetryBaseDelay and BackgroundRetryMaxDelay bound the
+	// capped exponential backoff between retries of a failing background
+	// job: base, 2·base, 4·base, … up to the max. Defaults 20ms and 1s.
+	BackgroundRetryBaseDelay time.Duration
+	BackgroundRetryMaxDelay  time.Duration
 	// Logger, when set, receives diagnostic messages.
 	Logger func(format string, args ...any)
 }
@@ -128,6 +139,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.L0StallRuns == 0 {
 		o.L0StallRuns = 12
+	}
+	if o.MaxBackgroundRetries == 0 {
+		o.MaxBackgroundRetries = 5
+	}
+	if o.BackgroundRetryBaseDelay <= 0 {
+		o.BackgroundRetryBaseDelay = 20 * time.Millisecond
+	}
+	if o.BackgroundRetryMaxDelay <= 0 {
+		o.BackgroundRetryMaxDelay = time.Second
 	}
 	o.Compaction = o.Compaction.WithDefaults()
 	return o

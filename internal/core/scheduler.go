@@ -146,6 +146,18 @@ func (s *scheduler) record(ji JobInfo) {
 	s.mu.Unlock()
 }
 
+// recordFailedJob appends a failed maintenance job to the observability
+// ring, carrying the error in JobInfo.Err.
+func (d *DB) recordFailedJob(kind JobKind, started time.Time, err error) {
+	d.sched.record(JobInfo{
+		ID:       d.sched.newID(),
+		Kind:     kind,
+		Started:  started,
+		Finished: time.Now(),
+		Err:      err,
+	})
+}
+
 // recentJobs returns the completed jobs still in the ring, oldest first.
 func (s *scheduler) recentJobs() []JobInfo {
 	s.mu.Lock()
@@ -182,11 +194,15 @@ func (d *DB) RecentMaintJobs() []JobInfo { return d.sched.recentJobs() }
 // Executors (MaintenanceConcurrency >= 2)
 
 // flushExecutor drains immutable memtables independently of compactions, so
-// a long merge never backs up the write path.
+// a long merge never backs up the write path. Transient errors retry with
+// capped exponential backoff (the failed immutable stays queued, so the
+// retry re-runs the same work); permanent or retry-exhausted errors set the
+// sticky background error and stop the executor.
 func (d *DB) flushExecutor() {
 	defer d.wg.Done()
 	ticker := time.NewTicker(d.opts.MaintenanceTickInterval)
 	defer ticker.Stop()
+	failures := 0
 	for {
 		select {
 		case <-d.closeCh:
@@ -206,9 +222,16 @@ func (d *DB) flushExecutor() {
 			did, err := d.runFlushStep()
 			d.sched.end()
 			if err != nil {
-				d.opts.logf("acheron: flush error: %v", err)
-				break
+				failures++
+				if !d.noteJobError("flush", failures, err) {
+					return
+				}
+				if !d.backoffWait(d.backoffDelay(failures)) {
+					return
+				}
+				continue
 			}
+			failures = 0
 			if !did {
 				break
 			}
@@ -224,11 +247,14 @@ func (d *DB) runFlushStep() (bool, error) {
 }
 
 // compactionExecutor runs compactions (and eager range-delete work) that are
-// level/key-disjoint from every other in-flight job.
+// level/key-disjoint from every other in-flight job. Error handling matches
+// flushExecutor: transient errors back off and retry, permanent ones stop
+// the executor with a sticky background error.
 func (d *DB) compactionExecutor() {
 	defer d.wg.Done()
 	ticker := time.NewTicker(d.opts.MaintenanceTickInterval)
 	defer ticker.Stop()
+	failures := 0
 	for {
 		select {
 		case <-d.closeCh:
@@ -248,9 +274,16 @@ func (d *DB) compactionExecutor() {
 			did, err := d.runCompactionStep()
 			d.sched.end()
 			if err != nil {
-				d.opts.logf("acheron: compaction error: %v", err)
-				break
+				failures++
+				if !d.noteJobError("compaction", failures, err) {
+					return
+				}
+				if !d.backoffWait(d.backoffDelay(failures)) {
+					return
+				}
+				continue
 			}
+			failures = 0
 			if !did {
 				break
 			}
@@ -309,11 +342,17 @@ func (d *DB) pickCompactionJob() (*compactJob, bool) {
 
 // runCompactionJob executes a claimed compaction and releases its claim.
 func (d *DB) runCompactionJob(j *compactJob) error {
+	start := time.Now()
 	d.stats.CompactionsInFlight.Add(1)
 	err := d.runCandidate(j.id, j.v, j.cand)
 	d.stats.CompactionsInFlight.Add(-1)
 	d.inflight.Release(j.id)
 	// A committed compaction may have shrunk L0; unblock stalled writers.
 	d.wakeStalledWriters()
+	if err != nil {
+		// Successful jobs record themselves in runCandidate; failed ones
+		// surface here so the ring carries the error.
+		d.recordFailedJob(JobCompact, start, err)
+	}
 	return err
 }

@@ -75,6 +75,14 @@ type Stats struct {
 	WriteStalls     metrics.Counter
 	WriteStallNanos metrics.Counter
 
+	// BackgroundErrors counts failed background job attempts (each retry
+	// that itself fails counts again). JobRetries counts the retries
+	// scheduled for transient failures. ReadOnly is 1 once a sticky
+	// background error has flipped the DB read-only, else 0.
+	BackgroundErrors metrics.Counter
+	JobRetries       metrics.Counter
+	ReadOnly         metrics.Gauge
+
 	// Gets, GetHits count point lookups and those that found a live key.
 	Gets    metrics.Counter
 	GetHits metrics.Counter
@@ -122,6 +130,8 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "p99_job_ns[l0=%d sat=%d ttl=%d] write_stalls=%d stall_ns=%d\n",
 		s.JobLatencyByTrigger[0].Quantile(0.99), s.JobLatencyByTrigger[1].Quantile(0.99), s.JobLatencyByTrigger[2].Quantile(0.99),
 		s.WriteStalls.Get(), s.WriteStallNanos.Get())
+	fmt.Fprintf(&b, "bg_errors=%d job_retries=%d read_only=%d\n",
+		s.BackgroundErrors.Get(), s.JobRetries.Get(), s.ReadOnly.Get())
 	fmt.Fprintf(&b, "gets=%d hits=%d bloom_skips=%d tables_probed=%d",
 		s.Gets.Get(), s.GetHits.Get(), s.BloomSkips.Get(), s.TablesProbed.Get())
 	return b.String()

@@ -215,7 +215,9 @@ func Load(fs vfs.FS, dirname string) (*VersionSet, error) {
 		}
 		if err != nil {
 			vfs.BestEffortClose(mf)
-			return nil, err
+			// Attach the manifest path to mid-log corruption so the error
+			// names the file and byte offset, not just "corrupt record".
+			return nil, fmt.Errorf("manifest: replay: %w", wal.Locate(err, filepath.Join(dirname, manifestName)))
 		}
 		edit, err := DecodeVersionEdit(rec)
 		if err != nil {

@@ -24,11 +24,17 @@ package sstable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"repro/internal/base"
 )
+
+// ErrCorrupt is wrapped into every checksum-mismatch and structural-decode
+// failure on a table, so the background-error state machine can classify
+// data corruption as permanent with errors.Is.
+var ErrCorrupt = errors.New("sstable: corrupt table")
 
 // Magic identifies an Acheron sstable in the footer.
 const Magic = 0xAC4E504E // "ACheroN"
@@ -208,7 +214,7 @@ func decodeProperties(b []byte) (Properties, error) {
 	for i, f := range fields {
 		v, n := binary.Uvarint(b)
 		if n <= 0 {
-			return p, fmt.Errorf("sstable: corrupt properties block (field %d)", i)
+			return p, fmt.Errorf("%w: corrupt properties block (field %d)", ErrCorrupt, i)
 		}
 		b = b[n:]
 		*f = v
@@ -249,16 +255,16 @@ func (f footer) encode() []byte {
 func decodeFooter(b []byte) (footer, error) {
 	var f footer
 	if len(b) != FooterSize {
-		return f, fmt.Errorf("sstable: footer is %d bytes, want %d", len(b), FooterSize)
+		return f, fmt.Errorf("%w: footer is %d bytes, want %d", ErrCorrupt, len(b), FooterSize)
 	}
 	if got := binary.LittleEndian.Uint32(b[68:]); got != Magic {
-		return f, fmt.Errorf("sstable: bad magic %#x", got)
+		return f, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
 	}
 	if got := binary.LittleEndian.Uint32(b[64:]); got != FormatVersion {
 		return f, fmt.Errorf("sstable: unsupported format version %d", got)
 	}
 	if want, got := binary.LittleEndian.Uint32(b[72:]), crc32.Checksum(b[:72], castagnoli); want != got {
-		return f, fmt.Errorf("sstable: footer checksum mismatch (stored %#x, computed %#x)", want, got)
+		return f, fmt.Errorf("%w: footer checksum mismatch (stored %#x, computed %#x)", ErrCorrupt, want, got)
 	}
 	f.index = BlockHandle{binary.LittleEndian.Uint64(b[0:]), binary.LittleEndian.Uint64(b[8:])}
 	f.filter = BlockHandle{binary.LittleEndian.Uint64(b[16:]), binary.LittleEndian.Uint64(b[24:])}

@@ -91,7 +91,7 @@ func Open(f vfs.File) (*Reader, error) {
 		}
 		filter, ok := bloom.Decode(filterRaw)
 		if !ok {
-			return nil, fmt.Errorf("sstable: corrupt bloom filter block")
+			return nil, fmt.Errorf("%w: corrupt bloom filter block", ErrCorrupt)
 		}
 		r.filter, r.hasFilter = filter, true
 	}
@@ -104,7 +104,7 @@ func Open(f vfs.File) (*Reader, error) {
 		for len(raw) > 0 {
 			rt, rest, ok := base.DecodeRangeTombstone(raw)
 			if !ok {
-				return nil, fmt.Errorf("sstable: corrupt range-tombstone block")
+				return nil, fmt.Errorf("%w: corrupt range-tombstone block", ErrCorrupt)
 			}
 			r.rangeDels = append(r.rangeDels, rt)
 			raw = rest
@@ -122,7 +122,7 @@ func Open(f vfs.File) (*Reader, error) {
 	for valid := it.First(); valid; valid = it.Next() {
 		ent, ok := decodeIndexEntry(it.Value())
 		if !ok {
-			return nil, fmt.Errorf("sstable: corrupt index entry")
+			return nil, fmt.Errorf("%w: corrupt index entry", ErrCorrupt)
 		}
 		r.seps = append(r.seps, append([]byte(nil), it.Key()...))
 		r.entries = append(r.entries, ent)
@@ -194,7 +194,7 @@ func (r *Reader) readBlock(h BlockHandle) ([]byte, error) {
 	}
 	data, crcStored := buf[:h.Length], binary.LittleEndian.Uint32(buf[h.Length:])
 	if got := crc32.Checksum(data, castagnoli); got != crcStored {
-		return nil, fmt.Errorf("sstable: block at offset %d: checksum mismatch (stored %#x, computed %#x)", h.Offset, crcStored, got)
+		return nil, fmt.Errorf("%w: block at offset %d: checksum mismatch (stored %#x, computed %#x)", ErrCorrupt, h.Offset, crcStored, got)
 	}
 	if r.blockCache != nil {
 		r.blockCache.Put(r.cacheID, h.Offset, data)

@@ -1,0 +1,163 @@
+package errorfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestCountdownRuleFiresOnNthMatch(t *testing.T) {
+	fs := Wrap(vfs.NewMemFS(), 1)
+	fs.Add(&Rule{Ops: []Op{OpCreate}, Countdown: 3, Kind: FaultTransient})
+	for i := 1; i <= 2; i++ {
+		if _, err := fs.Create("f"); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	_, err := fs.Create("f")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("third create should fail, got %v", err)
+	}
+	// One-shot: disarmed after firing.
+	if _, err := fs.Create("f"); err != nil {
+		t.Fatalf("fourth create after disarm: %v", err)
+	}
+}
+
+func TestStickyRuleKeepsFiring(t *testing.T) {
+	fs := Wrap(vfs.NewMemFS(), 1)
+	r := fs.Add(&Rule{Ops: []Op{OpSync}, Countdown: 2, Sticky: true, Kind: FaultNoSpace})
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		err := f.Sync()
+		if !errors.Is(err, ErrInjected) || !errors.Is(err, vfs.ErrNoSpace) {
+			t.Fatalf("sticky sync %d: %v", i, err)
+		}
+	}
+	if r.Fired() != 3 {
+		t.Fatalf("fired = %d, want 3", r.Fired())
+	}
+}
+
+func TestPathGlobMatchesBaseName(t *testing.T) {
+	fs := Wrap(vfs.NewMemFS(), 1)
+	fs.Add(&Rule{Ops: []Op{OpCreate}, PathGlob: "*.sst", Sticky: true, Kind: FaultTransient})
+	if _, err := fs.Create("db/000001.log"); err != nil {
+		t.Fatalf("log create should pass: %v", err)
+	}
+	if _, err := fs.Create("db/000002.sst"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sst create should fail, got %v", err)
+	}
+}
+
+func TestOpFilterAndTypedError(t *testing.T) {
+	fs := Wrap(vfs.NewMemFS(), 1)
+	fs.Add(&Rule{Ops: []Op{OpWrite}, Sticky: true, Kind: FaultTransient})
+	f, err := fs.Create("f") // create is not OpWrite
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Write([]byte("x"))
+	var te *Error
+	if !errors.As(err, &te) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if te.Op != OpWrite || te.Path != "f" || te.Kind != FaultTransient {
+		t.Fatalf("error fields: %+v", te)
+	}
+	if errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatal("transient fault must not read as ENOSPC")
+	}
+}
+
+func TestProbabilityDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		fs := Wrap(vfs.NewMemFS(), seed)
+		fs.Add(&Rule{Ops: []Op{OpCreate}, Prob: 0.5, Sticky: true, Kind: FaultTransient})
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := fs.Create("f")
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b, c := run(7), run(7), run(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed must give identical firing sequence")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds should diverge (64 trials at p=0.5)")
+	}
+}
+
+func TestCorruptFlipsReadBit(t *testing.T) {
+	mem := vfs.NewMemFS()
+	fs := Wrap(mem, 1)
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("checksummed payload")
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	fs.Add(&Rule{Ops: []Op{OpRead}, Sticky: true, Kind: FaultCorrupt})
+	buf := make([]byte, len(payload))
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("corrupt read must not error: %v", err)
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// The underlying bytes are untouched.
+	fs.Clear()
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != string(payload) {
+		t.Fatal("corruption leaked into the backing store")
+	}
+}
+
+func TestHookRuleObservesWithoutError(t *testing.T) {
+	fs := Wrap(vfs.NewMemFS(), 1)
+	var gotOp Op
+	var gotPath string
+	fs.Add(&Rule{Ops: []Op{OpSync}, PathGlob: "*.log", Countdown: 2,
+		Hook: func(op Op, path string) { gotOp, gotPath = op, path }})
+	f, _ := fs.Create("db/000007.log")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "" {
+		t.Fatal("hook fired on first sync, countdown was 2")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("FaultNone rule must not error: %v", err)
+	}
+	if gotOp != OpSync || gotPath != "db/000007.log" {
+		t.Fatalf("hook saw (%v, %q)", gotOp, gotPath)
+	}
+}

@@ -5,6 +5,7 @@
 package vfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,6 +14,11 @@ import (
 	"strings"
 	"sync"
 )
+
+// ErrNoSpace is the canonical out-of-space error for the engine. Fault
+// injectors (internal/vfs/errorfs) wrap it so the background-error state
+// machine can classify the failure as permanent with errors.Is.
+var ErrNoSpace = errors.New("vfs: no space left on device")
 
 // File is the subset of file behaviour the engine needs.
 type File interface {
@@ -135,15 +141,15 @@ type MemFS struct {
 	// WriteAt across all files, including files later removed.
 	bytesWritten int64
 	syncs        int64
-
-	// FailNextSync, when set, causes the next Sync call on any file to
-	// return an injected error. Used by fault-injection tests.
-	failNextSync error
 }
 
 type memNode struct {
 	mu   sync.RWMutex
 	data []byte
+	// synced is the length of the durable prefix: bytes before this offset
+	// survive a crash (CrashClone); bytes at or after it are lost. Sync
+	// advances it to len(data).
+	synced int
 }
 
 // NewMemFS returns an empty in-memory filesystem.
@@ -178,11 +184,32 @@ func (fs *MemFS) DiskUsage() int64 {
 	return n
 }
 
-// InjectSyncError makes the next Sync on any file fail with err.
-func (fs *MemFS) InjectSyncError(err error) {
+// CrashClone returns a new MemFS holding, for every file, only the bytes
+// that had been synced at the time of the call — simulating a power cut.
+// Unsynced suffixes are dropped.
+//
+// Directory operations (Create, Remove, Rename, MkdirAll) are modeled as
+// immediately durable: the engine's files are append-only and its one
+// commit-point rename (CURRENT) is preceded by a sync of the temp file, so
+// treating metadata as durable only ever makes the clone *more* complete
+// than a real power cut, never less — acknowledged-synced data still has to
+// survive, which is the property under test. The clone shares no state with
+// the original; both remain usable.
+func (fs *MemFS) CrashClone() *MemFS {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.failNextSync = err
+	clone := NewMemFS()
+	for name, n := range fs.files {
+		n.mu.RLock()
+		durable := make([]byte, n.synced)
+		copy(durable, n.data[:n.synced])
+		n.mu.RUnlock()
+		clone.files[name] = &memNode{data: durable, synced: len(durable)}
+	}
+	for dir := range fs.dirs {
+		clone.dirs[dir] = true
+	}
+	return clone
 }
 
 func clean(name string) string { return filepath.Clean(name) }
@@ -340,13 +367,15 @@ func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (f *memFile) Sync() error {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
-	if err := f.fs.failNextSync; err != nil {
-		f.fs.failNextSync = nil
-		return err
+	if f.closed {
+		return fmt.Errorf("vfs: sync of closed file %s", f.name)
 	}
+	f.node.mu.Lock()
+	f.node.synced = len(f.node.data)
+	f.node.mu.Unlock()
+	f.fs.mu.Lock()
 	f.fs.syncs++
+	f.fs.mu.Unlock()
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package vfs
 
 import (
-	"errors"
 	"io"
 	"sync"
 	"testing"
@@ -158,7 +157,7 @@ func TestMemFSAccounting(t *testing.T) {
 	}
 }
 
-func TestMemFSSyncAccountingAndInjection(t *testing.T) {
+func TestMemFSSyncAccounting(t *testing.T) {
 	fs := NewMemFS()
 	f, _ := fs.Create("f")
 	if err := f.Sync(); err != nil {
@@ -167,14 +166,82 @@ func TestMemFSSyncAccountingAndInjection(t *testing.T) {
 	if fs.Syncs() != 1 {
 		t.Fatalf("Syncs = %d", fs.Syncs())
 	}
-	boom := errors.New("boom")
-	fs.InjectSyncError(boom)
-	if err := f.Sync(); !errors.Is(err, boom) {
-		t.Fatalf("expected injected error, got %v", err)
-	}
-	// The injection is one-shot.
 	if err := f.Sync(); err != nil {
-		t.Fatalf("second sync should succeed: %v", err)
+		t.Fatal(err)
+	}
+	if fs.Syncs() != 2 {
+		t.Fatalf("Syncs = %d", fs.Syncs())
+	}
+}
+
+func TestMemFSCrashClone(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" lost"))
+
+	g, _ := fs.Create("b")
+	g.Write([]byte("never synced"))
+
+	clone := fs.CrashClone()
+
+	// File a keeps only its synced prefix.
+	cf, err := clone.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := cf.Size()
+	buf := make([]byte, size)
+	cf.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("clone a = %q, want %q", buf, "durable")
+	}
+	// File b exists but is empty: created, never synced.
+	bf, err := clone.Open("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := bf.Size(); n != 0 {
+		t.Fatalf("clone b size = %d, want 0", n)
+	}
+	// The clone is independent: writing to the original does not leak in.
+	f.Write([]byte(" more"))
+	f.Sync()
+	if n, _ := cf.Size(); n != 7 {
+		t.Fatalf("clone a size changed to %d", n)
+	}
+	// A subsequent sync in the original is captured by a later clone.
+	clone2 := fs.CrashClone()
+	c2, _ := clone2.Open("a")
+	if n, _ := c2.Size(); n != int64(len("durable lost more")) {
+		t.Fatalf("clone2 a size = %d", n)
+	}
+}
+
+func TestMemFSCrashCloneRename(t *testing.T) {
+	// Rename is modeled durable: the renamed name holds the synced prefix.
+	fs := NewMemFS()
+	f, _ := fs.Create("tmp")
+	f.Write([]byte("payload"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("tmp", "CURRENT"); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.CrashClone()
+	if clone.Exists("tmp") {
+		t.Fatal("old name survived the crash clone")
+	}
+	cf, err := clone.Open("CURRENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cf.Size(); n != 7 {
+		t.Fatalf("renamed file size = %d, want 7", n)
 	}
 }
 

@@ -23,6 +23,36 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // mid-log (not at the tail, where corruption is treated as a torn write).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// CorruptionError locates a mid-log checksum failure. It wraps ErrCorrupt,
+// so errors.Is(err, ErrCorrupt) still holds; callers that know the segment
+// path fill it in with Locate.
+type CorruptionError struct {
+	// Path is the log file, when known ("" if the reader never saw it).
+	Path string
+	// Offset is the byte offset of the corrupt frame within the log.
+	Offset int64
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("%v at offset %d", ErrCorrupt, e.Offset)
+	}
+	return fmt.Sprintf("%v in %s at offset %d", ErrCorrupt, e.Path, e.Offset)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// Locate fills in the path on any CorruptionError in err's chain that does
+// not already carry one, and returns err. Replay loops call it to attach the
+// segment file name the Reader itself never knew.
+func Locate(err error, path string) error {
+	var ce *CorruptionError
+	if errors.As(err, &ce) && ce.Path == "" {
+		ce.Path = path
+	}
+	return err
+}
+
 // Writer appends records to a log file.
 type Writer struct {
 	f      vfs.File
@@ -114,7 +144,7 @@ func (r *Reader) Next() ([]byte, error) {
 		if r.off+end == len(r.data) {
 			return nil, io.EOF // corrupt tail record == torn write
 		}
-		return nil, fmt.Errorf("%w at offset %d", ErrCorrupt, r.off)
+		return nil, &CorruptionError{Offset: int64(r.off)}
 	}
 	r.off += end
 	return payload, nil

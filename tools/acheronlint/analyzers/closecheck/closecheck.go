@@ -39,6 +39,7 @@ var Analyzer = &lintframe.Analyzer{
 // Close/Sync/Flush errors are durability-relevant.
 var trackedPkgSuffixes = []string{
 	"internal/vfs",
+	"internal/vfs/errorfs",
 	"internal/wal",
 	"internal/sstable",
 	"internal/manifest",

@@ -40,7 +40,8 @@ var Analyzer = &lintframe.Analyzer{
 // vfs, whose FS/File implementations are wholly I/O); otherwise both
 // methods and package-level functions with a listed name count.
 var ioMethods = map[string]map[string]bool{
-	"internal/vfs": nil,
+	"internal/vfs":         nil,
+	"internal/vfs/errorfs": nil,
 	"internal/wal": {
 		"AddRecord": true, "Sync": true, "Close": true, "NewReader": true,
 	},

@@ -5,10 +5,13 @@ GO ?= go
 # tests so the race target stays fast enough for CI.
 RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
             ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/... \
-            ./internal/manifest/... ./internal/compaction/...
+            ./internal/manifest/... ./internal/compaction/... ./internal/event/...
 RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|FailingFlush'
 
-.PHONY: all build test race faults lint vet acheronlint bench clean
+# Decode-hardening fuzz targets and their per-target CI time budget.
+FUZZTIME ?= 20s
+
+.PHONY: all build test race faults fuzz-smoke observe lint vet acheronlint bench clean
 
 all: build lint test
 
@@ -41,6 +44,21 @@ vet:
 
 acheronlint:
 	$(GO) run ./tools/acheronlint ./...
+
+# fuzz-smoke gives each decode fuzzer a short budget on top of the checked-in
+# corpus under testdata/fuzz/. Catches format-decoder panics (block entries,
+# WAL frames, sstable footers/properties) before they reach a release.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBlockIter -fuzztime $(FUZZTIME) ./internal/block/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzSSTableFooterProps -fuzztime $(FUZZTIME) ./internal/sstable/
+
+# observe runs the observability gates: registry/tracer unit tests, the
+# exposition golden files, and the metrics-accounting tests (cache, bloom,
+# model-based differential).
+observe:
+	$(GO) test ./internal/metrics/ ./internal/event/
+	$(GO) test -run 'TestModelDifferentialStress|TestCacheAccountingConcurrent|TestBloomAccountingGroundTruth' ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

@@ -39,6 +39,8 @@ import (
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
 	"repro/internal/vfs"
 )
 
@@ -76,6 +78,39 @@ type JobKind = core.JobKind
 
 // CompactionOptions select shape, picker, size ratio and the DPT.
 type CompactionOptions = compaction.Options
+
+// Event is one structured trace event: an operation begin/end, a write
+// stall, a maintenance-job lifecycle step, a file create/delete, or a
+// checkpoint. Events are delivered to Options.EventListener and buffered in
+// a ring readable via DB.RecentEvents / DB.EventsSince.
+type Event = event.Event
+
+// EventType discriminates trace events.
+type EventType = event.Type
+
+// EventListener receives every trace event synchronously at the emit site.
+// It must be fast and must not call back into the DB.
+type EventListener = event.Listener
+
+// Trace event types.
+const (
+	EventOpBegin    = event.OpBegin
+	EventOpEnd      = event.OpEnd
+	EventStallBegin = event.StallBegin
+	EventStallEnd   = event.StallEnd
+	EventJobClaim   = event.JobClaim
+	EventJobCommit  = event.JobCommit
+	EventJobRetry   = event.JobRetry
+	EventJobError   = event.JobError
+	EventFileCreate = event.FileCreate
+	EventFileDelete = event.FileDelete
+	EventCheckpoint = event.Checkpoint
+)
+
+// MetricsRegistry names every engine metric for exposition; DB.Registry
+// returns the store's instance, which renders Prometheus text (WriteTo) or
+// a JSON document (WriteJSON).
+type MetricsRegistry = metrics.Registry
 
 // Compaction shapes.
 const (

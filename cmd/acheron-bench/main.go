@@ -11,14 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 )
 
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	scaleFlag := flag.String("scale", "default", "experiment scale: small, default, large")
+	metricsDir := flag.String("metrics", "", "directory for per-experiment Prometheus metric snapshots (empty disables)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -66,7 +69,36 @@ func main() {
 		}
 	}
 
+	// With -metrics, every engine an experiment opens dumps its final
+	// metric state (Prometheus text) into <dir>/<exp>-<config>[-n].prom as
+	// it closes, so per-variant counters survive the run.
+	var currentExp string
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics dir: %v\n", err)
+			os.Exit(1)
+		}
+		seen := make(map[string]int)
+		harness.SetMetricsSink(func(name string, db *core.DB) {
+			stem := fmt.Sprintf("%s-%s", strings.ToLower(currentExp), name)
+			seen[stem]++
+			if n := seen[stem]; n > 1 {
+				stem = fmt.Sprintf("%s-%d", stem, n)
+			}
+			var sb strings.Builder
+			if _, err := db.Registry().WriteTo(&sb); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics snapshot %s: %v\n", stem, err)
+				return
+			}
+			path := filepath.Join(*metricsDir, stem+".prom")
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics snapshot %s: %v\n", path, err)
+			}
+		})
+	}
+
 	for _, id := range ids {
+		currentExp = id
 		tbl, err := experiments[id](sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/core"
+	"repro/internal/event"
 )
 
 func main() {
@@ -87,6 +88,24 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
+// watchEvents tails the trace ring for d, polling EventsSince with the last
+// seen sequence number so nothing is printed twice and nothing buffered is
+// missed (short of ring eviction under extreme rates).
+func watchEvents(db *core.DB, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	next := db.TraceEventsTotal() // start at "now": only new events
+	fmt.Printf("watching events for %v...\n", d)
+	for time.Now().Before(deadline) {
+		evs := db.EventsSince(next, event.DefaultRingSize)
+		for _, e := range evs {
+			fmt.Println(e)
+			next = e.Seq + 1
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil
+}
+
 func execute(db *core.DB, fields []string) error {
 	switch fields[0] {
 	case "help":
@@ -98,6 +117,12 @@ func execute(db *core.DB, fields []string) error {
   scan [prefix] [limit]      iterate live keys
   stats                      engine statistics
   levels                     per-level tree shape
+  metrics                    Prometheus text exposition of every metric
+  vars                       all metrics as one JSON document
+  events [n]                 last n buffered trace events (default 20)
+  jobs                       recently completed maintenance jobs
+  watch [seconds]            tail trace events live (default 5s)
+  serve [addr]               expose /metrics /vars /events /jobs over HTTP
   flush                      flush memtables
   compact                    compact everything
   quit
@@ -186,6 +211,61 @@ func execute(db *core.DB, fields []string) error {
 			}
 			fmt.Printf("L%-5d %-5d %-6d %-10d %d\n", l, info.Runs, info.Files, info.Bytes, info.Tombstones)
 		}
+	case "metrics":
+		_, err := db.Registry().WriteTo(os.Stdout)
+		return err
+	case "vars":
+		return db.Registry().WriteJSON(os.Stdout)
+	case "events":
+		n := 20
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return err
+			}
+			n = v
+		}
+		evs := db.RecentEvents(n)
+		for _, e := range evs {
+			fmt.Println(e)
+		}
+		fmt.Printf("(%d events, %d emitted total)\n", len(evs), db.TraceEventsTotal())
+	case "jobs":
+		jobs := db.RecentMaintJobs()
+		for _, j := range jobs {
+			kind := j.Kind.String()
+			if j.Kind == core.JobCompact {
+				kind += "/" + j.Trigger.String()
+			}
+			status := "ok"
+			if j.Err != nil {
+				status = "err=" + j.Err.Error()
+			}
+			fmt.Printf("#%-4d %-22s L%d->L%d in=%d out=%d dur=%v %s\n",
+				j.ID, kind, j.StartLevel, j.OutputLevel, j.BytesIn, j.BytesOut,
+				j.Finished.Sub(j.Started).Round(time.Microsecond), status)
+		}
+		fmt.Printf("(%d jobs)\n", len(jobs))
+	case "watch":
+		secs := 5
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return err
+			}
+			secs = v
+		}
+		return watchEvents(db, time.Duration(secs)*time.Second)
+	case "serve":
+		addr := "127.0.0.1:0"
+		if len(fields) > 1 {
+			addr = fields[1]
+		}
+		bound, _, err := db.ServeMetrics(addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving http://%s/{metrics,vars,events,jobs} until the shell exits\n", bound)
 	case "flush":
 		return db.Flush()
 	case "compact":

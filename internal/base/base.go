@@ -144,6 +144,14 @@ func (ik InternalKey) Compare(other InternalKey) int {
 
 // CompareEncoded orders two encoded internal keys without decoding them.
 func CompareEncoded(a, b []byte) int {
+	if len(a) < 8 || len(b) < 8 {
+		// A valid encoded key always carries its 8-byte trailer; anything
+		// shorter came from a corrupt block. Fall back to raw byte order so
+		// the comparator stays total (and panic-free) and the corruption
+		// surfaces as a decode error at the consumer instead.
+		//lint:ignore rawkeycompare corrupt-input fallback inside the comparator itself
+		return bytes.Compare(a, b)
+	}
 	ua, ub := a[:len(a)-8], b[:len(b)-8]
 	//lint:ignore rawkeycompare comparator implementation; user-key prefix is lexicographic by definition
 	if c := bytes.Compare(ua, ub); c != 0 {

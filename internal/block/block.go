@@ -138,6 +138,12 @@ func NewIter(data []byte, cmp Compare) (*Iter, error) {
 	restarts := make([]uint32, n)
 	for i := 0; i < n; i++ {
 		restarts[i] = binary.LittleEndian.Uint32(data[restartStart+4*i:])
+		// Every restart must point into the entries region (== restartStart
+		// is tolerated: it decodes as a clean end-of-block). An offset past
+		// it would index outside the entry slice.
+		if int(restarts[i]) > restartStart {
+			return nil, fmt.Errorf("block: restart %d offset %d beyond entries region (%d bytes)", i, restarts[i], restartStart)
+		}
 	}
 	return &Iter{data: data[:restartStart], restarts: restarts, cmp: cmp}, nil
 }
@@ -247,7 +253,11 @@ func (i *Iter) decodeHeader(offset int) (keyOff, shared, unshared, valueLen int,
 		return 0, 0, 0, 0, false
 	}
 	keyOff = offset + n1 + n2 + n3
-	if keyOff+int(u)+int(v) > len(i.data) {
+	// Bounds-check in uint64 before narrowing: a hostile varint near 2^64
+	// would wrap int addition negative and slip past an int comparison,
+	// then panic as a negative slice index.
+	if s > uint64(len(i.data)) || u > uint64(len(i.data)) || v > uint64(len(i.data)) ||
+		int(u)+int(v) > len(i.data)-keyOff {
 		i.corrupt("entry overruns block")
 		return 0, 0, 0, 0, false
 	}

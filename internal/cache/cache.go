@@ -15,9 +15,10 @@ const numShards = 16
 // Cache is a fixed-capacity, sharded LRU over immutable block contents.
 // It is safe for concurrent use.
 type Cache struct {
-	shards [numShards]shard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards    [numShards]shard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type blockKey struct {
@@ -109,6 +110,7 @@ func (c *Cache) Put(id, off uint64, data []byte) {
 		s.lru.Remove(back)
 		delete(s.table, victim.key)
 		s.bytes -= int64(len(victim.data))
+		c.evictions.Add(1)
 	}
 }
 
@@ -146,3 +148,7 @@ func (c *Cache) Hits() int64 { return c.hits.Load() }
 
 // Misses returns the cumulative miss count.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns the number of blocks evicted to stay within capacity
+// (file-targeted evictions via EvictFile are not counted).
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }

@@ -187,10 +187,14 @@ func Run(c *Candidate, env Env) (*Result, error) {
 	// Partition range tombstones into disposable and surviving. Disposal
 	// requires that this compaction erases every covered entry it sees
 	// (bottommost + snapshot-free) and that nothing outside it could
-	// still hold covered entries.
+	// still hold covered entries. Snapshot-free here means NO open
+	// snapshot at all: one below rt.Seq still reads covered entries, and
+	// one at/above rt.Seq can pin a covered old version through the
+	// stripe rule — the version survives the merge, so the tombstone
+	// hiding it must survive too.
 	var surviving []base.RangeTombstone
 	for _, rt := range rangeDels {
-		if env.Bottommost && noSnapshotIn(env.Snapshots, 0, rt.Seq) &&
+		if env.Bottommost && len(env.Snapshots) == 0 &&
 			env.RangeTombstoneDisposable != nil && env.RangeTombstoneDisposable(rt) {
 			res.RangeTombstonesDropped++
 			if env.OnRangeTombstoneDropped != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/memtable"
@@ -124,6 +125,15 @@ func (d *DB) Apply(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
+	start := time.Now()
+	err := d.commitBatch(b)
+	dur := time.Since(start)
+	d.stats.BatchLatency.Record(dur.Nanoseconds())
+	d.traceOp(opBatch, start, dur, err)
+	return err
+}
+
+func (d *DB) commitBatch(b *Batch) error {
 	now := d.opts.Clock.Now()
 	// Stamp tombstone timestamps before taking the lock.
 	for i := range b.ops {
@@ -154,12 +164,14 @@ func (d *DB) Apply(b *Batch) error {
 			return err
 		}
 		d.stats.WALBytes.Add(int64(len(rec)))
+		d.stats.WALAppends.Add(1)
 		if d.opts.SyncWrites {
 			//lint:ignore lockheld commit protocol: sync-before-ack under d.mu keeps the ack ordered with the seqnum
 			if err := d.walW.Sync(); err != nil {
 				d.mu.Unlock()
 				return err
 			}
+			d.stats.WALSyncs.Add(1)
 		}
 	}
 	var deletes int64

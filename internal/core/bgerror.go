@@ -6,6 +6,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/event"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -74,6 +75,7 @@ func (d *DB) noteJobError(kind string, consecutive int, err error) bool {
 	retriable := !backgroundErrPermanent(err)
 	if retriable && (d.opts.MaxBackgroundRetries < 0 || consecutive <= d.opts.MaxBackgroundRetries) {
 		d.stats.JobRetries.Add(1)
+		d.trace.Emit(event.Event{Type: event.JobRetry, Op: kind, Err: err.Error()})
 		d.opts.logf("acheron: %s error (attempt %d, will retry): %v", kind, consecutive, err)
 		return true
 	}

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/base"
+	"repro/internal/event"
 	"repro/internal/manifest"
 	"repro/internal/vfs"
 )
@@ -14,6 +16,18 @@ import (
 // The checkpoint captures the state as of the implicit flush it performs;
 // writes racing with the checkpoint may or may not be included.
 func (d *DB) Checkpoint(destDir string) error {
+	start := time.Now()
+	err := d.checkpoint(destDir)
+	dur := time.Since(start)
+	d.traceOp(opCheckpoint, start, dur, err)
+	if err == nil {
+		d.stats.Checkpoints.Add(1)
+		d.trace.Emit(event.Event{Type: event.Checkpoint, Dur: dur})
+	}
+	return err
+}
+
+func (d *DB) checkpoint(destDir string) error {
 	// A checkpoint is a write of the whole store; in read-only mode it
 	// fails fast like any other write (and the flush below would fail
 	// anyway).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/compaction"
+	"repro/internal/event"
 	"repro/internal/manifest"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
@@ -17,6 +18,17 @@ import (
 // drives exactly this sequence, reproducing the seed engine's serialized
 // behaviour.
 func (d *DB) MaintenanceStep() (bool, error) {
+	start := time.Now()
+	did, err := d.maintenanceStep()
+	// Idle steps (nothing to do) are not traced: the background worker
+	// polls this method every tick and would wash the ring with no-ops.
+	if did || err != nil {
+		d.traceOp(opMaintStep, start, time.Since(start), err)
+	}
+	return did, err
+}
+
+func (d *DB) maintenanceStep() (bool, error) {
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
 	d.flushMu.Lock()
@@ -62,6 +74,13 @@ func (d *DB) WaitIdle() error {
 // next one, leaving the tree fully compacted. Intended for tests and
 // benchmarks that want a settled tree.
 func (d *DB) CompactAll() error {
+	start := time.Now()
+	err := d.compactAll()
+	d.traceOp(opCompactAll, start, time.Since(start), err)
+	return err
+}
+
+func (d *DB) compactAll() error {
 	// Freeze the executors: the manually built whole-level candidates
 	// below are not claimed, so they must not race claimed jobs.
 	d.sched.pause()
@@ -332,6 +351,11 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 
 	// Cache new range tombstones, then GC replaced files.
 	for _, of := range res.Outputs {
+		d.stats.FilesCreated.Add(1)
+		d.trace.Emit(event.Event{
+			Type: event.FileCreate, File: uint64(of.FileNum),
+			Level: c.OutputLevel, Bytes: int64(of.Meta.Size),
+		})
 		if of.Meta.Props.NumRangeDeletes > 0 {
 			if err := d.loadFileRTs(of.FileNum); err != nil {
 				return err
@@ -354,7 +378,7 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 	d.stats.PagesDropped.Add(int64(res.PagesDropped))
 	d.stats.RangeCoveredDropped.Add(int64(res.RangeCoveredDropped))
 	d.stats.JobLatencyByTrigger[int(c.Trigger)].Record(time.Since(start).Nanoseconds())
-	d.sched.record(JobInfo{
+	d.recordJob(JobInfo{
 		ID:          id,
 		Kind:        JobCompact,
 		Trigger:     c.Trigger,
@@ -392,7 +416,7 @@ func (d *DB) trivialMove(id uint64, c *compaction.Candidate, f *manifest.FileMet
 	d.stats.TrivialMoves.Add(1)
 	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
 	d.stats.JobLatencyByTrigger[int(c.Trigger)].Record(time.Since(start).Nanoseconds())
-	d.sched.record(JobInfo{
+	d.recordJob(JobInfo{
 		ID:          id,
 		Kind:        JobCompact,
 		Trigger:     c.Trigger,
@@ -461,6 +485,7 @@ func (d *DB) pickEagerJob() (*eagerJob, bool) {
 				}
 				id := d.sched.newID()
 				d.inflight.Claim(id, []*manifest.FileMetadata{f}, l, l, lo, hi)
+				d.traceJobClaim(id, "eager-range-delete", l)
 				return &eagerJob{
 					id: id, level: l, runID: run.ID, f: f,
 					action: action, applicable: applicable, rts: rts, snaps: snaps,
@@ -487,7 +512,7 @@ func (d *DB) runEagerJob(j *eagerJob) error {
 	}
 	d.inflight.Release(j.id)
 	d.wakeStalledWriters()
-	d.sched.record(JobInfo{
+	d.recordJob(JobInfo{
 		ID:          j.id,
 		Kind:        JobEagerRangeDelete,
 		StartLevel:  j.level,
@@ -683,6 +708,12 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 	}
 	if err = d.vs.LogAndApply(edit); err != nil {
 		return err
+	}
+	if meta.HasEntries() {
+		d.stats.FilesCreated.Add(1)
+		d.trace.Emit(event.Event{
+			Type: event.FileCreate, File: uint64(newFn), Level: l, Bytes: int64(meta.Size),
+		})
 	}
 	d.deleteTables([]base.FileNum{f.FileNum})
 	d.eagerMu.Lock()

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"repro/internal/base"
+	"repro/internal/metrics"
 	"repro/internal/compaction"
+	"repro/internal/event"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
@@ -48,6 +50,17 @@ type DB struct {
 	dirname string
 	stats   Stats
 	cache   *tableCache
+	// trace buffers structured engine events (op begin/end, stalls, job
+	// lifecycle, file lifecycle, checkpoints) and forwards them to
+	// Options.EventListener.
+	trace *event.Tracer
+	// opSampleN drives hot-path instrumentation sampling: one in
+	// opts.OpSampleInterval operations records latency and trace events.
+	opSampleN atomic.Uint64
+	// registry names every metric for Prometheus/JSON exposition; built
+	// lazily by DB.Registry.
+	registryOnce sync.Once
+	registry     *metrics.Registry
 
 	mu        sync.Mutex // guards everything below
 	vs        *manifest.VersionSet
@@ -138,6 +151,7 @@ func Open(dirname string, opts Options) (*DB, error) {
 		opts:      opts,
 		dirname:   dirname,
 		cache:     newTableCache(fs, dirname, opts.BlockCacheBytes),
+		trace:     event.NewTracer(opts.EventRingSize, opts.EventListener),
 		vs:        vs,
 		mem:       memtable.New(),
 		fileRTs:   make(map[base.FileNum][]base.RangeTombstone),
@@ -420,14 +434,14 @@ func applyWALRecord(m *memtable.MemTable, payload []byte) (base.SeqNum, error) {
 
 // Put inserts or updates a key.
 func (d *DB) Put(key, value []byte) error {
-	return d.apply(base.KindSet, key, value)
+	return d.apply(opPut, base.KindSet, key, value)
 }
 
 // Delete removes a key by inserting a point tombstone stamped with the
 // current clock reading; FADE guarantees it persists within the DPT.
 func (d *DB) Delete(key []byte) error {
 	value := base.EncodeTombstoneValue(d.opts.Clock.Now())
-	if err := d.apply(base.KindDelete, key, value); err != nil {
+	if err := d.apply(opDelete, base.KindDelete, key, value); err != nil {
 		return err
 	}
 	d.stats.DeletesIssued.Add(1)
@@ -435,7 +449,21 @@ func (d *DB) Delete(key []byte) error {
 	return nil
 }
 
-func (d *DB) apply(kind base.Kind, key, value []byte) error {
+// apply commits one record, recording its latency and begin/end trace
+// events around the raw commit protocol for sampled operations.
+func (d *DB) apply(op string, kind base.Kind, key, value []byte) error {
+	if !d.opSampled() {
+		return d.commitRecord(kind, key, value)
+	}
+	start := time.Now()
+	err := d.commitRecord(kind, key, value)
+	dur := time.Since(start)
+	d.stats.PutLatency.Record(dur.Nanoseconds())
+	d.traceOp(op, start, dur, err)
+	return err
+}
+
+func (d *DB) commitRecord(kind base.Kind, key, value []byte) error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -458,12 +486,14 @@ func (d *DB) apply(kind base.Kind, key, value []byte) error {
 			return err
 		}
 		d.stats.WALBytes.Add(int64(len(rec)))
+		d.stats.WALAppends.Add(1)
 		if d.opts.SyncWrites {
 			//lint:ignore lockheld commit protocol: sync-before-ack under d.mu keeps the ack ordered with the seqnum
 			if err := d.walW.Sync(); err != nil {
 				d.mu.Unlock()
 				return err
 			}
+			d.stats.WALSyncs.Add(1)
 		}
 	}
 	d.vs.SetLastSeqNum(seq)
@@ -484,6 +514,15 @@ func (d *DB) apply(kind base.Kind, key, value []byte) error {
 // delete key lies in [lo, hi). Requires Options.DeleteKeyFunc. The physical
 // erase path depends on Options.EagerRangeDeletes.
 func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
+	start := time.Now()
+	err := d.commitRangeDelete(lo, hi)
+	dur := time.Since(start)
+	d.stats.PutLatency.Record(dur.Nanoseconds())
+	d.traceOp(opRangeDelete, start, dur, err)
+	return err
+}
+
+func (d *DB) commitRangeDelete(lo, hi base.DeleteKey) error {
 	if d.opts.DeleteKeyFunc == nil {
 		return errors.New("acheron: DeleteSecondaryRange requires DeleteKeyFunc")
 	}
@@ -510,6 +549,7 @@ func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
 			return err
 		}
 		d.stats.WALBytes.Add(int64(len(rec)))
+		d.stats.WALAppends.Add(1)
 		// Range deletes can trigger eager file drops whose manifest
 		// edits are synced; the tombstone itself must be just as
 		// durable, so always sync it.
@@ -518,6 +558,7 @@ func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
 			d.mu.Unlock()
 			return err
 		}
+		d.stats.WALSyncs.Add(1)
 	}
 	d.vs.SetLastSeqNum(seq)
 	d.mem.AddRangeTombstone(rt)
@@ -549,31 +590,44 @@ func (d *DB) stallWritesLocked() error {
 	if d.opts.DisableAutoMaintenance {
 		return nil
 	}
+	var stallStart time.Time
 	stalled := false
+	var err error
 	for {
 		if d.closed || d.closing.Load() {
-			return ErrClosed
+			err = ErrClosed
+			break
 		}
 		// A sticky background error means the maintenance this writer is
 		// waiting for will never happen; release it with the error rather
 		// than parking it until Close.
-		if err := d.backgroundErrLocked(); err != nil {
-			return err
+		if err = d.backgroundErrLocked(); err != nil {
+			break
 		}
 		immFull := d.opts.MaxImmutableMemTables > 0 && len(d.imm) >= d.opts.MaxImmutableMemTables
 		l0Full := d.opts.L0StallRuns > 0 && len(d.vs.Current().Levels[0]) >= d.opts.L0StallRuns
 		if !immFull && !l0Full {
-			return nil
+			break
 		}
 		if !stalled {
 			stalled = true
 			d.stats.WriteStalls.Add(1)
+			stallStart = time.Now()
+			d.trace.Emit(event.Event{Type: event.StallBegin, Time: stallStart})
 		}
 		d.notifyWork()
 		start := time.Now()
 		d.stallCond.Wait()
 		d.stats.WriteStallNanos.Add(time.Since(start).Nanoseconds())
 	}
+	if stalled {
+		e := event.Event{Type: event.StallEnd, Dur: time.Since(stallStart)}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		d.trace.Emit(e)
+	}
+	return err
 }
 
 // maybeRotateLocked rotates the memtable when it exceeds its budget.
@@ -775,6 +829,8 @@ func (d *DB) removeTable(fn base.FileNum) {
 	delete(d.fileRTs, fn)
 	d.rtMu.Unlock()
 	_ = d.opts.FS.Remove(manifest.MakeFilename(d.dirname, manifest.FileTypeTable, fn))
+	d.stats.FilesDeleted.Add(1)
+	d.trace.Emit(event.Event{Type: event.FileDelete, File: uint64(fn)})
 }
 
 // collectRangeTombstones gathers every live range tombstone visible at
@@ -827,6 +883,22 @@ func (d *DB) Get(key []byte) ([]byte, error) { return d.GetAt(key, nil) }
 
 // GetAt returns the value of key as of the snapshot (nil = latest).
 func (d *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	if !d.opSampled() {
+		return d.getAt(key, snap)
+	}
+	start := time.Now()
+	v, err := d.getAt(key, snap)
+	dur := time.Since(start)
+	d.stats.GetLatency.Record(dur.Nanoseconds())
+	evErr := err
+	if errors.Is(evErr, ErrNotFound) {
+		evErr = nil // a miss is a normal outcome, not an op failure
+	}
+	d.traceOp(opGet, start, dur, evErr)
+	return v, err
+}
+
+func (d *DB) getAt(key []byte, snap *Snapshot) ([]byte, error) {
 	rs, err := d.acquireReadState(snap)
 	if err != nil {
 		return nil, err
@@ -893,6 +965,17 @@ func (d *DB) getFromTable(f *manifest.FileMetadata, key []byte, seq base.SeqNum)
 	}
 	d.stats.TablesProbed.Add(1)
 	k, v, s, ok, err := r.Get(key, seq)
+	// Classify the filter's "maybe": with filters enabled, a probe that
+	// finds a version (at or below the read sequence) was a true positive;
+	// one that finds nothing was a false positive out of the filter's
+	// error budget.
+	if d.opts.BloomBitsPerKey > 0 && err == nil {
+		if ok {
+			d.stats.BloomTruePositives.Add(1)
+		} else {
+			d.stats.BloomFalsePositives.Add(1)
+		}
+	}
 	if !ok || err != nil {
 		return 0, nil, 0, false, err
 	}

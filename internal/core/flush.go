@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/base"
+	"repro/internal/event"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
@@ -53,12 +54,21 @@ func (d *DB) writeMemTable(m *memtable.MemTable) (_ base.FileNum, _ sstable.Writ
 	if err != nil {
 		return 0, sstable.WriterMeta{}, err
 	}
+	d.stats.FilesCreated.Add(1)
+	d.trace.Emit(event.Event{Type: event.FileCreate, File: uint64(fn), Bytes: int64(meta.Size)})
 	return fn, meta, nil
 }
 
 // Flush synchronously persists the mutable memtable and drains every sealed
 // one to level 0.
 func (d *DB) Flush() error {
+	start := time.Now()
+	err := d.flushAll()
+	d.traceOp(opFlush, start, time.Since(start), err)
+	return err
+}
+
+func (d *DB) flushAll() error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -99,6 +109,8 @@ func (d *DB) flushOne() (bool, error) {
 	e := d.imm[0]
 	d.mu.Unlock()
 
+	id := d.sched.newID()
+	d.traceJobClaim(id, "flush", 0)
 	start := time.Now()
 	var (
 		added []manifest.NewFileEntry
@@ -171,8 +183,8 @@ func (d *DB) flushOne() (bool, error) {
 		d.stats.Flushes.Add(1)
 		d.stats.BytesFlushed.Add(int64(size))
 		d.stats.FlushLatency.Record(time.Since(start).Nanoseconds())
-		d.sched.record(JobInfo{
-			ID:       d.sched.newID(),
+		d.recordJob(JobInfo{
+			ID:       id,
 			Kind:     JobFlush,
 			Started:  start,
 			Finished: time.Now(),

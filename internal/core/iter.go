@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/base"
 	"repro/internal/iterator"
 	"repro/internal/manifest"
@@ -44,6 +46,14 @@ func (i *Iter) Stepped() int64 { return i.stepped }
 // NewIter opens an iterator. The returned iterator is unpositioned; call
 // First or SeekGE. It pins table files until Close.
 func (d *DB) NewIter(opts IterOptions) (*Iter, error) {
+	start := time.Now()
+	it, err := d.newIter(opts)
+	d.stats.ItersOpened.Add(1)
+	d.traceOp(opIterOpen, start, time.Since(start), err)
+	return it, err
+}
+
+func (d *DB) newIter(opts IterOptions) (*Iter, error) {
 	rs, err := d.acquireReadState(opts.Snapshot)
 	if err != nil {
 		return nil, err
@@ -109,6 +119,7 @@ func (i *Iter) Value() []byte { return i.value }
 
 // First positions on the smallest live key within bounds.
 func (i *Iter) First() bool {
+	start, sampled := i.seekStart()
 	i.decided = false
 	var ok bool
 	if i.opts.LowerBound != nil {
@@ -116,16 +127,42 @@ func (i *Iter) First() bool {
 	} else {
 		ok = i.merge.First()
 	}
-	return i.settle(ok)
+	valid := i.settle(ok)
+	i.recordSeek(start, sampled)
+	return valid
 }
 
 // SeekGE positions on the first live key >= key (clamped to bounds).
 func (i *Iter) SeekGE(key []byte) bool {
+	start, sampled := i.seekStart()
 	i.decided = false
 	if i.opts.LowerBound != nil && base.Compare(key, i.opts.LowerBound) < 0 {
 		key = i.opts.LowerBound
 	}
-	return i.settle(i.merge.SeekGE(base.MakeSearchKey(key, base.MaxSeqNum)))
+	valid := i.settle(i.merge.SeekGE(base.MakeSearchKey(key, base.MaxSeqNum)))
+	i.recordSeek(start, sampled)
+	return valid
+}
+
+// seekStart counts one positioning call and, when the op is sampled,
+// reads the clock for latency accounting.
+func (i *Iter) seekStart() (time.Time, bool) {
+	i.d.stats.IterSeeks.Add(1)
+	if !i.d.opSampled() {
+		return time.Time{}, false
+	}
+	return time.Now(), true
+}
+
+// recordSeek accounts a sampled positioning call (First/SeekGE) with its
+// latency and begin/end trace events.
+func (i *Iter) recordSeek(start time.Time, sampled bool) {
+	if !sampled {
+		return
+	}
+	dur := time.Since(start)
+	i.d.stats.IterSeekLatency.Record(dur.Nanoseconds())
+	i.d.traceOp(opIterSeek, start, dur, i.err)
 }
 
 // Next advances to the next live key.

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/vfs"
+)
+
+// snapModel compares the engine's view at a snapshot with a frozen copy of
+// the model taken at the same instant.
+func snapModel(m *model) map[string][]byte {
+	frozen := make(map[string][]byte, len(m.data))
+	for k, v := range m.data {
+		frozen[k] = append([]byte(nil), v...)
+	}
+	return frozen
+}
+
+func checkSnapshotView(t *testing.T, d *DB, snap *Snapshot, frozen map[string][]byte) {
+	t.Helper()
+	it, err := d.NewIter(IterOptions{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	seen := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		want, present := frozen[string(it.Key())]
+		if !present {
+			t.Fatalf("snapshot scan surfaced key %q written after the snapshot", it.Key())
+		}
+		if string(it.Value()) != string(want) {
+			t.Fatalf("snapshot value divergence at %q", it.Key())
+		}
+		seen++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(frozen) {
+		t.Fatalf("snapshot scan has %d keys, frozen model %d", seen, len(frozen))
+	}
+}
+
+// TestModelDifferentialStress drives the engine with a long randomized op
+// sequence — puts, deletes, batches, secondary range deletes, flushes,
+// maintenance steps, snapshots, and full reopens — and continuously diffs it
+// against the in-memory reference model. Seeds are fixed so every failure
+// reproduces; the "Stress" name places it under the race-detector gate.
+func TestModelDifferentialStress(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			fs := vfs.NewMemFS()
+			clk := &base.LogicalClock{}
+			opts := testOptions(fs, clk)
+			d, err := Open("db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { d.Close() }()
+			m := newModel()
+
+			const ops = 4000
+			keySpace := 600
+			key := func() string { return fmt.Sprintf("key%05d", rng.Intn(keySpace)) }
+
+			type pinned struct {
+				snap   *Snapshot
+				frozen map[string][]byte
+			}
+			var pins []pinned
+
+			for i := 0; i < ops; i++ {
+				clk.Advance(base.Duration(rng.Intn(1000)))
+				switch p := rng.Intn(100); {
+				case p < 45: // put
+					k := key()
+					v := testValue(uint64(rng.Intn(1000)), i)
+					if err := d.Put([]byte(k), v); err != nil {
+						t.Fatalf("op %d Put: %v", i, err)
+					}
+					m.put(k, v)
+				case p < 60: // delete (existing or absent)
+					k := key()
+					if err := d.Delete([]byte(k)); err != nil {
+						t.Fatalf("op %d Delete: %v", i, err)
+					}
+					m.delete(k)
+				case p < 70: // batch of puts + deletes
+					b := NewBatch()
+					type bop struct {
+						k   string
+						v   []byte
+						del bool
+					}
+					var staged []bop
+					for j := 0; j < 1+rng.Intn(8); j++ {
+						k := key()
+						if rng.Intn(4) == 0 {
+							b.Delete([]byte(k))
+							staged = append(staged, bop{k: k, del: true})
+						} else {
+							v := testValue(uint64(rng.Intn(1000)), i*100+j)
+							b.Put([]byte(k), v)
+							staged = append(staged, bop{k: k, v: v})
+						}
+					}
+					if err := d.Apply(b); err != nil {
+						t.Fatalf("op %d Apply: %v", i, err)
+					}
+					for _, o := range staged {
+						if o.del {
+							m.delete(o.k)
+						} else {
+							m.put(o.k, o.v)
+						}
+					}
+				case p < 75: // secondary range delete
+					lo := base.DeleteKey(rng.Intn(900))
+					hi := lo + base.DeleteKey(1+rng.Intn(100))
+					if err := d.DeleteSecondaryRange(lo, hi); err != nil {
+						t.Fatalf("op %d DeleteSecondaryRange: %v", i, err)
+					}
+					m.rangeDelete(lo, hi)
+				case p < 85: // point-get spot check
+					k := key()
+					v, err := d.Get([]byte(k))
+					want, present := m.data[k]
+					if present {
+						if err != nil {
+							t.Fatalf("op %d Get(%q): %v", i, k, err)
+						}
+						if string(v) != string(want) {
+							t.Fatalf("op %d Get(%q) divergence", i, k)
+						}
+					} else if err != ErrNotFound {
+						t.Fatalf("op %d Get(absent %q) = %v", i, k, err)
+					}
+				case p < 88: // flush
+					if err := d.Flush(); err != nil {
+						t.Fatalf("op %d Flush: %v", i, err)
+					}
+				case p < 94: // one maintenance step (flush or compaction)
+					if _, err := d.MaintenanceStep(); err != nil {
+						t.Fatalf("op %d MaintenanceStep: %v", i, err)
+					}
+				case p < 97: // pin a snapshot (bounded; released below)
+					if len(pins) < 3 {
+						pins = append(pins, pinned{snap: d.NewSnapshot(), frozen: snapModel(m)})
+					}
+				default: // verify + release the oldest pinned snapshot
+					if len(pins) > 0 {
+						checkSnapshotView(t, d, pins[0].snap, pins[0].frozen)
+						pins[0].snap.Release()
+						pins = pins[1:]
+					}
+				}
+
+				if i%800 == 799 {
+					checkEquivalence(t, d, m, int(seed)*1000+i)
+				}
+				// Two full reopens per run: WAL replay at 1/3, compacted
+				// state at 2/3.
+				if i == ops/3 || i == 2*ops/3 {
+					for _, pin := range pins {
+						checkSnapshotView(t, d, pin.snap, pin.frozen)
+						pin.snap.Release()
+					}
+					pins = nil
+					if i == 2*ops/3 {
+						if err := d.CompactAll(); err != nil {
+							t.Fatalf("op %d CompactAll: %v", i, err)
+						}
+					}
+					if err := d.Close(); err != nil {
+						t.Fatalf("op %d Close: %v", i, err)
+					}
+					d, err = Open("db", opts)
+					if err != nil {
+						t.Fatalf("op %d reopen: %v", i, err)
+					}
+					checkEquivalence(t, d, m, int(seed)*1000+i)
+				}
+			}
+			for _, pin := range pins {
+				checkSnapshotView(t, d, pin.snap, pin.frozen)
+				pin.snap.Release()
+			}
+			checkEquivalence(t, d, m, int(seed))
+		})
+	}
+}
+
+// TestCacheAccountingConcurrent hammers a small block cache with parallel
+// readers and checks that the hit/miss/eviction/bytes accounting stays
+// coherent. The "Concurrent" name places it under the race-detector gate.
+func TestCacheAccountingConcurrent(t *testing.T) {
+	fs := vfs.NewMemFS()
+	clk := &base.LogicalClock{}
+	opts := testOptions(fs, clk)
+	// Small enough to force evictions (the data set below is several times
+	// larger), but with room for several 4 KiB blocks per cache shard so
+	// hits are possible at all.
+	opts.BlockCacheBytes = 128 << 10
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const n = 8000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		if err := d.Put([]byte(k), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("key%06d", rng.Intn(n))
+				if _, err := d.Get([]byte(k)); err != nil {
+					t.Errorf("Get(%q): %v", k, err)
+					return
+				}
+			}
+			it, err := d.NewIter(IterOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer it.Close()
+			count := 0
+			for ok := it.First(); ok; ok = it.Next() {
+				count++
+			}
+			if count != n {
+				t.Errorf("reader %d scanned %d keys, want %d", g, count, n)
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := d.BlockCacheStats()
+	c := d.cache.blocks
+	if c == nil {
+		t.Fatal("block cache unexpectedly disabled")
+	}
+	if hits != c.Hits() || misses != c.Misses() {
+		t.Fatalf("BlockCacheStats (%d,%d) disagrees with cache (%d,%d)", hits, misses, c.Hits(), c.Misses())
+	}
+	if misses == 0 {
+		t.Fatal("no cache misses recorded after cold reads")
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits recorded after repeated reads")
+	}
+	if c.Evictions() == 0 {
+		t.Fatalf("no evictions from a %d-byte cache after reading ~%d entries", opts.BlockCacheBytes, n)
+	}
+	if got := c.Bytes(); got < 0 || got > opts.BlockCacheBytes {
+		t.Fatalf("cache bytes %d outside [0, %d]", got, opts.BlockCacheBytes)
+	}
+}
+
+// TestBloomAccountingGroundTruth checks the bloom true/false-positive and
+// skip counters against exact ground truth: every present-key lookup on a
+// single-table store must be a true positive, and every absent-key lookup is
+// either a bloom skip or a false positive — nothing else.
+func TestBloomAccountingGroundTruth(t *testing.T) {
+	fs := vfs.NewMemFS()
+	clk := &base.LogicalClock{}
+	opts := testOptions(fs, clk)
+	opts.BloomBitsPerKey = 10
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const present = 500
+	for i := 0; i < present; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		if err := d.Put([]byte(k), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All data now lives in exactly one sorted run of tables; the memtable
+	// is empty, so every lookup consults table bloom filters.
+	base0 := d.stats.BloomTruePositives.Get()
+	for i := 0; i < present; i++ {
+		k := fmt.Sprintf("key%06d", i)
+		if _, err := d.Get([]byte(k)); err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+	}
+	tp := d.stats.BloomTruePositives.Get() - base0
+	if tp != present {
+		t.Fatalf("present-key lookups: %d bloom true positives, want %d", tp, present)
+	}
+
+	// Absent probes must sort INSIDE a table's key range — a key outside
+	// [smallest, largest] never reaches the table, so its bloom filter is
+	// never consulted. "key%06dx" slots right after present key i; the
+	// only probes that can miss every table are the ones landing in the
+	// gap after each file's largest key.
+	const absent = 2000
+	files := 0
+	for _, info := range d.Levels() {
+		files += info.Files
+	}
+	skips0 := d.stats.BloomSkips.Get()
+	fp0 := d.stats.BloomFalsePositives.Get()
+	probed0 := d.stats.TablesProbed.Get()
+	for i := 0; i < absent; i++ {
+		k := fmt.Sprintf("key%06dx", i%present)
+		if _, err := d.Get([]byte(k)); err != ErrNotFound {
+			t.Fatalf("Get(absent %q) = %v", k, err)
+		}
+	}
+	skips := d.stats.BloomSkips.Get() - skips0
+	fp := d.stats.BloomFalsePositives.Get() - fp0
+	probed := d.stats.TablesProbed.Get() - probed0
+	// Every absent probe that passed a filter reached a table and found
+	// nothing — so probes and false positives must agree exactly.
+	if probed != fp {
+		t.Fatalf("absent-key lookups: %d table probes but %d false positives", probed, fp)
+	}
+	// Everything else was either skipped by a filter or fell into a
+	// file-boundary gap (at most one gap key per file, each probed
+	// absent/present times).
+	unreached := absent - skips - fp
+	maxGap := int64(files) * (absent/present + 1)
+	if unreached < 0 || unreached > maxGap {
+		t.Fatalf("absent-key lookups: %d skips + %d false positives leaves %d unaccounted (max boundary-gap misses %d)",
+			skips, fp, unreached, maxGap)
+	}
+	// 10 bits/key targets ~1% FP; allow generous slack before calling the
+	// filter broken.
+	if fp > absent/10 {
+		t.Fatalf("bloom false-positive rate %d/%d exceeds 10%%", fp, absent)
+	}
+	if skips == 0 {
+		t.Fatal("bloom filter never skipped an absent-key probe")
+	}
+}

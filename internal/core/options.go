@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/base"
 	"repro/internal/compaction"
+	"repro/internal/event"
 	"repro/internal/vfs"
 )
 
@@ -99,6 +100,23 @@ type Options struct {
 	// job: base, 2·base, 4·base, … up to the max. Defaults 20ms and 1s.
 	BackgroundRetryBaseDelay time.Duration
 	BackgroundRetryMaxDelay  time.Duration
+	// EventListener, when set, receives every trace event synchronously at
+	// the emit site. It must be fast and must not call back into the DB.
+	// Events are buffered in a ring regardless (see EventRingSize) and
+	// readable via DB.RecentEvents / DB.EventsSince.
+	EventListener event.Listener
+	// EventRingSize bounds the trace-event ring buffer. 0 selects
+	// event.DefaultRingSize (1024); negative disables the ring (events
+	// still reach EventListener).
+	EventRingSize int
+	// OpSampleInterval records latency and emits begin/end trace events
+	// for one in every OpSampleInterval hot-path operations (Put, Delete,
+	// Get, iterator seeks). Sampling keeps the per-op cost to a single
+	// atomic increment; the latency histograms remain unbiased samples.
+	// 1 instruments every operation; 0 selects the default (16). Rare
+	// operations (flush, compaction, checkpoint, range deletes, batches)
+	// are always instrumented.
+	OpSampleInterval int
 	// Logger, when set, receives diagnostic messages.
 	Logger func(format string, args ...any)
 }
@@ -121,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BlockCacheBytes == 0 {
 		o.BlockCacheBytes = 8 << 20
+	}
+	if o.OpSampleInterval <= 0 {
+		o.OpSampleInterval = 16
 	}
 	if o.PagesPerTile <= 0 {
 		o.PagesPerTile = 1

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/compaction"
+	"repro/internal/event"
 	"repro/internal/manifest"
 )
 
@@ -146,10 +147,44 @@ func (s *scheduler) record(ji JobInfo) {
 	s.mu.Unlock()
 }
 
+// jobOpName renders a job's operation label for trace events: "flush",
+// "compact/<trigger>", "eager-range-delete".
+func jobOpName(ji JobInfo) string {
+	if ji.Kind == JobCompact {
+		return "compact/" + ji.Trigger.String()
+	}
+	return ji.Kind.String()
+}
+
+// recordJob appends a completed job to the observability ring and emits the
+// matching JobCommit (or JobError) trace event.
+func (d *DB) recordJob(ji JobInfo) {
+	d.sched.record(ji)
+	e := event.Event{
+		Type:  event.JobCommit,
+		Time:  ji.Finished,
+		Op:    jobOpName(ji),
+		Job:   ji.ID,
+		Level: ji.StartLevel,
+		Bytes: int64(ji.BytesOut),
+		Dur:   ji.Finished.Sub(ji.Started),
+	}
+	if ji.Err != nil {
+		e.Type = event.JobError
+		e.Err = ji.Err.Error()
+	}
+	d.trace.Emit(e)
+}
+
+// traceJobClaim emits the JobClaim event for a freshly picked job.
+func (d *DB) traceJobClaim(id uint64, op string, level int) {
+	d.trace.Emit(event.Event{Type: event.JobClaim, Op: op, Job: id, Level: level})
+}
+
 // recordFailedJob appends a failed maintenance job to the observability
 // ring, carrying the error in JobInfo.Err.
 func (d *DB) recordFailedJob(kind JobKind, started time.Time, err error) {
-	d.sched.record(JobInfo{
+	d.recordJob(JobInfo{
 		ID:       d.sched.newID(),
 		Kind:     kind,
 		Started:  started,
@@ -337,6 +372,7 @@ func (d *DB) pickCompactionJob() (*compactJob, bool) {
 	}
 	id := d.sched.newID()
 	d.inflight.ClaimCandidate(id, cand)
+	d.traceJobClaim(id, "compact/"+cand.Trigger.String(), cand.StartLevel)
 	return &compactJob{id: id, v: v, cand: cand}, true
 }
 

@@ -90,6 +90,39 @@ type Stats struct {
 	BloomSkips metrics.Counter
 	// TablesProbed counts sstables consulted by point lookups.
 	TablesProbed metrics.Counter
+	// BloomTruePositives / BloomFalsePositives classify table probes the
+	// Bloom filter let through: the key was present (true positive) or
+	// absent (false positive — the filter's error budget). Only counted
+	// when filters are enabled.
+	BloomTruePositives  metrics.Counter
+	BloomFalsePositives metrics.Counter
+
+	// WALAppends counts WAL record appends; WALSyncs counts WAL fsyncs.
+	WALAppends metrics.Counter
+	WALSyncs   metrics.Counter
+
+	// ItersOpened counts iterators opened; IterSeeks counts positioning
+	// calls (First/SeekGE) across all iterators.
+	ItersOpened metrics.Counter
+	IterSeeks   metrics.Counter
+
+	// FilesCreated / FilesDeleted count table files materialized and
+	// unlinked by flushes, compactions, and eager rewrites.
+	FilesCreated metrics.Counter
+	FilesDeleted metrics.Counter
+	// Checkpoints counts completed checkpoints.
+	Checkpoints metrics.Counter
+
+	// Per-operation latency histograms (wall-clock nanoseconds) for the
+	// public operations: single-record commits (Put/Delete), batch
+	// commits, point lookups, and iterator positioning calls. Kept at the
+	// tail of the struct: each histogram is ~0.5 KiB of bucket atomics,
+	// and placing them here keeps the frequently-incremented counters
+	// above on the same few cache lines they occupied before.
+	PutLatency      metrics.Histogram
+	BatchLatency    metrics.Histogram
+	GetLatency      metrics.Histogram
+	IterSeekLatency metrics.Histogram
 }
 
 // WriteAmplification returns (flushed + compaction-written) / ingested, the
@@ -132,7 +165,14 @@ func (s *Stats) String() string {
 		s.WriteStalls.Get(), s.WriteStallNanos.Get())
 	fmt.Fprintf(&b, "bg_errors=%d job_retries=%d read_only=%d\n",
 		s.BackgroundErrors.Get(), s.JobRetries.Get(), s.ReadOnly.Get())
-	fmt.Fprintf(&b, "gets=%d hits=%d bloom_skips=%d tables_probed=%d",
-		s.Gets.Get(), s.GetHits.Get(), s.BloomSkips.Get(), s.TablesProbed.Get())
+	fmt.Fprintf(&b, "gets=%d hits=%d bloom_skips=%d tables_probed=%d bloom_tp=%d bloom_fp=%d\n",
+		s.Gets.Get(), s.GetHits.Get(), s.BloomSkips.Get(), s.TablesProbed.Get(),
+		s.BloomTruePositives.Get(), s.BloomFalsePositives.Get())
+	fmt.Fprintf(&b, "wal_appends=%d wal_syncs=%d iters=%d seeks=%d files_created=%d files_deleted=%d checkpoints=%d\n",
+		s.WALAppends.Get(), s.WALSyncs.Get(), s.ItersOpened.Get(), s.IterSeeks.Get(),
+		s.FilesCreated.Get(), s.FilesDeleted.Get(), s.Checkpoints.Get())
+	fmt.Fprintf(&b, "p99_put_ns=%d p99_batch_ns=%d p99_get_ns=%d p99_seek_ns=%d",
+		s.PutLatency.Quantile(0.99), s.BatchLatency.Quantile(0.99),
+		s.GetLatency.Quantile(0.99), s.IterSeekLatency.Quantile(0.99))
 	return b.String()
 }

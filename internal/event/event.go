@@ -1,0 +1,252 @@
+// Package event provides Acheron's structured trace facility: typed engine
+// events (operation begin/end, write stalls, maintenance-job lifecycle, file
+// lifecycle, checkpoints) buffered in a fixed-size ring and optionally fanned
+// out to a listener. The tracer is deliberately small — one mutex, one
+// preallocated ring — so hot paths pay a few tens of nanoseconds per event.
+package event
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Type identifies what happened.
+type Type uint8
+
+const (
+	// OpBegin marks the start of a public DB operation (Op names it).
+	OpBegin Type = iota
+	// OpEnd marks the end of a public DB operation; Dur holds the latency
+	// and Err any failure.
+	OpEnd
+	// StallBegin marks a writer blocking on backpressure.
+	StallBegin
+	// StallEnd marks a stalled writer resuming; Dur holds the stall time.
+	StallEnd
+	// JobClaim marks a maintenance job being picked and claimed; Job holds
+	// its ID, Op the job kind/trigger.
+	JobClaim
+	// JobCommit marks a maintenance job committing its version edit.
+	JobCommit
+	// JobRetry marks a transient job failure scheduled for retry.
+	JobRetry
+	// JobError marks a job failing permanently (background error).
+	JobError
+	// FileCreate marks a new on-disk file (File holds its number).
+	FileCreate
+	// FileDelete marks an obsolete file being removed.
+	FileDelete
+	// Checkpoint marks a completed checkpoint.
+	Checkpoint
+
+	numTypes = iota
+)
+
+var typeNames = [numTypes]string{
+	OpBegin:    "op-begin",
+	OpEnd:      "op-end",
+	StallBegin: "stall-begin",
+	StallEnd:   "stall-end",
+	JobClaim:   "job-claim",
+	JobCommit:  "job-commit",
+	JobRetry:   "job-retry",
+	JobError:   "job-error",
+	FileCreate: "file-create",
+	FileDelete: "file-delete",
+	Checkpoint: "checkpoint",
+}
+
+// String returns the kebab-case event-type name used in exposition and docs.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Types returns every defined event type, in declaration order.
+func Types() []Type {
+	out := make([]Type, numTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// Event is one trace record. Fields beyond Seq/Time/Type are populated as
+// relevant: Op names the operation or job kind, Job/File carry IDs, Level
+// the LSM level, Bytes a size, Dur a latency, Err a failure message.
+type Event struct {
+	Seq   uint64
+	Time  time.Time
+	Type  Type
+	Op    string
+	Job   uint64
+	File  uint64
+	Level int
+	Bytes int64
+	Dur   time.Duration
+	Err   string
+}
+
+// String renders a single-line human-readable form used by the shell's
+// events/watch commands.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s", e.Seq, e.Time.Format("15:04:05.000"), e.Type)
+	if e.Op != "" {
+		s += " op=" + e.Op
+	}
+	if e.Job != 0 {
+		s += fmt.Sprintf(" job=%d", e.Job)
+	}
+	if e.File != 0 {
+		s += fmt.Sprintf(" file=%06d", e.File)
+	}
+	if e.Level >= 0 && (e.Type == JobClaim || e.Type == JobCommit || e.Type == FileCreate || e.Type == FileDelete) {
+		s += fmt.Sprintf(" level=%d", e.Level)
+	}
+	if e.Bytes != 0 {
+		s += fmt.Sprintf(" bytes=%d", e.Bytes)
+	}
+	if e.Dur != 0 {
+		s += fmt.Sprintf(" dur=%s", e.Dur)
+	}
+	if e.Err != "" {
+		s += fmt.Sprintf(" err=%q", e.Err)
+	}
+	return s
+}
+
+// Listener receives every event synchronously at the emit site. It must be
+// fast and must not call back into the DB (deadlock).
+type Listener func(Event)
+
+// DefaultRingSize is the event-ring capacity when the caller does not choose
+// one.
+const DefaultRingSize = 1024
+
+// Tracer buffers events in a ring and forwards them to an optional listener.
+// A nil *Tracer is valid and drops everything, so call sites need no guards.
+type Tracer struct {
+	mu       sync.Mutex
+	ring     []Event
+	next     uint64 // total events ever emitted == seq of the next event
+	listener Listener
+}
+
+// NewTracer builds a tracer with the given ring capacity (0 → DefaultRingSize,
+// negative → no ring, listener-only) and optional listener.
+func NewTracer(ringSize int, l Listener) *Tracer {
+	if ringSize == 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &Tracer{listener: l}
+	if ringSize > 0 {
+		t.ring = make([]Event, ringSize)
+	}
+	return t
+}
+
+// Emit stamps the event with a sequence number and timestamp-if-unset, stores
+// it in the ring, and invokes the listener.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stampStoreLocked(&e)
+	l := t.listener
+	t.mu.Unlock()
+	if l != nil {
+		l(e)
+	}
+}
+
+// EmitPair emits two events under one lock acquisition — the hot-path shape
+// for op begin/end, where paying the mutex once halves tracing overhead.
+func (t *Tracer) EmitPair(a, b Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stampStoreLocked(&a)
+	t.stampStoreLocked(&b)
+	l := t.listener
+	t.mu.Unlock()
+	if l != nil {
+		l(a)
+		l(b)
+	}
+}
+
+func (t *Tracer) stampStoreLocked(e *Event) {
+	e.Seq = t.next
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if t.ring != nil {
+		t.ring[t.next%uint64(len(t.ring))] = *e
+	}
+	t.next++
+}
+
+// Total returns the number of events ever emitted (not the ring occupancy).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Recent returns up to max of the newest buffered events, oldest first.
+// max <= 0 means the whole ring.
+func (t *Tracer) Recent(max int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinceLocked(0, max)
+}
+
+// Since returns up to max buffered events with Seq >= seq, oldest first.
+// Events evicted from the ring are silently skipped; callers poll with the
+// last seen Seq+1 to tail the stream (the shell's watch command).
+func (t *Tracer) Since(seq uint64, max int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinceLocked(seq, max)
+}
+
+func (t *Tracer) sinceLocked(seq uint64, max int) []Event {
+	if t.ring == nil || t.next == 0 {
+		return nil
+	}
+	n := uint64(len(t.ring))
+	lo := uint64(0)
+	if t.next > n {
+		lo = t.next - n
+	}
+	if seq > lo {
+		lo = seq
+	}
+	if lo >= t.next {
+		return nil
+	}
+	count := t.next - lo
+	if max > 0 && uint64(max) < count {
+		lo = t.next - uint64(max)
+		count = uint64(max)
+	}
+	out := make([]Event, 0, count)
+	for s := lo; s < t.next; s++ {
+		out = append(out, t.ring[s%n])
+	}
+	return out
+}

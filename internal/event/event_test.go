@@ -1,0 +1,149 @@
+package event
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTypeNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ty := range Types() {
+		s := ty.String()
+		if s == "" || strings.HasPrefix(s, "type(") {
+			t.Errorf("type %d has no name", ty)
+		}
+		if seen[s] {
+			t.Errorf("duplicate type name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Type(250).String(); got != "type(250)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: OpBegin})
+	tr.EmitPair(Event{Type: OpBegin}, Event{Type: OpEnd})
+	if tr.Total() != 0 || tr.Recent(10) != nil || tr.Since(0, 10) != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestTracerRingAndSeq(t *testing.T) {
+	tr := NewTracer(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Type: OpBegin, Op: "put"})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent(0) len = %d, want ring size 4", len(recent))
+	}
+	for i, e := range recent {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].Seq != 8 || got[1].Seq != 9 {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+	// Since skips evicted events and returns oldest-first.
+	got := tr.Since(3, 0)
+	if len(got) != 4 || got[0].Seq != 6 {
+		t.Errorf("Since(3) = %+v", got)
+	}
+	if got := tr.Since(9, 0); len(got) != 1 || got[0].Seq != 9 {
+		t.Errorf("Since(9) = %+v", got)
+	}
+	if got := tr.Since(10, 0); got != nil {
+		t.Errorf("Since(past end) = %+v, want nil", got)
+	}
+}
+
+func TestTracerListenerAndPair(t *testing.T) {
+	var got []Event
+	tr := NewTracer(8, func(e Event) { got = append(got, e) })
+	begin := Event{Type: OpBegin, Op: "flush"}
+	end := Event{Type: OpEnd, Op: "flush", Dur: time.Millisecond}
+	tr.EmitPair(begin, end)
+	if len(got) != 2 {
+		t.Fatalf("listener saw %d events, want 2", len(got))
+	}
+	if got[0].Seq != 0 || got[1].Seq != 1 {
+		t.Errorf("pair seqs = %d,%d", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Time.IsZero() || got[1].Time.IsZero() {
+		t.Error("EmitPair did not stamp times")
+	}
+	if tr.Total() != 2 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+}
+
+func TestTracerListenerOnlyMode(t *testing.T) {
+	n := 0
+	tr := NewTracer(-1, func(Event) { n++ })
+	tr.Emit(Event{Type: Checkpoint})
+	if n != 1 {
+		t.Fatalf("listener calls = %d", n)
+	}
+	if got := tr.Recent(0); got != nil {
+		t.Fatalf("ringless tracer returned events: %+v", got)
+	}
+	if tr.Total() != 1 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Seq: 7, Time: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Type: JobCommit, Op: "compact/ttl", Job: 12, File: 42, Level: 3,
+		Bytes: 1 << 20, Dur: 5 * time.Millisecond, Err: "boom",
+	}
+	s := e.String()
+	for _, want := range []string{"#7", "job-commit", "op=compact/ttl", "job=12", "file=000042", "level=3", "bytes=1048576", "dur=5ms", `err="boom"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTracerConcurrentEmits(t *testing.T) {
+	tr := NewTracer(64, nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					tr.Emit(Event{Type: OpBegin, Op: "get"})
+				} else {
+					tr.EmitPair(Event{Type: OpBegin, Op: "put"}, Event{Type: OpEnd, Op: "put"})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := uint64(workers * per * 3 / 2)
+	if tr.Total() != want {
+		t.Fatalf("Total = %d, want %d", tr.Total(), want)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Seq != recent[i-1].Seq+1 {
+			t.Fatalf("ring seqs not contiguous at %d: %d then %d", i, recent[i-1].Seq, recent[i].Seq)
+		}
+	}
+}

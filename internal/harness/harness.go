@@ -138,8 +138,22 @@ func OpenRuntime(cfg EngineConfig, sc Scale) (*Runtime, error) {
 	return &Runtime{Config: cfg, Scale: sc, DB: db, FS: fs, Clock: clk, liveKeys: make(map[string]bool)}, nil
 }
 
-// Close shuts the engine down.
-func (rt *Runtime) Close() error { return rt.DB.Close() }
+// metricsSink, when set, receives every Runtime's engine just before it
+// closes — the moment its metrics are final. acheron-bench uses it to dump
+// a per-experiment metric snapshot next to each result table.
+var metricsSink func(configName string, db *core.DB)
+
+// SetMetricsSink installs fn as the metrics sink (nil disables). Not safe
+// to call while experiments are running.
+func SetMetricsSink(fn func(configName string, db *core.DB)) { metricsSink = fn }
+
+// Close shuts the engine down, handing the final metrics to the sink first.
+func (rt *Runtime) Close() error {
+	if metricsSink != nil {
+		metricsSink(rt.Config.Name, rt.DB)
+	}
+	return rt.DB.Close()
+}
 
 // Apply executes one workload op, advancing the logical clock one tick and
 // running maintenance periodically.

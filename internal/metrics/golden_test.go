@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one of everything, all values
+// deterministic, so the rendered output can be compared byte-for-byte.
+func goldenRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+
+	var ingested Counter
+	ingested.Add(123456)
+	if err := r.RegisterCounter("acheron_test_bytes_ingested_total", "Bytes written to the engine.", nil, &ingested); err != nil {
+		t.Fatal(err)
+	}
+
+	var l0, l6 Counter
+	l0.Add(7)
+	l6.Add(2)
+	if err := r.RegisterCounter("acheron_test_compactions_total", "Compactions by trigger.", Labels{"trigger": "l0"}, &l0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterCounter("acheron_test_compactions_total", "Compactions by trigger.", Labels{"trigger": "ttl"}, &l6); err != nil {
+		t.Fatal(err)
+	}
+
+	var depth Gauge
+	depth.Set(3)
+	if err := r.RegisterGauge("acheron_test_flush_queue_depth", "Immutable memtables waiting to flush.", nil, &depth); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterGaugeFunc("acheron_test_live_tombstones", "Point tombstones not yet persisted.", nil, func() int64 { return 42 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterCounterFunc("acheron_test_events_total", "Trace events emitted.", nil, func() int64 { return 99 }); err != nil {
+		t.Fatal(err)
+	}
+
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000, 1000, 4096, 70000} {
+		h.Record(v)
+	}
+	if err := r.RegisterHistogram("acheron_test_commit_latency_ns", "Write commit latency.", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/metrics/ -run TestGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenPrometheus locks down the Prometheus text exposition format:
+// HELP/TYPE pairs, label rendering, and cumulative histogram buckets with
+// +Inf, _sum and _count.
+func TestGoldenPrometheus(t *testing.T) {
+	r := goldenRegistry(t)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.prom", buf.Bytes())
+}
+
+// TestGoldenJSON locks down the expvar-style JSON dump: sorted series keys
+// and histogram summaries with quantile upper bounds.
+func TestGoldenJSON(t *testing.T) {
+	r := goldenRegistry(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.json", buf.Bytes())
+}

@@ -5,6 +5,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,19 +24,7 @@ func bucketFor(v int64) int {
 	if v <= 0 {
 		return 0
 	}
-	return 64 - leadingZeros(uint64(v))
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
+	return 64 - bits.LeadingZeros64(uint64(v))
 }
 
 // Record adds one sample.
@@ -57,6 +46,33 @@ func (h *Histogram) Record(v int64) {
 
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// BucketUpperBound returns the inclusive upper edge of bucket b: 0 for the
+// first bucket (non-positive samples), 2^b-1 for the power-of-two buckets,
+// and math.MaxInt64 for the last.
+func BucketUpperBound(b int) int64 {
+	switch {
+	case b <= 0:
+		return 0
+	case b >= 63:
+		return math.MaxInt64
+	}
+	return 1<<b - 1
+}
+
+// Snapshot returns a point-in-time copy of the per-bucket counts together
+// with the total count, sum, and max. The per-bucket loads are not mutually
+// atomic; concurrent Records may straddle the copy, which exposition
+// tolerates.
+func (h *Histogram) Snapshot() (buckets [64]int64, count, sum, max int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sum.Load(), h.max.Load()
+}
 
 // Max returns the largest recorded sample.
 func (h *Histogram) Max() int64 { return h.max.Load() }

@@ -1,0 +1,303 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a registered metric for exposition.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a sample distribution.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// Labels attach dimensions to a metric series (e.g. trigger="ttl"). The
+// same metric name may be registered multiple times with distinct label
+// sets, but every registration of a name must share one kind and help
+// string.
+type Labels map[string]string
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// renderLabels serializes a label set into deterministic `k="v",...` form
+// (no braces), with keys sorted.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, ls[k])
+	}
+	return b.String()
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string
+	labels string // rendered, "" when unlabelled
+	value  func() int64
+	hist   *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name string
+	kind Kind
+	help string
+}
+
+// Registry names and aggregates every metric the engine exposes. It renders
+// the whole set as Prometheus text format (WriteTo) or as an expvar-style
+// JSON document (WriteJSON). Registration is checked: invalid names,
+// duplicate series, and kind/help conflicts within a family are errors.
+// Reads of registered metrics happen at exposition time, so registration is
+// cheap and the hot paths touch only the underlying Counter/Gauge/Histogram
+// primitives.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family names in first-registration order
+	entries  map[string][]*entry
+	series   map[string]bool // name + "{" + labels + "}"
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		entries:  make(map[string][]*entry),
+		series:   make(map[string]bool),
+	}
+}
+
+// register validates and inserts one series.
+func (r *Registry) register(name, help string, kind Kind, labels Labels, e *entry) error {
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("metrics: invalid metric name %q", name)
+	}
+	for k := range labels {
+		if !labelRe.MatchString(k) {
+			return fmt.Errorf("metrics: invalid label name %q on %q", k, name)
+		}
+	}
+	e.name = name
+	e.labels = renderLabels(labels)
+	key := name + "{" + e.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.series[key] {
+		return fmt.Errorf("metrics: duplicate registration of series %s{%s}", name, e.labels)
+	}
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			return fmt.Errorf("metrics: %q registered as both %s and %s", name, f.kind, kind)
+		}
+		if f.help != help {
+			return fmt.Errorf("metrics: conflicting help strings for %q", name)
+		}
+	} else {
+		r.families[name] = &family{name: name, kind: kind, help: help}
+		r.order = append(r.order, name)
+	}
+	r.series[key] = true
+	r.entries[name] = append(r.entries[name], e)
+	return nil
+}
+
+// RegisterCounter registers a monotone counter series.
+func (r *Registry) RegisterCounter(name, help string, labels Labels, c *Counter) error {
+	return r.register(name, help, KindCounter, labels, &entry{value: c.Get})
+}
+
+// RegisterGauge registers a gauge series.
+func (r *Registry) RegisterGauge(name, help string, labels Labels, g *Gauge) error {
+	return r.register(name, help, KindGauge, labels, &entry{value: g.Get})
+}
+
+// RegisterCounterFunc registers a counter series computed at exposition
+// time. fn must be safe for concurrent use and monotone.
+func (r *Registry) RegisterCounterFunc(name, help string, labels Labels, fn func() int64) error {
+	return r.register(name, help, KindCounter, labels, &entry{value: fn})
+}
+
+// RegisterGaugeFunc registers a gauge series computed at exposition time.
+// fn must be safe for concurrent use.
+func (r *Registry) RegisterGaugeFunc(name, help string, labels Labels, fn func() int64) error {
+	return r.register(name, help, KindGauge, labels, &entry{value: fn})
+}
+
+// RegisterHistogram registers a histogram series.
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) error {
+	return r.register(name, help, KindHistogram, labels, &entry{hist: h})
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// snapshotLocked copies the exposition structures so rendering can run
+// without holding the registry lock across metric reads.
+func (r *Registry) snapshot() (fams []*family, entries map[string][]*entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	entries = make(map[string][]*entry, len(r.entries))
+	for k, v := range r.entries {
+		entries[k] = append([]*entry(nil), v...)
+	}
+	return fams, entries
+}
+
+// seriesName renders `name{labels}` (or bare name), optionally with an
+// extra label appended (used for histogram le).
+func seriesName(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	}
+	return name + "{" + labels + "," + extra + "}"
+}
+
+// WriteTo renders every registered metric in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per family followed by its
+// series. Histograms emit cumulative power-of-two buckets (up to the
+// highest occupied edge), the +Inf bucket, _sum and _count.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	fams, entries := r.snapshot()
+	var n int64
+	p := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	for _, f := range fams {
+		if err := p("# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+			return n, err
+		}
+		if err := p("# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return n, err
+		}
+		for _, e := range entries[f.name] {
+			if f.kind != KindHistogram {
+				if err := p("%s %d\n", seriesName(f.name, e.labels, ""), e.value()); err != nil {
+					return n, err
+				}
+				continue
+			}
+			buckets, count, sum, _ := e.hist.Snapshot()
+			last := 0
+			for b := range buckets {
+				if buckets[b] != 0 {
+					last = b
+				}
+			}
+			var cum int64
+			for b := 0; b <= last; b++ {
+				cum += buckets[b]
+				le := fmt.Sprintf(`le="%d"`, BucketUpperBound(b))
+				if b >= 63 {
+					le = `le="+Inf"`
+				}
+				if err := p("%s %d\n", seriesName(f.name+"_bucket", e.labels, le), cum); err != nil {
+					return n, err
+				}
+			}
+			if last < 63 {
+				if err := p("%s %d\n", seriesName(f.name+"_bucket", e.labels, `le="+Inf"`), count); err != nil {
+					return n, err
+				}
+			}
+			if err := p("%s %d\n", seriesName(f.name+"_sum", e.labels, ""), sum); err != nil {
+				return n, err
+			}
+			if err := p("%s %d\n", seriesName(f.name+"_count", e.labels, ""), count); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// histJSON is the JSON rendering of one histogram series.
+type histJSON struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// WriteJSON renders every registered metric as a single JSON object in the
+// expvar style: scalar series map to numbers, histograms to an object with
+// count/sum/mean/max and quantile upper bounds. Keys are the full series
+// names (`name{labels}`), sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams, entries := r.snapshot()
+	doc := make(map[string]any)
+	for _, f := range fams {
+		for _, e := range entries[f.name] {
+			key := seriesName(f.name, e.labels, "")
+			if f.kind != KindHistogram {
+				doc[key] = e.value()
+				continue
+			}
+			doc[key] = histJSON{
+				Count: e.hist.Count(),
+				Sum:   e.hist.Sum(),
+				Mean:  e.hist.Mean(),
+				Max:   e.hist.Max(),
+				P50:   e.hist.Quantile(0.50),
+				P90:   e.hist.Quantile(0.90),
+				P99:   e.hist.Quantile(0.99),
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

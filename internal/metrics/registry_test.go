@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRejectsDuplicateSeries(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	if err := r.RegisterCounter("acheron_writes_total", "writes", nil, &a); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	if err := r.RegisterCounter("acheron_writes_total", "writes", nil, &b); err == nil {
+		t.Fatal("duplicate unlabelled series accepted")
+	}
+	if err := r.RegisterCounter("acheron_writes_total", "writes", Labels{"kind": "put"}, &b); err != nil {
+		t.Fatalf("distinct label set rejected: %v", err)
+	}
+	if err := r.RegisterCounter("acheron_writes_total", "writes", Labels{"kind": "put"}, &b); err == nil {
+		t.Fatal("duplicate labelled series accepted")
+	}
+}
+
+func TestRegistryRejectsKindAndHelpConflicts(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	var g Gauge
+	if err := r.RegisterCounter("acheron_thing", "help one", Labels{"a": "1"}, &c); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := r.RegisterGauge("acheron_thing", "help one", Labels{"a": "2"}, &g); err == nil {
+		t.Fatal("kind conflict accepted")
+	}
+	if err := r.RegisterCounter("acheron_thing", "different help", Labels{"a": "2"}, &c); err == nil {
+		t.Fatal("help conflict accepted")
+	}
+}
+
+func TestRegistryRejectsInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	for _, bad := range []string{"", "1starts_with_digit", "has space", "has-dash"} {
+		if err := r.RegisterCounter(bad, "h", nil, &c); err == nil {
+			t.Errorf("invalid metric name %q accepted", bad)
+		}
+	}
+	if err := r.RegisterCounter("ok_name", "h", Labels{"bad-label": "x"}, &c); err == nil {
+		t.Error("invalid label name accepted")
+	}
+}
+
+// parsePromText is a miniature Prometheus text-format parser: it checks the
+// HELP/TYPE/sample-line grammar the exposition promises and returns the
+// sample lines keyed by full series name.
+func parsePromText(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	samples := make(map[string]int64)
+	typed := make(map[string]string)
+	var lastFamily string
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			lastFamily = name
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || name != lastFamily {
+				t.Fatalf("line %d: TYPE does not follow its HELP: %q", ln+1, line)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, kind)
+			}
+			if typed[name] != "" {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			typed[name] = kind
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			series, val, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed sample %q", ln+1, line)
+			}
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: non-integer value %q: %v", ln+1, val, err)
+			}
+			base := series
+			if i := strings.IndexByte(base, '{'); i >= 0 {
+				if !strings.HasSuffix(base, "}") {
+					t.Fatalf("line %d: unterminated label set %q", ln+1, series)
+				}
+				base = base[:i]
+			}
+			fam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+			if typed[fam] == "" && typed[base] == "" {
+				t.Fatalf("line %d: sample %q precedes its TYPE", ln+1, series)
+			}
+			if _, dup := samples[series]; dup {
+				t.Fatalf("line %d: duplicate sample %q", ln+1, series)
+			}
+			samples[series] = v
+		}
+	}
+	return samples
+}
+
+func TestRegistryWriteToPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	var writes Counter
+	var depth Gauge
+	var lat Histogram
+	writes.Add(42)
+	depth.Set(-3)
+	for _, v := range []int64{0, 1, 5, 5, 100, 1 << 20} {
+		lat.Record(v)
+	}
+	if err := r.RegisterCounter("acheron_writes_total", "Total writes.", nil, &writes); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterGauge("acheron_queue_depth", "Queue depth.", Labels{"queue": "flush"}, &depth); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterHistogram("acheron_put_duration_ns", "Put latency.", nil, &lat); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterCounterFunc("acheron_derived_total", "Derived.", nil, func() int64 { return 7 }); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	samples := parsePromText(t, buf.String())
+
+	if got := samples["acheron_writes_total"]; got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if got := samples[`acheron_queue_depth{queue="flush"}`]; got != -3 {
+		t.Errorf("gauge = %d, want -3", got)
+	}
+	if got := samples["acheron_derived_total"]; got != 7 {
+		t.Errorf("func counter = %d, want 7", got)
+	}
+	if got := samples["acheron_put_duration_ns_count"]; got != 6 {
+		t.Errorf("hist count = %d, want 6", got)
+	}
+	if got := samples["acheron_put_duration_ns_sum"]; got != 0+1+5+5+100+1<<20 {
+		t.Errorf("hist sum = %d", got)
+	}
+	if got := samples[`acheron_put_duration_ns_bucket{le="+Inf"}`]; got != 6 {
+		t.Errorf("+Inf bucket = %d, want 6", got)
+	}
+	// Cumulative buckets: le="0" holds the single 0 sample, le="1" adds the 1.
+	if got := samples[`acheron_put_duration_ns_bucket{le="0"}`]; got != 1 {
+		t.Errorf(`le="0" = %d, want 1`, got)
+	}
+	if got := samples[`acheron_put_duration_ns_bucket{le="1"}`]; got != 2 {
+		t.Errorf(`le="1" = %d, want 2`, got)
+	}
+	if got := samples[`acheron_put_duration_ns_bucket{le="7"}`]; got != 4 {
+		t.Errorf(`le="7" = %d, want 4 (two 5s land in [4,7])`, got)
+	}
+	// Monotone non-decreasing buckets, every bucket ≤ count.
+	var prev int64 = -1
+	for b := 0; b < 63; b++ {
+		s, ok := samples[fmt.Sprintf(`acheron_put_duration_ns_bucket{le="%d"}`, BucketUpperBound(b))]
+		if !ok {
+			continue
+		}
+		if s < prev {
+			t.Fatalf("bucket le=%d not cumulative: %d < %d", BucketUpperBound(b), s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	var h Histogram
+	c.Add(9)
+	h.Record(10)
+	h.Record(20)
+	if err := r.RegisterCounter("acheron_events_total", "Events.", Labels{"type": "stall"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterHistogram("acheron_get_duration_ns", "Get latency.", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var cv int64
+	if err := json.Unmarshal(doc[`acheron_events_total{type="stall"}`], &cv); err != nil || cv != 9 {
+		t.Errorf("counter JSON = %s (err %v), want 9", doc[`acheron_events_total{type="stall"}`], err)
+	}
+	var hv struct {
+		Count int64 `json:"count"`
+		Sum   int64 `json:"sum"`
+		Max   int64 `json:"max"`
+		P50   int64 `json:"p50"`
+	}
+	if err := json.Unmarshal(doc["acheron_get_duration_ns"], &hv); err != nil {
+		t.Fatalf("histogram JSON: %v", err)
+	}
+	if hv.Count != 2 || hv.Sum != 30 || hv.Max != 20 {
+		t.Errorf("histogram JSON = %+v", hv)
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	cases := map[int]int64{
+		-1: 0, 0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 63: math.MaxInt64, 64: math.MaxInt64,
+	}
+	for b, want := range cases {
+		if got := BucketUpperBound(b); got != want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", b, got, want)
+		}
+	}
+	// Edges must agree with bucketFor: a sample v lands in the bucket whose
+	// upper bound is the smallest edge ≥ v.
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, math.MaxInt64} {
+		b := bucketFor(v)
+		if b > 63 {
+			b = 63
+		}
+		if BucketUpperBound(b) < v {
+			t.Errorf("sample %d in bucket %d above its edge %d", v, b, BucketUpperBound(b))
+		}
+		if b > 0 && BucketUpperBound(b-1) >= v {
+			t.Errorf("sample %d in bucket %d but fits under edge %d", v, b, BucketUpperBound(b-1))
+		}
+	}
+}

@@ -39,6 +39,7 @@ func (p PageInfo) Droppable(rt base.RangeTombstone) bool {
 // It is safe for concurrent use by multiple iterators.
 type Reader struct {
 	f     vfs.File
+	size  int64 // file size, bounding every block handle
 	props Properties
 
 	blockCache *cache.Cache
@@ -74,7 +75,7 @@ func Open(f vfs.File) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{f: f}
+	r := &Reader{f: f, size: size}
 
 	pb, err := r.readBlock(ftr.props)
 	if err != nil {
@@ -120,6 +121,9 @@ func Open(f vfs.File) (*Reader, error) {
 		return nil, err
 	}
 	for valid := it.First(); valid; valid = it.Next() {
+		if len(it.Key()) < 8 {
+			return nil, fmt.Errorf("%w: index key too short (%d bytes)", ErrCorrupt, len(it.Key()))
+		}
 		ent, ok := decodeIndexEntry(it.Value())
 		if !ok {
 			return nil, fmt.Errorf("%w: corrupt index entry", ErrCorrupt)
@@ -187,6 +191,15 @@ func (r *Reader) readBlock(h BlockHandle) ([]byte, error) {
 		if data, ok := r.blockCache.Get(r.cacheID, h.Offset); ok {
 			return data, nil
 		}
+	}
+	// Validate the handle against the file size before allocating: a
+	// corrupt footer or index entry could otherwise demand an absurd
+	// allocation or a read past EOF. Checked in uint64 so a near-2^64
+	// offset+length cannot wrap.
+	if h.Length > uint64(r.size) || h.Offset > uint64(r.size) ||
+		h.Length+4 > uint64(r.size)-h.Offset {
+		return nil, fmt.Errorf("%w: block handle (offset %d, length %d) exceeds file size %d",
+			ErrCorrupt, h.Offset, h.Length, r.size)
 	}
 	buf := make([]byte, h.Length+4)
 	if _, err := r.f.ReadAt(buf, int64(h.Offset)); err != nil {
@@ -297,6 +310,10 @@ func (i *Iter) pickMin() bool {
 	for pi, it := range i.pages {
 		if !it.Valid() {
 			continue
+		}
+		if len(it.Key()) < 8 {
+			i.err = fmt.Errorf("%w: data entry key too short (%d bytes)", ErrCorrupt, len(it.Key()))
+			return false
 		}
 		if i.cur < 0 || base.CompareEncoded(it.Key(), i.pages[i.cur].Key()) < 0 {
 			i.cur = pi

@@ -135,10 +135,13 @@ func (r *Reader) Next() ([]byte, error) {
 		return nil, io.EOF // torn tail
 	}
 	start := 4 + used
-	end := start + int(n)
-	if end > len(rest) {
+	// Compare in uint64: a garbage length varint near 2^64 would wrap int
+	// addition negative and slice with end < start. A length that cannot
+	// fit in the remaining bytes is a torn tail either way.
+	if n > uint64(len(rest)-start) {
 		return nil, io.EOF // torn tail
 	}
+	end := start + int(n)
 	payload := rest[start:end]
 	if crc32.Checksum(payload, castagnoli) != crcStored {
 		if r.off+end == len(r.data) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	scaleFlag := flag.String("scale", "default", "experiment scale: small, default, large")
 	metricsDir := flag.String("metrics", "", "directory for per-experiment Prometheus metric snapshots (empty disables)")
+	jsonPath := flag.String("json", "", "file for a JSON run summary: result tables plus per-config commit/WAL metric snapshots (empty disables)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -52,8 +54,9 @@ func main() {
 		"A2": harness.A2BloomBits,
 		"A3": harness.A3FADETieBreak,
 		"C1": harness.C1MaintenanceConcurrency,
+		"C2": harness.C2CommitPipeline,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2"}
 
 	var ids []string
 	if *expFlag == "all" {
@@ -69,17 +72,20 @@ func main() {
 		}
 	}
 
-	// With -metrics, every engine an experiment opens dumps its final
-	// metric state (Prometheus text) into <dir>/<exp>-<config>[-n].prom as
-	// it closes, so per-variant counters survive the run.
+	// Metric sinks: every engine an experiment opens hands its final state
+	// to each installed sink as it closes, so per-variant counters survive
+	// the run. -metrics dumps Prometheus text into
+	// <dir>/<exp>-<config>[-n].prom; -json collects the write-path metrics
+	// that track the commit pipeline's perf trajectory across PRs.
 	var currentExp string
+	var sinks []func(string, *core.DB)
 	if *metricsDir != "" {
 		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics dir: %v\n", err)
 			os.Exit(1)
 		}
 		seen := make(map[string]int)
-		harness.SetMetricsSink(func(name string, db *core.DB) {
+		sinks = append(sinks, func(name string, db *core.DB) {
 			stem := fmt.Sprintf("%s-%s", strings.ToLower(currentExp), name)
 			seen[stem]++
 			if n := seen[stem]; n > 1 {
@@ -96,7 +102,44 @@ func main() {
 			}
 		})
 	}
+	jsonMetrics := map[string]map[string]float64{}
+	if *jsonPath != "" {
+		seen := make(map[string]int)
+		sinks = append(sinks, func(name string, db *core.DB) {
+			key := fmt.Sprintf("%s-%s", strings.ToLower(currentExp), name)
+			seen[key]++
+			if n := seen[key]; n > 1 {
+				key = fmt.Sprintf("%s-%d", key, n)
+			}
+			st := db.Stats()
+			jsonMetrics[key] = map[string]float64{
+				"wal_appends":       float64(st.WALAppends.Get()),
+				"wal_syncs":         float64(st.WALSyncs.Get()),
+				"wal_bytes":         float64(st.WALBytes.Get()),
+				"commits_per_sync":  st.CommitsPerSync(),
+				"p99_group_size":    float64(st.WALGroupSize.Quantile(0.99)),
+				"p99_wal_sync_ns":   float64(st.WALSyncLatency.Quantile(0.99)),
+				"p99_put_ns":        float64(st.PutLatency.Quantile(0.99)),
+				"p99_batch_ns":      float64(st.BatchLatency.Quantile(0.99)),
+				"write_stalls":      float64(st.WriteStalls.Get()),
+				"write_stall_ns":    float64(st.WriteStallNanos.Get()),
+				"bytes_ingested":    float64(st.BytesIngested.Get()),
+				"write_amp":         st.WriteAmplification(),
+				"flushes":           float64(st.Flushes.Get()),
+				"peak_flush_queue":  float64(st.FlushQueueDepth.Peak()),
+				"background_errors": float64(st.BackgroundErrors.Get()),
+			}
+		})
+	}
+	if len(sinks) > 0 {
+		harness.SetMetricsSink(func(name string, db *core.DB) {
+			for _, sink := range sinks {
+				sink(name, db)
+			}
+		})
+	}
 
+	var tables []*harness.Table
 	for _, id := range ids {
 		currentExp = id
 		tbl, err := experiments[id](sc)
@@ -105,5 +148,31 @@ func main() {
 			os.Exit(1)
 		}
 		tbl.Fprint(os.Stdout)
+		tables = append(tables, tbl)
+	}
+
+	if *jsonPath != "" {
+		doc := struct {
+			Scale       string                        `json:"scale"`
+			Experiments []string                      `json:"experiments"`
+			Tables      []*harness.Table              `json:"tables"`
+			Metrics     map[string]map[string]float64 `json:"metrics"`
+			Note        string                        `json:"note"`
+		}{
+			Scale:       *scaleFlag,
+			Experiments: ids,
+			Tables:      tables,
+			Metrics:     jsonMetrics,
+			Note:        "wall-clock experiments (C1, C2) vary run to run; deterministic experiments (E1..E8) are exactly reproducible at a given scale",
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json summary: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json summary %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -135,68 +135,29 @@ func (d *DB) Apply(b *Batch) error {
 
 func (d *DB) commitBatch(b *Batch) error {
 	now := d.opts.Clock.Now()
-	// Stamp tombstone timestamps before taking the lock.
+	// Stamp tombstone timestamps before committing.
 	for i := range b.ops {
 		if b.ops[i].kind == base.KindDelete && len(b.ops[i].value) == 0 {
 			b.ops[i].value = base.EncodeTombstoneValue(now)
 		}
 	}
 
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return ErrClosed
-	}
-	if err := d.backgroundErrLocked(); err != nil {
-		d.mu.Unlock()
+	// The pipeline stamps the batch's contiguous sequence block and keeps
+	// it atomic for readers: the whole block publishes in one step of the
+	// visibility ratchet, so readers see all of the batch or none of it.
+	pc := &pendingCommit{ops: b.ops, asBatch: true}
+	if err := d.commit.commit(pc); err != nil {
 		return err
-	}
-	if err := d.stallWritesLocked(); err != nil {
-		d.mu.Unlock()
-		return err
-	}
-	baseSeq := d.vs.LastSeqNum() + 1
-	if !d.opts.DisableWAL {
-		rec := encodeWALBatch(baseSeq, b.ops)
-		//lint:ignore lockheld commit protocol: WAL append order must match seqnum assignment order, so the write stays under d.mu
-		if err := d.walW.AddRecord(rec); err != nil {
-			d.mu.Unlock()
-			return err
-		}
-		d.stats.WALBytes.Add(int64(len(rec)))
-		d.stats.WALAppends.Add(1)
-		if d.opts.SyncWrites {
-			//lint:ignore lockheld commit protocol: sync-before-ack under d.mu keeps the ack ordered with the seqnum
-			if err := d.walW.Sync(); err != nil {
-				d.mu.Unlock()
-				return err
-			}
-			d.stats.WALSyncs.Add(1)
-		}
 	}
 	var deletes int64
-	for i, op := range b.ops {
-		seq := baseSeq + base.SeqNum(i)
-		d.mem.Add(base.MakeInternalKey(op.key, seq, op.kind), op.value)
-		d.stats.BytesIngested.Add(int64(len(op.key) + len(op.value)))
+	for _, op := range b.ops {
 		if op.kind == base.KindDelete {
 			deletes++
 		}
 	}
-	// Visibility flips atomically here: readers snapshot LastSeqNum under
-	// d.mu, so they see the whole batch or none of it.
-	d.vs.SetLastSeqNum(baseSeq + base.SeqNum(len(b.ops)) - 1)
-	rotated, err := d.maybeRotateLocked()
-	d.mu.Unlock()
-	if err != nil {
-		return err
-	}
 	if deletes > 0 {
 		d.stats.DeletesIssued.Add(deletes)
 		d.stats.LiveTombstones.Add(deletes)
-	}
-	if rotated {
-		d.notifyWork()
 	}
 	return nil
 }

@@ -5,7 +5,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/compaction"
@@ -153,6 +156,120 @@ func BenchmarkScan100(b *testing.B) {
 		if err := it.Close(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// slowSyncFS charges a fixed latency per Sync on top of MemFS. MemFS syncs
+// are nearly free, which would hide exactly the cost group commit exists to
+// amortize; the delay models a fast NVMe fsync so the sync benchmarks
+// measure syncs-per-commit, not memory bandwidth.
+type slowSyncFS struct {
+	vfs.FS
+	delay time.Duration
+}
+
+func (fs slowSyncFS) Create(name string) (vfs.File, error) {
+	f, err := fs.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{f, fs.delay}, nil
+}
+
+type slowSyncFile struct {
+	vfs.File
+	delay time.Duration
+}
+
+func (f slowSyncFile) Sync() error {
+	// Yielding wait: time.Sleep overshoots sub-millisecond durations by
+	// orders of magnitude, and a pure busy-wait would pin the P on
+	// single-core runners, starving the very writers that should be
+	// enqueueing behind this sync. Gosched models blocking I/O: the delay
+	// is precise and other goroutines run during it.
+	for start := time.Now(); time.Since(start) < f.delay; {
+		runtime.Gosched()
+	}
+	return f.File.Sync()
+}
+
+var parallelWriters = []int{1, 4, 8, 16}
+
+// runParallelPuts splits b.N puts across the writers, each in its own key
+// range, and reports syncs/op so the grouped and serialized runs can be
+// compared on amortization as well as throughput.
+func runParallelPuts(b *testing.B, d *DB, writers, batchSize int) {
+	val := testValue(1, 1)
+	b.SetBytes(int64(16 + len(val)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		lo, hi := b.N*w/writers, b.N*(w+1)/writers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if batchSize <= 1 {
+				for i := lo; i < hi; i++ {
+					if err := d.Put([]byte(fmt.Sprintf("w%02d-k%012d", w, i)), val); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				return
+			}
+			batch := NewBatch()
+			for i := lo; i < hi; i++ {
+				batch.Put([]byte(fmt.Sprintf("w%02d-k%012d", w, i)), val)
+				if batch.Len() == batchSize {
+					if err := d.Apply(batch); err != nil {
+						b.Error(err)
+						return
+					}
+					batch.Reset()
+				}
+			}
+			if batch.Len() > 0 {
+				if err := d.Apply(batch); err != nil {
+					b.Error(err)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if n := d.stats.WALAppends.Get(); n > 0 {
+		b.ReportMetric(float64(d.stats.WALSyncs.Get())/float64(n), "syncs/op")
+	}
+}
+
+func BenchmarkPutParallel(b *testing.B) {
+	for _, writers := range parallelWriters {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			d := benchDB(b, func(o *Options) { o.DisableAutoMaintenance = false })
+			runParallelPuts(b, d, writers, 1)
+		})
+	}
+}
+
+func BenchmarkPutSyncParallel(b *testing.B) {
+	for _, writers := range parallelWriters {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			d := benchDB(b, func(o *Options) {
+				o.DisableAutoMaintenance = false
+				o.SyncWrites = true
+				o.FS = slowSyncFS{vfs.NewMemFS(), 25 * time.Microsecond}
+			})
+			runParallelPuts(b, d, writers, 1)
+		})
+	}
+}
+
+func BenchmarkBatchPutParallel(b *testing.B) {
+	for _, writers := range parallelWriters {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			d := benchDB(b, func(o *Options) { o.DisableAutoMaintenance = false })
+			runParallelPuts(b, d, writers, 64)
+		})
 	}
 }
 

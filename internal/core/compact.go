@@ -462,7 +462,7 @@ func (d *DB) pickEagerJob() (*eagerJob, bool) {
 	snaps := append([]base.SeqNum(nil), d.snapshots...)
 	// Collect all live tombstones, including unflushed ones. WAL
 	// durability for them is ensured at issue time.
-	rs := readState{mem: d.mem, imms: append([]immEntry(nil), d.imm...), version: v, seq: d.vs.LastSeqNum()}
+	rs := readState{mem: d.mem, imms: append([]immEntry(nil), d.imm...), version: v, seq: d.visibleSeqNum()}
 	d.mu.Unlock()
 	rts := d.collectRangeTombstones(rs)
 	if len(rts) == 0 {

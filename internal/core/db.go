@@ -11,11 +11,11 @@ import (
 	"time"
 
 	"repro/internal/base"
-	"repro/internal/metrics"
 	"repro/internal/compaction"
 	"repro/internal/event"
 	"repro/internal/manifest"
 	"repro/internal/memtable"
+	"repro/internal/metrics"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -61,6 +61,11 @@ type DB struct {
 	// lazily by DB.Registry.
 	registryOnce sync.Once
 	registry     *metrics.Registry
+
+	// commit is the group-commit write pipeline: it owns commitMu (ordered
+	// before d.mu), the commit queue, and the published-seqnum ratchet that
+	// readers consult via visibleSeqNum.
+	commit *commitPipeline
 
 	mu        sync.Mutex // guards everything below
 	vs        *manifest.VersionSet
@@ -164,11 +169,14 @@ func Open(dirname string, opts Options) (*DB, error) {
 		closeCh:   make(chan struct{}),
 	}
 	d.stallCond = sync.NewCond(&d.mu)
+	d.commit = newCommitPipeline(d)
 
 	if err := d.recoverAndClean(); err != nil {
 		vfs.BestEffortClose(vs)
 		return nil, err
 	}
+	// Everything recovered is fully applied; published == allocated.
+	d.commit.visible.Store(uint64(d.vs.LastSeqNum()))
 
 	// Populate the range-tombstone cache from recovered files.
 	v := vs.Current()
@@ -342,20 +350,26 @@ func (d *DB) Close() error {
 		}
 	}
 
+	// Hold the pipeline's commitMu across the final close: no leader round
+	// can then be between capturing d.walW and appending to it, so setting
+	// the closed flag and closing the WAL is atomic w.r.t. commit groups.
+	d.commit.commitMu.Lock()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
+		d.commit.commitMu.Unlock()
 		return ErrClosed
 	}
 	d.closed = true
 	if d.walW != nil {
-		//lint:ignore lockheld shutdown path: d.mu guards the closed flag and serializes against in-flight writers
+		//lint:ignore lockheld shutdown path: commitMu+d.mu exclude in-flight leader rounds, so no writer can race the close
 		if werr := d.walW.Close(); err == nil {
 			err = werr
 		}
 		d.walW = nil
 	}
 	d.mu.Unlock()
+	d.commit.commitMu.Unlock()
 	// The version set closes outside d.mu: its Close takes the commit
 	// mutex, which flush commits hold while acquiring d.mu for the version
 	// install — closing under d.mu would deadlock against a racing flush.
@@ -463,52 +477,20 @@ func (d *DB) apply(op string, kind base.Kind, key, value []byte) error {
 	return err
 }
 
+// commitRecord commits one point entry through the group-commit pipeline.
+// The key and value are not copied until the memtable apply, which happens
+// before commit returns, so callers may reuse their buffers afterwards.
 func (d *DB) commitRecord(kind base.Kind, key, value []byte) error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return ErrClosed
-	}
-	if err := d.backgroundErrLocked(); err != nil {
-		d.mu.Unlock()
-		return err
-	}
-	if err := d.stallWritesLocked(); err != nil {
-		d.mu.Unlock()
-		return err
-	}
-	seq := d.vs.LastSeqNum() + 1
-	if !d.opts.DisableWAL {
-		rec := encodeWALRecord(kind, seq, key, value)
-		//lint:ignore lockheld commit protocol: WAL append order must match seqnum assignment order, so the write stays under d.mu
-		if err := d.walW.AddRecord(rec); err != nil {
-			d.mu.Unlock()
-			return err
-		}
-		d.stats.WALBytes.Add(int64(len(rec)))
-		d.stats.WALAppends.Add(1)
-		if d.opts.SyncWrites {
-			//lint:ignore lockheld commit protocol: sync-before-ack under d.mu keeps the ack ordered with the seqnum
-			if err := d.walW.Sync(); err != nil {
-				d.mu.Unlock()
-				return err
-			}
-			d.stats.WALSyncs.Add(1)
-		}
-	}
-	d.vs.SetLastSeqNum(seq)
-	d.mem.Add(base.MakeInternalKey(key, seq, kind), value)
-	d.stats.BytesIngested.Add(int64(len(key) + len(value)))
-	rotated, err := d.maybeRotateLocked()
-	d.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if rotated {
-		d.notifyWork()
-	}
-	return nil
+	pc := &pendingCommit{}
+	pc.opsBuf[0] = batchOp{kind: kind, key: key, value: value}
+	pc.ops = pc.opsBuf[:1]
+	return d.commit.commit(pc)
 }
+
+// visibleSeqNum returns the sequence number readers observe: the newest
+// fully-published commit group. It trails d.vs.LastSeqNum(), the allocated
+// counter, by at most the commits currently in flight.
+func (d *DB) visibleSeqNum() base.SeqNum { return d.commit.visibleSeqNum() }
 
 // DeleteSecondaryRange logically deletes every record whose secondary
 // delete key lies in [lo, hi). Requires Options.DeleteKeyFunc. The physical
@@ -529,40 +511,16 @@ func (d *DB) commitRangeDelete(lo, hi base.DeleteKey) error {
 	if lo >= hi {
 		return fmt.Errorf("acheron: empty delete-key range [%d, %d)", lo, hi)
 	}
-	now := d.opts.Clock.Now()
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return ErrClosed
-	}
-	if err := d.backgroundErrLocked(); err != nil {
-		d.mu.Unlock()
+	// The tombstone's sequence number is stamped by the pipeline leader;
+	// the group containing it always syncs the WAL (see walStage). Routing
+	// range deletes through the pipeline also runs them through the stall
+	// gate, which the old path skipped — they could previously grow the
+	// flush backlog without any backpressure.
+	rt := base.RangeTombstone{Lo: lo, Hi: hi, CreatedAt: d.opts.Clock.Now()}
+	pc := &pendingCommit{rt: &rt}
+	if err := d.commit.commit(pc); err != nil {
 		return err
 	}
-	seq := d.vs.LastSeqNum() + 1
-	rt := base.RangeTombstone{Lo: lo, Hi: hi, Seq: seq, CreatedAt: now}
-	if !d.opts.DisableWAL {
-		rec := encodeWALRangeDelete(rt)
-		//lint:ignore lockheld commit protocol: WAL append order must match seqnum assignment order, so the write stays under d.mu
-		if err := d.walW.AddRecord(rec); err != nil {
-			d.mu.Unlock()
-			return err
-		}
-		d.stats.WALBytes.Add(int64(len(rec)))
-		d.stats.WALAppends.Add(1)
-		// Range deletes can trigger eager file drops whose manifest
-		// edits are synced; the tombstone itself must be just as
-		// durable, so always sync it.
-		//lint:ignore lockheld commit protocol: the range tombstone must be durable before the ack, ordered with its seqnum
-		if err := d.walW.Sync(); err != nil {
-			d.mu.Unlock()
-			return err
-		}
-		d.stats.WALSyncs.Add(1)
-	}
-	d.vs.SetLastSeqNum(seq)
-	d.mem.AddRangeTombstone(rt)
-	d.mu.Unlock()
 	d.stats.RangeDeletesIssued.Add(1)
 	d.notifyWork()
 	return nil
@@ -631,7 +589,7 @@ func (d *DB) stallWritesLocked() error {
 }
 
 // maybeRotateLocked rotates the memtable when it exceeds its budget.
-// Called with d.mu held.
+// Called with the pipeline's commitMu and d.mu held.
 func (d *DB) maybeRotateLocked() (bool, error) {
 	if d.mem.ApproximateBytes() < d.opts.MemTableBytes {
 		return false, nil
@@ -639,7 +597,10 @@ func (d *DB) maybeRotateLocked() (bool, error) {
 	return true, d.rotateLocked()
 }
 
-// rotateLocked unconditionally seals the current memtable.
+// rotateLocked unconditionally seals the current memtable. Callers must
+// hold the pipeline's commitMu as well as d.mu: commit groups capture the
+// (memtable, WAL segment) pair under d.mu and append to the WAL after
+// releasing it, relying on commitMu to keep the pair stable meanwhile.
 func (d *DB) rotateLocked() error {
 	var (
 		newLog base.FileNum
@@ -735,11 +696,12 @@ type Snapshot struct {
 	seq base.SeqNum
 }
 
-// NewSnapshot captures the current state.
+// NewSnapshot captures the current state. The snapshot pins the published
+// sequence number, so it never straddles a half-applied commit group.
 func (d *DB) NewSnapshot() *Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	seq := d.vs.LastSeqNum()
+	seq := d.visibleSeqNum()
 	i := sort.Search(len(d.snapshots), func(i int) bool { return d.snapshots[i] >= seq })
 	d.snapshots = append(d.snapshots, 0)
 	copy(d.snapshots[i+1:], d.snapshots[i:])
@@ -782,7 +744,9 @@ func (d *DB) acquireReadState(snap *Snapshot) (readState, error) {
 		mem:     d.mem,
 		imms:    append([]immEntry(nil), d.imm...),
 		version: d.vs.Current(),
-		seq:     d.vs.LastSeqNum(),
+		// The published counter, not the allocated one: sequence numbers
+		// above it may not have reached the memtable yet.
+		seq: d.visibleSeqNum(),
 	}
 	if snap != nil {
 		rs.seq = snap.seq

@@ -69,22 +69,30 @@ func (d *DB) Flush() error {
 }
 
 func (d *DB) flushAll() error {
+	// Rotation requires the pipeline's commitMu (ordered before d.mu): a
+	// commit group in its WAL stage must not have its captured memtable and
+	// WAL segment swapped out from under it.
+	d.commit.commitMu.Lock()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
+		d.commit.commitMu.Unlock()
 		return ErrClosed
 	}
 	if err := d.backgroundErrLocked(); err != nil {
 		d.mu.Unlock()
+		d.commit.commitMu.Unlock()
 		return err
 	}
 	if !d.mem.Empty() {
 		if err := d.rotateLocked(); err != nil {
 			d.mu.Unlock()
+			d.commit.commitMu.Unlock()
 			return err
 		}
 	}
 	d.mu.Unlock()
+	d.commit.commitMu.Unlock()
 	for {
 		d.flushMu.Lock()
 		did, err := d.flushOne()
@@ -108,6 +116,11 @@ func (d *DB) flushOne() (bool, error) {
 	}
 	e := d.imm[0]
 	d.mu.Unlock()
+
+	// A commit group that captured this memtable while it was mutable may
+	// still be applying entries. The table is sealed (no new writer refs
+	// possible), so this wait is bounded by the in-flight group applies.
+	e.mem.WaitWriters()
 
 	id := d.sched.newID()
 	d.traceJobClaim(id, "flush", 0)

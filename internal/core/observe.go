@@ -140,6 +140,13 @@ func (d *DB) buildRegistry() *metrics.Registry {
 	counter("acheron_wal_bytes_total", "Bytes appended to the write-ahead log.", &s.WALBytes)
 	counter("acheron_wal_appends_total", "WAL record appends.", &s.WALAppends)
 	counter("acheron_wal_syncs_total", "WAL fsyncs.", &s.WALSyncs)
+	must(r.RegisterHistogram("acheron_wal_group_size",
+		"Commit-group member count per batched WAL write (group-commit amortization).", nil, &s.WALGroupSize))
+	must(r.RegisterHistogram("acheron_wal_sync_latency_ns",
+		"Wall-clock nanoseconds per WAL fsync.", nil, &s.WALSyncLatency))
+	must(r.RegisterGaugeFunc("acheron_commits_per_sync",
+		"Derived WAL appends per fsync, scaled by 100 (integer exposition); 0 before any sync.",
+		nil, func() int64 { return int64(d.stats.CommitsPerSync() * 100) }))
 	counter("acheron_write_stalls_total", "Commits that blocked on backpressure.", &s.WriteStalls)
 	counter("acheron_write_stall_ns_total", "Total nanoseconds commits spent stalled.", &s.WriteStallNanos)
 

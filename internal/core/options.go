@@ -64,7 +64,10 @@ type Options struct {
 	// DisableWAL skips write-ahead logging (benchmarks that measure pure
 	// structural amplification).
 	DisableWAL bool
-	// SyncWrites syncs the WAL on every commit instead of on rotation.
+	// SyncWrites syncs the WAL before acknowledging every commit instead
+	// of syncing on rotation only. Commits are group-committed: concurrent
+	// writers that arrive while a sync is in flight share the next one, so
+	// the fsync cost amortizes across the group (see Stats.CommitsPerSync).
 	SyncWrites bool
 	// DisableAutoMaintenance turns off the background flush/compaction
 	// worker; callers drive MaintenanceStep themselves (deterministic

@@ -123,6 +123,15 @@ type Stats struct {
 	BatchLatency    metrics.Histogram
 	GetLatency      metrics.Histogram
 	IterSeekLatency metrics.Histogram
+
+	// WALGroupSize records the member count of each commit group whose
+	// records reached the WAL: group commit's amortization factor. The
+	// derived ratio WALAppends/WALSyncs (exposed as
+	// acheron_commits_per_sync) tells the same story per fsync.
+	WALGroupSize metrics.Histogram
+	// WALSyncLatency records wall-clock nanoseconds per WAL fsync — the
+	// cost each commit group pays exactly once.
+	WALSyncLatency metrics.Histogram
 }
 
 // WriteAmplification returns (flushed + compaction-written) / ingested, the
@@ -133,6 +142,17 @@ func (s *Stats) WriteAmplification() float64 {
 		return 0
 	}
 	return float64(s.BytesFlushed.Get()+s.CompactBytesWritten.Get()) / float64(in)
+}
+
+// CommitsPerSync returns the group-commit amortization ratio: WAL record
+// appends per fsync. Returns 0 before any sync (including DisableWAL or
+// sync-on-rotation-only configurations with no rotation yet).
+func (s *Stats) CommitsPerSync() float64 {
+	syncs := s.WALSyncs.Get()
+	if syncs == 0 {
+		return 0
+	}
+	return float64(s.WALAppends.Get()) / float64(syncs)
 }
 
 // PersistedWithin returns the fraction of persisted tombstones whose
@@ -171,8 +191,10 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "wal_appends=%d wal_syncs=%d iters=%d seeks=%d files_created=%d files_deleted=%d checkpoints=%d\n",
 		s.WALAppends.Get(), s.WALSyncs.Get(), s.ItersOpened.Get(), s.IterSeeks.Get(),
 		s.FilesCreated.Get(), s.FilesDeleted.Get(), s.Checkpoints.Get())
-	fmt.Fprintf(&b, "p99_put_ns=%d p99_batch_ns=%d p99_get_ns=%d p99_seek_ns=%d",
+	fmt.Fprintf(&b, "p99_put_ns=%d p99_batch_ns=%d p99_get_ns=%d p99_seek_ns=%d\n",
 		s.PutLatency.Quantile(0.99), s.BatchLatency.Quantile(0.99),
 		s.GetLatency.Quantile(0.99), s.IterSeekLatency.Quantile(0.99))
+	fmt.Fprintf(&b, "commits_per_sync=%.2f p99_group_size=%d p99_wal_sync_ns=%d",
+		s.CommitsPerSync(), s.WALGroupSize.Quantile(0.99), s.WALSyncLatency.Quantile(0.99))
 	return b.String()
 }

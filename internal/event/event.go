@@ -39,22 +39,30 @@ const (
 	FileDelete
 	// Checkpoint marks a completed checkpoint.
 	Checkpoint
+	// GroupCommitBegin marks a commit-pipeline leader starting to process
+	// a drained group (Bytes holds the member count).
+	GroupCommitBegin
+	// GroupCommitEnd marks the leader finishing the group's WAL stage
+	// (Bytes holds the WAL bytes appended, Dur the WAL stage latency).
+	GroupCommitEnd
 
 	numTypes = iota
 )
 
 var typeNames = [numTypes]string{
-	OpBegin:    "op-begin",
-	OpEnd:      "op-end",
-	StallBegin: "stall-begin",
-	StallEnd:   "stall-end",
-	JobClaim:   "job-claim",
-	JobCommit:  "job-commit",
-	JobRetry:   "job-retry",
-	JobError:   "job-error",
-	FileCreate: "file-create",
-	FileDelete: "file-delete",
-	Checkpoint: "checkpoint",
+	OpBegin:          "op-begin",
+	OpEnd:            "op-end",
+	StallBegin:       "stall-begin",
+	StallEnd:         "stall-end",
+	JobClaim:         "job-claim",
+	JobCommit:        "job-commit",
+	JobRetry:         "job-retry",
+	JobError:         "job-error",
+	FileCreate:       "file-create",
+	FileDelete:       "file-delete",
+	Checkpoint:       "checkpoint",
+	GroupCommitBegin: "group-commit-begin",
+	GroupCommitEnd:   "group-commit-end",
 }
 
 // String returns the kebab-case event-type name used in exposition and docs.

@@ -5,21 +5,30 @@ package memtable
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/base"
 	"repro/internal/skiplist"
 )
 
-// MemTable is an in-memory, ordered write buffer. Writers must be
-// serialized by the caller (the engine's commit pipeline); readers are
-// concurrent and lock-free on the point-entry path.
+// MemTable is an in-memory, ordered write buffer. Concurrent writers are
+// safe (the skiplist splices with per-level CAS); readers are concurrent
+// and lock-free on the point-entry path. The commit pipeline registers
+// in-flight writers via AcquireWriters so a flush can wait for stragglers
+// after the table is sealed.
 type MemTable struct {
 	list *skiplist.List
 
 	mu        sync.RWMutex // guards rangeDels only
 	rangeDels []base.RangeTombstone
 
-	numDeletes      int64
+	// writers tracks commit-pipeline appliers still inserting into this
+	// memtable. The pipeline acquires refs under the engine mutex while
+	// the table is mutable; flush calls WaitWriters after sealing, so the
+	// wait is bounded by in-flight group applies.
+	writers sync.WaitGroup
+
+	numDeletes      atomic.Int64
 	oldestTombstone base.Timestamp
 	hasTombstone    bool
 }
@@ -30,17 +39,31 @@ func New() *MemTable {
 }
 
 // Add inserts an entry. The key's sequence number must be unique within the
-// memtable. key and value are copied.
+// memtable. key and value are copied. Add is safe for concurrent use.
 func (m *MemTable) Add(ikey base.InternalKey, value []byte) {
 	enc := ikey.Encode(make([]byte, 0, ikey.Size()))
 	v := append([]byte(nil), value...)
 	if ikey.Kind() == base.KindDelete {
 		ts := base.DecodeTombstoneValue(value)
 		m.noteTombstone(ts)
-		m.numDeletes++
+		m.numDeletes.Add(1)
 	}
 	m.list.Insert(enc, v)
 }
+
+// AcquireWriters registers n in-flight writers about to Add to this
+// memtable. Callers must hold whatever lock makes the memtable the current
+// mutable one, so a ref can never be acquired after the table is sealed
+// and a flush has begun waiting.
+func (m *MemTable) AcquireWriters(n int) { m.writers.Add(n) }
+
+// ReleaseWriter drops one writer ref acquired with AcquireWriters.
+func (m *MemTable) ReleaseWriter() { m.writers.Done() }
+
+// WaitWriters blocks until every acquired writer ref has been released.
+// Flush calls this after the table is sealed (no new refs possible) and
+// before iterating it.
+func (m *MemTable) WaitWriters() { m.writers.Wait() }
 
 // AddRangeTombstone records a secondary-key range tombstone.
 func (m *MemTable) AddRangeTombstone(rt base.RangeTombstone) {
@@ -88,7 +111,7 @@ func (m *MemTable) ApproximateBytes() int64 { return m.list.Bytes() }
 func (m *MemTable) Len() int { return m.list.Len() }
 
 // NumDeletes returns the number of point tombstones.
-func (m *MemTable) NumDeletes() int64 { return m.numDeletes }
+func (m *MemTable) NumDeletes() int64 { return m.numDeletes.Load() }
 
 // NumRangeDeletes returns the number of range tombstones.
 func (m *MemTable) NumRangeDeletes() int {

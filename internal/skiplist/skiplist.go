@@ -1,6 +1,7 @@
 // Package skiplist provides the ordered map backing Acheron's memtables: a
-// single-writer, multi-reader skiplist over byte-slice keys. Readers never
-// take locks; the engine serializes writers.
+// concurrent-writer, multi-reader skiplist over byte-slice keys. Readers
+// never take locks; writers insert lock-free with a per-level CAS splice,
+// so group-commit followers can apply to the same memtable in parallel.
 package skiplist
 
 import (
@@ -24,9 +25,10 @@ type node struct {
 	next  [maxHeight]atomic.Pointer[node]
 }
 
-// List is the skiplist. Create one with New. Concurrent readers are safe
-// with one concurrent writer; multiple writers must be serialized by the
-// caller.
+// List is the skiplist. Create one with New. Concurrent readers are always
+// safe; concurrent writers are safe too, provided keys are distinct (the
+// engine guarantees this: every internal key carries a unique sequence
+// number).
 type List struct {
 	head   *node
 	cmp    Compare
@@ -38,12 +40,13 @@ type List struct {
 
 // splitmix is a tiny deterministic PRNG (SplitMix64); the list is
 // reproducible for a given insertion sequence, which keeps benchmarks and
-// property tests deterministic.
-type splitmix struct{ state uint64 }
+// property tests deterministic. The state advances with a single atomic
+// add, so concurrent inserts each draw a distinct value while a serialized
+// insertion sequence consumes exactly the heights it always did.
+type splitmix struct{ state atomic.Uint64 }
 
 func (s *splitmix) next() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
+	z := s.state.Add(0x9e3779b97f4a7c15)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
@@ -51,7 +54,8 @@ func (s *splitmix) next() uint64 {
 
 // New returns an empty list ordered by cmp.
 func New(cmp Compare) *List {
-	l := &List{head: &node{}, cmp: cmp, rng: splitmix{state: 0x9E3779B97F4A7C15}}
+	l := &List{head: &node{}, cmp: cmp}
+	l.rng.state.Store(0x9E3779B97F4A7C15)
 	l.height.Store(1)
 	return l
 }
@@ -95,22 +99,41 @@ func (l *List) findGE(target []byte, prev *[maxHeight]*node) *node {
 // Insert adds a key/value pair. The key must not already be present; the
 // engine guarantees uniqueness because every internal key carries a unique
 // sequence number. Key and value are retained, not copied.
+//
+// Insert is safe for concurrent use. Each level is spliced with a
+// compare-and-swap; on contention the writer re-walks forward from its
+// stale predecessor (never from the head) and retries. Linking proceeds
+// bottom-up, so a node becomes visible to readers at level 0 first and is
+// fully initialized before it is published anywhere.
 func (l *List) Insert(key, value []byte) {
 	var prev [maxHeight]*node
 	l.findGE(key, &prev)
 
 	h := l.randomHeight()
-	listH := int(l.height.Load())
-	if h > listH {
-		for i := listH; i < h; i++ {
-			prev[i] = l.head
+	for {
+		listH := l.height.Load()
+		if int32(h) <= listH || l.height.CompareAndSwap(listH, int32(h)) {
+			break
 		}
-		l.height.Store(int32(h))
 	}
 	n := &node{key: key, value: value}
 	for i := 0; i < h; i++ {
-		n.next[i].Store(prev[i].next[i].Load())
-		prev[i].next[i].Store(n)
+		p := prev[i]
+		if p == nil {
+			// Level raised above what findGE walked: start at the head.
+			p = l.head
+		}
+		for {
+			next := p.next[i].Load()
+			for next != nil && l.cmp(next.key, key) < 0 {
+				p = next
+				next = p.next[i].Load()
+			}
+			n.next[i].Store(next)
+			if p.next[i].CompareAndSwap(next, n) {
+				break
+			}
+		}
 	}
 	l.count.Add(1)
 	l.bytes.Add(int64(len(key) + len(value) + 64))
@@ -126,7 +149,7 @@ func (l *List) Get(key []byte) ([]byte, bool) {
 }
 
 // Iter is a stateful iterator over the list. It is safe to use concurrently
-// with one writer, observing some prefix of concurrent insertions.
+// with writers, observing some subset of concurrent insertions.
 type Iter struct {
 	l *List
 	n *node

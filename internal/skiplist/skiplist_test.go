@@ -152,3 +152,140 @@ func BenchmarkSeekGE(b *testing.B) {
 		it.SeekGE([]byte(fmt.Sprintf("k%012d", i%100_000)))
 	}
 }
+
+// TestConcurrentInsertProperty hammers Insert from many goroutines with
+// interleaved key ranges and verifies the classic skiplist invariants
+// afterwards: nothing lost, nothing duplicated, level-0 fully ordered, and
+// every upper level a subsequence of the level below it.
+func TestConcurrentInsertProperty(t *testing.T) {
+	const (
+		writers    = 8
+		perWriter  = 4000
+		totalKeys  = writers * perWriter
+		iterations = 3
+	)
+	for trial := 0; trial < iterations; trial++ {
+		l := New(bytes.Compare)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Writer w owns keys ≡ w (mod writers), inserted in a
+				// scrambled order so splice points collide across levels.
+				order := rand.New(rand.NewSource(int64(trial*writers + w))).Perm(perWriter)
+				for _, i := range order {
+					k := []byte(fmt.Sprintf("k%08d", i*writers+w))
+					l.Insert(k, []byte{byte(w)})
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		if l.Len() != totalKeys {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, l.Len(), totalKeys)
+		}
+		// Level 0: every key present, strictly ascending.
+		it := l.NewIter()
+		n := 0
+		var prev []byte
+		for ok := it.First(); ok; ok = it.Next() {
+			want := fmt.Sprintf("k%08d", n)
+			if string(it.Key()) != want {
+				t.Fatalf("trial %d: position %d holds %q, want %q", trial, n, it.Key(), want)
+			}
+			if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+				t.Fatalf("trial %d: out of order at %d", trial, n)
+			}
+			prev = append(prev[:0], it.Key()...)
+			n++
+		}
+		if n != totalKeys {
+			t.Fatalf("trial %d: iterated %d keys, want %d", trial, n, totalKeys)
+		}
+		// Upper levels: sorted, and every node linked at level i is
+		// reachable at level i-1 (tower integrity).
+		for level := 1; level < int(l.height.Load()); level++ {
+			below := make(map[string]bool)
+			for x := l.head.next[level-1].Load(); x != nil; x = x.next[level-1].Load() {
+				below[string(x.key)] = true
+			}
+			var last []byte
+			for x := l.head.next[level].Load(); x != nil; x = x.next[level].Load() {
+				if last != nil && bytes.Compare(last, x.key) >= 0 {
+					t.Fatalf("trial %d: level %d out of order", trial, level)
+				}
+				if !below[string(x.key)] {
+					t.Fatalf("trial %d: level %d node %q missing from level %d", trial, level, x.key, level-1)
+				}
+				last = append(last[:0], x.key...)
+			}
+		}
+		// Every key readable via Get, with the owning writer's value.
+		for i := 0; i < totalKeys; i += 97 {
+			k := []byte(fmt.Sprintf("k%08d", i))
+			v, ok := l.Get(k)
+			if !ok {
+				t.Fatalf("trial %d: Get(%q) missing", trial, k)
+			}
+			if len(v) != 1 || int(v[0]) != i%writers {
+				t.Fatalf("trial %d: Get(%q) = %v, want writer %d", trial, k, v, i%writers)
+			}
+		}
+	}
+}
+
+// TestConcurrentInsertWithReaders overlaps readers with concurrent writers:
+// iterators must observe a sorted subset of the final contents at every
+// step, and Get must find any key inserted before the reader started.
+func TestConcurrentInsertWithReaders(t *testing.T) {
+	const writers = 4
+	const perWriter = 5000
+	l := New(bytes.Compare)
+	// Pre-populate a stable prefix readers can rely on.
+	for i := 0; i < 1000; i++ {
+		l.Insert([]byte(fmt.Sprintf("pre%06d", i)), nil)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := l.NewIter()
+				var prev []byte
+				for ok := it.First(); ok; ok = it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						panic(fmt.Sprintf("reader saw disorder: %q then %q", prev, it.Key()))
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+				if _, ok := l.Get([]byte("pre000500")); !ok {
+					panic("pre-populated key vanished")
+				}
+			}
+		}()
+	}
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Insert([]byte(fmt.Sprintf("w%d-%08d", w, i)), nil)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if want := 1000 + writers*perWriter; l.Len() != want {
+		t.Fatalf("Len = %d, want %d", l.Len(), want)
+	}
+}

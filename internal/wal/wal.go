@@ -63,14 +63,36 @@ type Writer struct {
 // NewWriter returns a writer appending to f.
 func NewWriter(f vfs.File) *Writer { return &Writer{f: f} }
 
-// AddRecord appends one record. The record is durable only after Sync.
-func (w *Writer) AddRecord(payload []byte) error {
-	w.buf = w.buf[:0]
+// appendFrame encodes one record frame into the writer's scratch buffer.
+func (w *Writer) appendFrame(payload []byte) {
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
 	w.buf = append(w.buf, crc[:]...)
 	w.buf = binary.AppendUvarint(w.buf, uint64(len(payload)))
 	w.buf = append(w.buf, payload...)
+}
+
+// AddRecord appends one record. The record is durable only after Sync.
+func (w *Writer) AddRecord(payload []byte) error {
+	w.buf = w.buf[:0]
+	w.appendFrame(payload)
+	_, err := w.f.Write(w.buf)
+	w.synced = false
+	return err
+}
+
+// AddRecords appends a group of records with a single buffered write. The
+// on-disk bytes are identical to calling AddRecord once per payload; group
+// commit uses this so a whole commit group costs one file write (and, with
+// the subsequent Sync, one fsync). A zero-length group is a no-op.
+func (w *Writer) AddRecords(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	w.buf = w.buf[:0]
+	for _, p := range payloads {
+		w.appendFrame(p)
+	}
 	_, err := w.f.Write(w.buf)
 	w.synced = false
 	return err

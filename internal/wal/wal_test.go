@@ -224,3 +224,101 @@ func BenchmarkAddRecord(b *testing.B) {
 		w.AddRecord(rec)
 	}
 }
+
+// TestAddRecordsBytesIdentical verifies the grouped append produces exactly
+// the bytes of the equivalent AddRecord sequence — the property group commit
+// relies on for replay compatibility.
+func TestAddRecordsBytesIdentical(t *testing.T) {
+	fs := vfs.NewMemFS()
+	var records [][]byte
+	for i := 0; i < 50; i++ {
+		records = append(records, []byte(fmt.Sprintf("rec-%d-%s", i, string(make([]byte, i*3)))))
+	}
+
+	writeLog(t, fs, "single", records)
+
+	f, err := fs.Create("grouped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	// Mixed group sizes, including a group of one and an empty group.
+	if err := w.AddRecords(records[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRecords(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRecords(records[1:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRecords(records[20:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(name string) []byte {
+		fh, err := fs.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fh.Close()
+		size, err := fh.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, size)
+		if size > 0 {
+			if _, err := fh.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+		}
+		return buf
+	}
+	a, b := read("single"), read("grouped")
+	if len(a) != len(b) {
+		t.Fatalf("grouped log is %d bytes, single-record log is %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logs diverge at byte %d", i)
+		}
+	}
+
+	got, err := readAll(t, fs, "grouped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if string(got[i]) != string(records[i]) {
+			t.Fatalf("record %d mismatch after grouped append", i)
+		}
+	}
+}
+
+// TestAddRecordsMarksUnsynced checks a grouped append re-arms Sync.
+func TestAddRecordsMarksUnsynced(t *testing.T) {
+	fs := vfs.NewMemFS()
+	f, err := fs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRecords([][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if w.synced {
+		t.Fatal("AddRecords left the writer marked synced")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

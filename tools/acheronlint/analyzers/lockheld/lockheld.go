@@ -43,7 +43,8 @@ var ioMethods = map[string]map[string]bool{
 	"internal/vfs":         nil,
 	"internal/vfs/errorfs": nil,
 	"internal/wal": {
-		"AddRecord": true, "Sync": true, "Close": true, "NewReader": true,
+		"AddRecord": true, "AddRecords": true, "Sync": true, "Close": true,
+		"NewReader": true,
 	},
 	"internal/sstable": {
 		"Open": true, "NewReader": true, "Get": true, "NewIter": true,

@@ -11,7 +11,7 @@ RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|Faili
 # Decode-hardening fuzz targets and their per-target CI time budget.
 FUZZTIME ?= 20s
 
-.PHONY: all build test race faults fuzz-smoke observe lint vet acheronlint bench clean
+.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench clean
 
 all: build lint test
 
@@ -36,7 +36,8 @@ faults:
 	$(GO) test -count=1 ./internal/vfs/...
 
 # lint = stock go vet + the engine-specific acheronlint suite
-# (rawkeycompare, lockheld, closecheck, seqnumlit).
+# (rawkeycompare, lockheld, closecheck, seqnumlit, lockorder, atomicmix,
+# condloop, errsentinel).
 lint: vet acheronlint
 
 vet:
@@ -44,6 +45,14 @@ vet:
 
 acheronlint:
 	$(GO) run ./tools/acheronlint ./...
+
+# lint-strict runs acheronlint through `go vet -vettool`, which analyzes the
+# full build graph — test files included — and carries cross-package facts
+# (lock-order summaries, atomic-field discipline, cond-mutex bindings)
+# through the go command's .vetx plumbing.
+lint-strict:
+	$(GO) build -o bin/acheronlint ./tools/acheronlint
+	$(GO) vet -vettool=$(CURDIR)/bin/acheronlint ./...
 
 # fuzz-smoke gives each decode fuzzer a short budget on top of the checked-in
 # corpus under testdata/fuzz/. Catches format-decoder panics (block entries,

@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -198,7 +199,7 @@ func replay(args []string) {
 	n := 0
 	for {
 		op, err := readOp(r)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -211,7 +212,7 @@ func replay(args []string) {
 			err = db.Delete(op.Key)
 		case workload.OpLookup:
 			_, err = db.Get(op.Key)
-			if err == core.ErrNotFound {
+			if errors.Is(err, core.ErrNotFound) {
 				err = nil
 			}
 		case workload.OpScan:
@@ -253,7 +254,7 @@ func stats(args []string) {
 	total := 0
 	for {
 		op, err := readOp(r)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

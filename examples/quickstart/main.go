@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -52,7 +53,7 @@ func main() {
 	if err := db.Delete([]byte("user:0042")); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := db.Get([]byte("user:0042")); err == acheron.ErrNotFound {
+	if _, err := db.Get([]byte("user:0042")); errors.Is(err, acheron.ErrNotFound) {
 		fmt.Println("user:0042 deleted (tombstone will persist within the DPT)")
 	}
 

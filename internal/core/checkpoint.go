@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -134,7 +135,7 @@ func copyVFSFile(fs vfs.FS, src, dst string) (err error) {
 		if size-off < n {
 			n = size - off
 		}
-		if _, err := in.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+		if _, err := in.ReadAt(buf[:n], off); err != nil && !errors.Is(err, io.EOF) {
 			vfs.BestEffortClose(out)
 			return err
 		}

@@ -34,6 +34,14 @@ import (
 // (memtable, WAL segment) pair each group binds to. Every memtable rotation
 // in the engine happens under commitMu (leader boundary, flushAll, Close),
 // so a captured pair cannot be swapped out mid-group.
+//
+// That order is declared below in machine-readable form; the lockorder
+// analyzer rebuilds the acquire graph on every vet run and fails the build
+// on any path taking commitMu (or qmu/pmu) while d.mu is held.
+//
+// acheron:locks order core.commitPipeline.commitMu < core.DB.mu
+// acheron:locks order core.commitPipeline.commitMu < core.commitPipeline.qmu
+// acheron:locks order core.commitPipeline.commitMu < core.commitPipeline.pmu
 type commitPipeline struct {
 	d *DB
 

@@ -11,6 +11,18 @@ import (
 	"repro/internal/vfs"
 )
 
+// Maintenance-side lock order, machine-checked by the lockorder analyzer:
+// the maintenance gate is outermost, then the stage locks (flushMu for the
+// flush queue, pickMu for pick+claim), then the engine mutex. pickMu also
+// precedes the claim-satellite locks, which encodes the claim-before-
+// version-read rule: a compaction's inputs are claimed under pickMu before
+// any d.mu-guarded version state is re-read.
+//
+// acheron:locks order core.DB.maintMu < core.DB.flushMu < core.DB.mu
+// acheron:locks order core.DB.maintMu < core.DB.pickMu < core.DB.mu
+// acheron:locks order core.DB.pickMu < core.DB.rtMu
+// acheron:locks order core.DB.pickMu < core.DB.eagerMu
+
 // MaintenanceStep performs at most one unit of background work — a flush,
 // an eager range-delete pass, or a compaction — returning whether anything
 // was done. Deterministic benchmarks drive this directly with auto

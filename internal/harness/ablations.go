@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/base"
@@ -71,7 +72,7 @@ func A2BloomBits(sc Scale) (*Table, error) {
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			op := g.Next()
-			if _, err := rt.DB.Get(op.Key); err != nil && err != core.ErrNotFound {
+			if _, err := rt.DB.Get(op.Key); err != nil && !errors.Is(err, core.ErrNotFound) {
 				rt.Close()
 				return nil, err
 			}

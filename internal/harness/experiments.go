@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -270,7 +271,7 @@ func E4ReadThroughput(sc Scale) (*Table, error) {
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			op := g.Next()
-			if _, err := rt.DB.Get(op.Key); err != nil && err != core.ErrNotFound {
+			if _, err := rt.DB.Get(op.Key); err != nil && !errors.Is(err, core.ErrNotFound) {
 				rt.Close()
 				return nil, err
 			}

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -174,7 +175,7 @@ func (rt *Runtime) Apply(op workload.Op) error {
 		}
 	case workload.OpLookup:
 		_, err = rt.DB.Get(op.Key)
-		if err == core.ErrNotFound {
+		if errors.Is(err, core.ErrNotFound) {
 			err = nil
 		}
 	case workload.OpScan:

@@ -85,7 +85,9 @@ type VersionSet struct {
 	// current version, appending it to the manifest log, syncing, and
 	// installing the resulting version happen atomically with respect to
 	// other committers. Close takes it too, so a shutdown cannot race an
-	// in-flight commit.
+	// in-flight commit. Install order is commitMu, then mu:
+	//
+	// acheron:locks order manifest.VersionSet.commitMu < manifest.VersionSet.mu
 	commitMu    sync.Mutex
 	writer      *wal.Writer
 	manifestNum base.FileNum
@@ -183,7 +185,7 @@ func Load(fs vfs.FS, dirname string) (*VersionSet, error) {
 		return nil, err
 	}
 	nameBytes := make([]byte, size)
-	if _, err := f.ReadAt(nameBytes, 0); err != nil && err != io.EOF {
+	if _, err := f.ReadAt(nameBytes, 0); err != nil && !errors.Is(err, io.EOF) {
 		vfs.BestEffortClose(f)
 		return nil, err
 	}

@@ -131,7 +131,9 @@ func (OSFS) Exists(name string) bool {
 // MemFS is a deterministic in-memory filesystem. It tracks cumulative bytes
 // written and synced, which the benchmark harness uses to compute write
 // amplification independent of wall-clock effects. MemFS is safe for
-// concurrent use.
+// concurrent use: the namespace lock is acquired before any node lock.
+//
+// acheron:locks order vfs.MemFS.mu < vfs.memNode.mu
 type MemFS struct {
 	mu    sync.Mutex
 	files map[string]*memNode

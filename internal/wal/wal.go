@@ -133,7 +133,7 @@ func NewReader(f vfs.File) (*Reader, error) {
 	}
 	data := make([]byte, size)
 	if size > 0 {
-		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		if _, err := f.ReadAt(data, 0); err != nil && !errors.Is(err, io.EOF) {
 			return nil, err
 		}
 	}

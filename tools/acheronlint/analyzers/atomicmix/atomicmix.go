@@ -1,0 +1,316 @@
+// Package atomicmix enforces the repo's atomic-field discipline.
+//
+// A field is atomic-disciplined when it is either declared with one of the
+// sync/atomic wrapper types (atomic.Uint64, atomic.Bool, ...) or passed by
+// address to a sync/atomic package function (atomic.AddUint64(&s.n, 1)).
+// The wrapper types already make plain access impossible, so the analyzer's
+// work splits two ways:
+//
+//   - address-taken discipline fields (the legacy style) must never be read
+//     or written outside a sync/atomic call — a plain `s.n++` next to an
+//     atomic.AddUint64 elsewhere is a data race the race detector only
+//     catches if the schedule cooperates;
+//   - values whose type transitively contains an atomic wrapper must not be
+//     copied (assignment, by-value call/return/range/receiver/param):
+//     a copied atomic.Uint64 silently forks the counter, and the published
+//     sequence-number ratchet (commitPipeline.visible) would split-brain.
+//
+// Discipline fields discovered in one package are exported as
+// "atomicfield" facts, so a dependent package dereferencing an exported
+// field plainly is flagged too.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/acheronlint/analyzers/internal/lockflow"
+	"repro/tools/acheronlint/lintframe"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &lintframe.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain access to atomically-accessed fields and copies of values containing sync/atomic types",
+	Run:  run,
+}
+
+// atomicWrappers are the sync/atomic types whose values must not be copied.
+var atomicWrappers = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+func run(pass *lintframe.Pass) error {
+	c := &checker{
+		pass:       pass,
+		discipline: make(map[string]bool),
+		sanctioned: make(map[token.Pos]bool),
+		hasAtomic:  make(map[types.Type]int),
+	}
+	for _, f := range pass.ImportedFacts("atomicfield") {
+		c.discipline[f.Object] = true
+	}
+
+	// Pass 1: find the discipline fields — operands of &x.f arguments to
+	// sync/atomic functions — and remember those sanctioned positions.
+	for _, file := range pass.Files {
+		ast.Inspect(file, c.collectAtomicCalls)
+	}
+
+	// Pass 2: report plain accesses and copies.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, c.check)
+	}
+
+	var fields []string
+	for f := range c.discipline {
+		if !c.imported(f) {
+			fields = append(fields, f)
+		}
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		pass.ExportFact(f, "atomicfield", "")
+	}
+	return nil
+}
+
+type checker struct {
+	pass       *lintframe.Pass
+	discipline map[string]bool // canonical field keys accessed via sync/atomic
+	sanctioned map[token.Pos]bool
+	hasAtomic  map[types.Type]int // memo: 0 unknown/visiting, 1 no, 2 yes
+}
+
+func (c *checker) imported(key string) bool {
+	for _, f := range c.pass.ImportedFacts("atomicfield") {
+		if f.Object == key {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomicCalls marks fields passed by address to sync/atomic
+// functions as discipline fields, and their use positions as sanctioned.
+func (c *checker) collectAtomicCalls(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	fn := lockflow.Callee(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return true
+	}
+	for _, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		operand := ast.Unparen(u.X)
+		if _, ok := operand.(*ast.SelectorExpr); !ok {
+			if _, ok := operand.(*ast.Ident); !ok {
+				continue
+			}
+		}
+		key := lockflow.Key(c.pass.TypesInfo, operand)
+		if key == "" || !strings.Contains(key, ".") {
+			continue // locals stay function-scoped; nothing to enforce
+		}
+		c.discipline[key] = true
+		c.sanctioned[operand.Pos()] = true
+	}
+	return true
+}
+
+// check reports plain uses of discipline fields and by-value copies of
+// atomic-bearing types.
+func (c *checker) check(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		c.checkPlainAccess(n)
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+				continue
+			}
+			c.checkCopy(rhs, "assignment copies")
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			c.checkCopy(v, "variable initialization copies")
+		}
+	case *ast.CallExpr:
+		if fn := lockflow.Callee(c.pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+		if isConversion(c.pass.TypesInfo, n) {
+			return true
+		}
+		for _, arg := range n.Args {
+			c.checkCopy(arg, "call passes")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.checkCopy(r, "return copies")
+		}
+	case *ast.RangeStmt:
+		if n.Value != nil && !isBlank(n.Value) {
+			if t := c.pass.TypesInfo.TypeOf(n.Value); t != nil && c.containsAtomic(t) {
+				c.pass.Reportf(n.Value.Pos(),
+					"range copies %s by value; it contains sync/atomic fields and must not be copied", types.TypeString(t, typeQualifier))
+			}
+		}
+	case *ast.FuncDecl:
+		c.checkSignature(n.Recv, n.Type)
+	case *ast.FuncLit:
+		c.checkSignature(nil, n.Type)
+	}
+	return true
+}
+
+// checkPlainAccess flags a selector that resolves to a discipline field
+// outside a sanctioned sync/atomic call site.
+func (c *checker) checkPlainAccess(sel *ast.SelectorExpr) {
+	if c.sanctioned[sel.Pos()] {
+		return
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	key := lockflow.Key(c.pass.TypesInfo, sel)
+	if key == "" || !c.discipline[key] {
+		return
+	}
+	c.pass.Reportf(sel.Pos(),
+		"plain access to %q, which is accessed with sync/atomic elsewhere; use atomic operations consistently", key)
+}
+
+// checkCopy flags expr when evaluating it copies an atomic-bearing value.
+// Only moves of an existing value count (identifiers, field selections,
+// indexing, dereference); composite literals construct in place.
+func (c *checker) checkCopy(expr ast.Expr, what string) {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(expr)
+	if t == nil || !c.containsAtomic(t) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(),
+		"%s %s by value; it contains sync/atomic fields and must not be copied", what, types.TypeString(t, typeQualifier))
+}
+
+// checkSignature flags by-value receivers and parameters of atomic-bearing
+// types: every call would copy the atomics. Result types are not flagged —
+// the return-site check catches actual copies, while a factory returning a
+// freshly-constructed value is legitimate.
+func (c *checker) checkSignature(recv *ast.FieldList, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := c.pass.TypesInfo.TypeOf(field.Type)
+			if t == nil || !c.containsAtomic(t) {
+				continue
+			}
+			c.pass.Reportf(field.Type.Pos(),
+				"%s of type %s is passed by value; it contains sync/atomic fields and must not be copied", what, types.TypeString(t, typeQualifier))
+		}
+	}
+	flag(recv, "receiver")
+	flag(ft.Params, "parameter")
+}
+
+// containsAtomic reports whether t transitively contains a sync/atomic
+// wrapper type or an address-taken discipline field, by value.
+func (c *checker) containsAtomic(t types.Type) bool {
+	switch c.hasAtomic[t] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	c.hasAtomic[t] = 1 // break cycles: assume no until proven otherwise
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicWrappers[obj.Name()] {
+			result = true
+			break
+		}
+		result = c.containsAtomic(u.Underlying()) || c.hasDisciplineField(u)
+	case *types.Alias:
+		result = c.containsAtomic(types.Unalias(t))
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsAtomic(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.containsAtomic(u.Elem())
+	}
+	if result {
+		c.hasAtomic[t] = 2
+	}
+	return result
+}
+
+// hasDisciplineField reports whether the named struct type owns a field
+// that is atomically accessed (by this package or, via facts, another).
+func (c *checker) hasDisciplineField(n *types.Named) bool {
+	s, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	prefix := lockflow.PkgShort(obj.Pkg()) + "." + obj.Name() + "."
+	for i := 0; i < s.NumFields(); i++ {
+		if c.discipline[prefix+s.Field(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isConversion reports whether call is a type conversion, not a function
+// call; conversions of atomic-bearing types don't occur, but the guard
+// keeps TypeOf(fun)==type cases from being treated as by-value args.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isType := info.Uses[id].(*types.TypeName); isType {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isType := info.Uses[sel.Sel].(*types.TypeName); isType {
+			return true
+		}
+	}
+	return false
+}
+
+// typeQualifier shortens type names to pkg.Type in diagnostics.
+func typeQualifier(p *types.Package) string { return p.Name() }

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/atomicmix"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "atomicmix")
+}

@@ -1,0 +1,97 @@
+// Package atomicmix fixtures: address-taken atomic fields read plainly,
+// and by-value copies of atomic-bearing structs in every position the
+// analyzer checks.
+package atomicmix
+
+import "sync/atomic"
+
+// Counters mixes an address-taken atomic field (n) with a wrapper-typed
+// one (hits).
+type Counters struct {
+	n    uint64
+	hits atomic.Uint64
+}
+
+func (c *Counters) incr() {
+	atomic.AddUint64(&c.n, 1)
+	c.hits.Add(1)
+}
+
+func (c *Counters) loadGood() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *Counters) mixedBad() uint64 {
+	c.n++      // want `plain access to "atomicmix.Counters.n"`
+	return c.n // want `plain access to "atomicmix.Counters.n"`
+}
+
+func (c *Counters) storeBad() {
+	c.n = 0 // want `plain access to "atomicmix.Counters.n"`
+}
+
+// Stats contains an atomic wrapper, so its values must never be copied.
+type Stats struct {
+	puts atomic.Int64
+}
+
+func snapshot(s *Stats) Stats {
+	return *s // want `return copies atomicmix.Stats by value`
+}
+
+func dupAssign(s *Stats) {
+	dup := *s // want `assignment copies atomicmix.Stats by value`
+	dup.puts.Add(1)
+}
+
+func consume(s Stats) int64 { // want `parameter of type atomicmix.Stats is passed by value`
+	return s.puts.Load()
+}
+
+func passByValue(s *Stats) int64 {
+	return consume(*s) // want `call passes atomicmix.Stats by value`
+}
+
+func (s Stats) valueReceiver() int64 { // want `receiver of type atomicmix.Stats is passed by value`
+	return s.puts.Load()
+}
+
+func sum(list []Stats) int64 {
+	var total int64
+	for _, s := range list { // want `range copies atomicmix.Stats by value`
+		total += s.puts.Load()
+	}
+	return total
+}
+
+// Pointers, not copies: all fine.
+func viaPointer(list []Stats) int64 {
+	var total int64
+	for i := range list {
+		total += list[i].puts.Load()
+	}
+	return total
+}
+
+// Plain carries no wrapper type, only an address-taken discipline field —
+// copying it still forks the atomic.
+type Plain struct {
+	seq uint64
+}
+
+func bump(p *Plain) {
+	atomic.AddUint64(&p.seq, 1)
+}
+
+func forkPlain(p *Plain) Plain {
+	return *p // want `return copies atomicmix.Plain by value`
+}
+
+// Inert has no atomics at all; copy freely.
+type Inert struct {
+	a, b int
+}
+
+func copyInert(i *Inert) Inert {
+	return *i
+}

@@ -1,0 +1,12 @@
+package condloop_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/condloop"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestCondLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", condloop.Analyzer, "condloop")
+}

@@ -1,0 +1,123 @@
+// Package condloop fixtures: the write-stall wait/wake idiom done right,
+// the lost-wakeup shapes done wrong.
+package condloop
+
+import "sync"
+
+type Q struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	n     int
+}
+
+func newQ() *Q {
+	q := &Q{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// waitGood is the canonical predicate loop.
+func (q *Q) waitGood() {
+	q.mu.Lock()
+	for !q.ready {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// waitLost checks the predicate once: a wakeup between the check and a
+// re-falsified predicate hangs forever.
+func (q *Q) waitLost() {
+	q.mu.Lock()
+	if !q.ready {
+		q.cond.Wait() // want `condloop.Q.cond.Wait outside a loop`
+	}
+	q.mu.Unlock()
+}
+
+// waitSpin loops but never re-checks anything.
+func (q *Q) waitSpin() {
+	q.mu.Lock()
+	for {
+		q.cond.Wait() // want `Wait in a loop that never re-checks its predicate`
+	}
+}
+
+// waitBreak re-checks via a conditional break: fine.
+func (q *Q) waitBreak() {
+	q.mu.Lock()
+	for {
+		if q.ready {
+			break
+		}
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// waitReturn re-checks via a conditional return: fine.
+func (q *Q) waitReturn() (n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.n > 0 {
+			return q.n
+		}
+		q.cond.Wait()
+	}
+}
+
+// waitInClosure: the goroutine body is its own function; an outer loop
+// does not cover its Wait.
+func (q *Q) waitInClosure() {
+	for i := 0; i < 3; i++ {
+		go func() {
+			q.mu.Lock()
+			q.cond.Wait() // want `condloop.Q.cond.Wait outside a loop`
+			q.mu.Unlock()
+		}()
+	}
+}
+
+// wakeGood publishes the predicate and broadcasts under the cond's mutex.
+func (q *Q) wakeGood() {
+	q.mu.Lock()
+	q.ready = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// wakeUnlocked broadcasts after dropping the mutex: a waiter can re-check
+// its predicate between the store and the broadcast and sleep through it.
+func (q *Q) wakeUnlocked() {
+	q.mu.Lock()
+	q.ready = true
+	q.mu.Unlock()
+	q.cond.Broadcast() // want `condloop.Q.cond.Broadcast without holding "condloop.Q.mu"`
+}
+
+// signalBare never takes the mutex at all.
+func (q *Q) signalBare() {
+	q.cond.Signal() // want `condloop.Q.cond.Signal without holding "condloop.Q.mu"`
+}
+
+// Package-level cond bound in a var declaration rather than an assignment.
+var (
+	gateMu   sync.Mutex
+	gateOpen bool
+	gateCond = sync.NewCond(&gateMu)
+)
+
+func gateWait() {
+	gateMu.Lock()
+	for !gateOpen {
+		gateCond.Wait()
+	}
+	gateMu.Unlock()
+}
+
+func gateWakeBad() {
+	gateOpen = true
+	gateCond.Broadcast() // want `condloop.gateCond.Broadcast without holding "condloop.gateMu"`
+}

@@ -1,0 +1,208 @@
+// Package errsentinel enforces wrap-transparent error matching.
+//
+// The engine's error surfaces are sentinels — wal.ErrCorrupt, vfs.ErrNoSpace,
+// errorfs.ErrInjected, core.ErrNotFound — that arrive wrapped: the WAL wraps
+// ErrCorrupt in a CorruptionError carrying offset and reason, errorfs joins
+// ErrInjected with the operation it failed. A direct `err == wal.ErrCorrupt`
+// silently stops matching the moment a layer adds context, which is exactly
+// how the recovery path once missed injected corruption. The analyzer flags:
+//
+//   - `err == Sentinel` / `err != Sentinel` comparisons (use errors.Is);
+//     comparisons with nil are fine;
+//   - switch statements over an error value whose cases are sentinels
+//     (each case is an == in disguise);
+//   - type assertions and type switches from the error interface to a
+//     concrete error type (use errors.As, which unwraps).
+//
+// A sentinel is a package-level error variable named Err*, plus io.EOF.
+// Deliberate identity checks (e.g. in the errors package's own tests)
+// suppress with `//lint:ignore errsentinel <reason>`.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/acheronlint/lintframe"
+)
+
+// Analyzer is the errsentinel analyzer.
+var Analyzer = &lintframe.Analyzer{
+	Name: "errsentinel",
+	Doc:  "flags sentinel errors matched with == or type-switched concretely instead of errors.Is/errors.As",
+	Run:  run,
+}
+
+func run(pass *lintframe.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkValueSwitch(pass, n)
+			case *ast.TypeAssertExpr:
+				if n.Type != nil { // Type==nil is the x.(type) of a type switch
+					checkAssert(pass, n, n.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags `err == Sentinel` and `err != Sentinel`.
+func checkComparison(pass *lintframe.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, operand := range [...]ast.Expr{be.X, be.Y} {
+		if s := sentinelOf(pass.TypesInfo, operand); s != nil {
+			pass.Reportf(be.Pos(),
+				"sentinel error %s compared with %s; wrapped errors never match — use errors.Is(err, %s)",
+				s.Name(), be.Op, qualified(s))
+			return
+		}
+	}
+}
+
+// checkValueSwitch flags `switch err { case Sentinel: }`: every case arm is
+// an identity comparison.
+func checkValueSwitch(pass *lintframe.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(sw.Tag); t == nil || !isErrorInterface(t) {
+		return
+	}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelOf(pass.TypesInfo, e); s != nil {
+				pass.Reportf(e.Pos(),
+					"switch case compares error to sentinel %s by identity; wrapped errors never match — use errors.Is(err, %s)",
+					s.Name(), qualified(s))
+			}
+		}
+	}
+}
+
+// checkAssert flags `err.(*CorruptionError)`-style assertions from the error
+// interface to a concrete error type.
+func checkAssert(pass *lintframe.Pass, ta *ast.TypeAssertExpr, typeExpr ast.Expr) {
+	if !isErrorInterface(pass.TypesInfo.TypeOf(ta.X)) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(typeExpr)
+	if t == nil || !concreteError(t) {
+		return
+	}
+	pass.Reportf(ta.Pos(),
+		"type assertion from error to concrete %s sees only the outermost wrapper; use errors.As",
+		types.TypeString(t, func(p *types.Package) string { return p.Name() }))
+}
+
+// checkTypeSwitch flags `switch err.(type) { case *CorruptionError: }`.
+func checkTypeSwitch(pass *lintframe.Pass, sw *ast.TypeSwitchStmt) {
+	var ta *ast.TypeAssertExpr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ = ast.Unparen(s.X).(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			ta, _ = ast.Unparen(s.Rhs[0]).(*ast.TypeAssertExpr)
+		}
+	}
+	if ta == nil || !isErrorInterface(pass.TypesInfo.TypeOf(ta.X)) {
+		return
+	}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			t := pass.TypesInfo.TypeOf(e)
+			if t == nil || !concreteError(t) {
+				continue
+			}
+			pass.Reportf(e.Pos(),
+				"type switch from error to concrete %s sees only the outermost wrapper; use errors.As",
+				types.TypeString(t, func(p *types.Package) string { return p.Name() }))
+		}
+	}
+}
+
+// sentinelOf returns the sentinel variable e names, or nil: a package-level
+// error-typed var named Err*, or io.EOF.
+func sentinelOf(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	name := v.Name()
+	if len(name) >= 3 && name[:3] == "Err" {
+		return v
+	}
+	if v.Pkg().Path() == "io" && (name == "EOF" || name == "ErrUnexpectedEOF") {
+		return v
+	}
+	return nil
+}
+
+// qualified renders a sentinel as pkg.Name for the diagnostic.
+func qualified(v *types.Var) string {
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorInterface reports whether t is an interface type that satisfies
+// error — the static type a wrapped sentinel travels under.
+func isErrorInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return types.Implements(t, errorType)
+}
+
+// concreteError reports whether t is a non-interface type implementing
+// error (possibly via pointer receiver when t is a pointer).
+func concreteError(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return false
+	}
+	return types.Implements(t, errorType)
+}
+
+// implementsError reports whether a value of type t can hold or be an
+// error (sentinels are usually declared as `var Err = errors.New(...)`, so
+// their static type is the error interface itself).
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}

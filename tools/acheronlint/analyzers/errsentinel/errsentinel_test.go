@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/errsentinel"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "errsentinel")
+}

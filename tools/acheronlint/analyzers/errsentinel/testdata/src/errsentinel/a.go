@@ -1,0 +1,88 @@
+// Package errsentinel fixtures: identity matching of sentinel errors and
+// concrete-type assertions that wrapping silently defeats.
+package errsentinel
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrCorrupt = errors.New("corrupt")
+var ErrNoSpace = errors.New("no space")
+
+// WrapError is a concrete error carrying context, wal.CorruptionError-style.
+type WrapError struct {
+	Off int64
+}
+
+func (e *WrapError) Error() string { return "wrapped" }
+
+func eqlBad(err error) bool {
+	return err == ErrCorrupt // want `sentinel error ErrCorrupt compared with ==`
+}
+
+func neqBad(err error) bool {
+	return err != io.EOF // want `sentinel error EOF compared with !=`
+}
+
+func qualifiedBad(err error) bool {
+	return errors.Unwrap(err) == io.ErrUnexpectedEOF // want `sentinel error ErrUnexpectedEOF compared with ==`
+}
+
+func isGood(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, io.EOF)
+}
+
+func nilGood(err error) bool {
+	return err == nil || err != nil
+}
+
+func switchBad(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrCorrupt: // want `switch case compares error to sentinel ErrCorrupt by identity`
+		return 1
+	case ErrNoSpace: // want `switch case compares error to sentinel ErrNoSpace by identity`
+		return 2
+	}
+	return 3
+}
+
+func assertBad(err error) int64 {
+	if we, ok := err.(*WrapError); ok { // want `type assertion from error to concrete \*errsentinel.WrapError`
+		return we.Off
+	}
+	return 0
+}
+
+func typeSwitchBad(err error) int64 {
+	switch e := err.(type) {
+	case *WrapError: // want `type switch from error to concrete \*errsentinel.WrapError`
+		return e.Off
+	default:
+		return 0
+	}
+}
+
+func asGood(err error) int64 {
+	var we *WrapError
+	if errors.As(err, &we) {
+		return we.Off
+	}
+	return 0
+}
+
+// Comparing two locals is not a sentinel match.
+func localsGood(a, b error) bool {
+	return a == b
+}
+
+// A type switch over a non-error interface is out of scope.
+func anySwitch(v any) int {
+	switch v.(type) {
+	case *WrapError:
+		return 1
+	}
+	return 0
+}

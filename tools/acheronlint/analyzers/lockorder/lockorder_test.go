@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/tools/acheronlint/analyzers/lockorder"
+	"repro/tools/acheronlint/lintframe/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+}

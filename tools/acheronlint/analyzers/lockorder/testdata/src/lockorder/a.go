@@ -1,0 +1,113 @@
+// Package lockorder fixtures: a miniature of the engine's commit pipeline
+// with its declared partial order, plus every inversion shape the analyzer
+// must catch — direct, through a same-package call, transitive, via an
+// `acquires` annotation — and an undeclared cycle.
+package lockorder
+
+import "sync"
+
+// acheron:locks order lockorder.Pipeline.commitMu < lockorder.DB.mu < lockorder.Pipeline.qmu
+// acheron:locks order lockorder.Pipeline.commitMu < lockorder.DB.flushMu
+
+type DB struct {
+	mu      sync.Mutex
+	flushMu sync.Mutex
+	up      sync.Mutex
+	down    sync.Mutex
+	p       *Pipeline
+}
+
+type Pipeline struct {
+	commitMu sync.Mutex
+	qmu      sync.Mutex
+}
+
+// commit follows the declared order: commitMu, then d.mu, then qmu.
+func (d *DB) commit() {
+	d.p.commitMu.Lock()
+	d.mu.Lock()
+	d.p.qmu.Lock()
+	d.p.qmu.Unlock()
+	d.mu.Unlock()
+	d.p.commitMu.Unlock()
+}
+
+// inverted acquires commitMu while holding d.mu: the deadlock that
+// motivated the declared order.
+func (d *DB) inverted() {
+	d.mu.Lock()
+	d.p.commitMu.Lock() // want `acquires "lockorder.Pipeline.commitMu" while "lockorder.DB.mu" is held, inverting the declared lock order`
+	d.p.commitMu.Unlock()
+	d.mu.Unlock()
+}
+
+// lockLow takes d.mu on behalf of callers.
+func (d *DB) lockLow() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// throughCall inverts mu < qmu through a same-package call: the walk alone
+// sees no Lock here, the call-graph fixed point does.
+func (d *DB) throughCall() {
+	d.p.qmu.Lock()
+	d.lockLow() // want `acquires "lockorder.DB.mu" while "lockorder.Pipeline.qmu" is held, inverting the declared lock order`
+	d.p.qmu.Unlock()
+}
+
+// transitively inverts commitMu < qmu, an edge only the closure of the
+// declared chain contains.
+func (d *DB) transitively() {
+	d.p.qmu.Lock()
+	d.p.commitMu.Lock() // want `acquires "lockorder.Pipeline.commitMu" while "lockorder.Pipeline.qmu" is held, inverting the declared lock order`
+	d.p.commitMu.Unlock()
+	d.p.qmu.Unlock()
+}
+
+// opaqueCommit stands in for a function whose acquisition the walk cannot
+// see (say, a callback into another layer); the annotation declares it.
+//
+// acheron:locks acquires lockorder.Pipeline.commitMu
+func (d *DB) opaqueCommit() {
+	d.run(func() {})
+}
+
+func (d *DB) run(f func()) { f() }
+
+// viaAnnotation holds flushMu and calls the annotated function: the
+// inversion is visible only through the acquires annotation.
+func (d *DB) viaAnnotation() {
+	d.flushMu.Lock()
+	d.opaqueCommit() // want `acquires "lockorder.Pipeline.commitMu" while "lockorder.DB.flushMu" is held, inverting the declared lock order`
+	d.flushMu.Unlock()
+}
+
+// upThenDown and downThenUp form a cycle on locks with no declared order:
+// both directions are reported.
+func (d *DB) upThenDown() {
+	d.up.Lock()
+	d.down.Lock() // want `lock-order cycle: "lockorder.DB.down" acquired while "lockorder.DB.up" is held here, and in the reverse order at`
+	d.down.Unlock()
+	d.up.Unlock()
+}
+
+func (d *DB) downThenUp() {
+	d.down.Lock()
+	d.up.Lock() // want `lock-order cycle: "lockorder.DB.up" acquired while "lockorder.DB.down" is held here, and in the reverse order at`
+	d.up.Unlock()
+	d.down.Unlock()
+}
+
+// earlyUnlock releases d.mu before taking commitMu on the fall-through
+// path: no inversion, the branch-aware walk must not leak the early
+// return's state.
+func (d *DB) earlyUnlock(fast bool) {
+	d.mu.Lock()
+	if fast {
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	d.p.commitMu.Lock()
+	d.p.commitMu.Unlock()
+}

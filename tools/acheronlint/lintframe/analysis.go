@@ -39,12 +39,16 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *FactStore
 }
 
 // Diagnostic is one reported problem.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Analyzer is the reporting analyzer's name, for structured (-json)
+	// output; the text renderers embed it in Message instead.
+	Analyzer string
 }
 
 // Reportf reports a diagnostic at pos.
@@ -111,8 +115,11 @@ func suppressed(dirs []ignoreDirective, name string, pos token.Position) bool {
 }
 
 // RunAnalyzers applies each analyzer to the package and returns the
-// surviving (non-suppressed) diagnostics, sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// surviving (non-suppressed) diagnostics, sorted by position. The fact
+// store supplies facts exported by dependency packages and receives the
+// facts this package exports; a nil store disables facts (analyzers then
+// check what they can see in-package).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	dirs := parseIgnores(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -122,13 +129,14 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			facts:     facts,
 		}
 		name := a.Name
 		pass.report = func(d Diagnostic) {
 			if suppressed(dirs, name, pkg.Fset.Position(d.Pos)) {
 				return
 			}
-			d.Message = "[" + name + "] " + d.Message
+			d.Analyzer = name
 			out = append(out, d)
 		}
 		if err := a.Run(pass); err != nil {
@@ -139,10 +147,32 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return out, nil
 }
 
+// ComputeFacts runs the analyzers over the package purely for their fact
+// exports, discarding diagnostics. The unitchecker driver uses it for
+// VetxOnly (dependency) passes, where the go command wants the package's
+// facts but not its findings.
+func ComputeFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) error {
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			facts:     facts,
+			report:    func(Diagnostic) {},
+		}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
 func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
 	key := func(d Diagnostic) string {
 		p := fset.Position(d.Pos)
-		return fmt.Sprintf("%s:%09d:%06d:%s", p.Filename, p.Line, p.Column, d.Message)
+		return fmt.Sprintf("%s:%09d:%06d:%s:%s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
 	}
 	for i := 1; i < len(ds); i++ {
 		for j := i; j > 0 && key(ds[j]) < key(ds[j-1]); j-- {

@@ -70,7 +70,7 @@ func Run(t *testing.T, dir string, a *lintframe.Analyzer, pkgname string) {
 		Types:      tpkg,
 		Info:       info,
 	}
-	diags, err := lintframe.RunAnalyzers(pkg, []*lintframe.Analyzer{a})
+	diags, err := lintframe.RunAnalyzers(pkg, []*lintframe.Analyzer{a}, lintframe.NewFactStore())
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -80,7 +80,7 @@ func Run(t *testing.T, dir string, a *lintframe.Analyzer, pkgname string) {
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
-		got[key] = append(got[key], d.Message)
+		got[key] = append(got[key], "["+d.Analyzer+"] "+d.Message)
 	}
 
 	for key, patterns := range wants {

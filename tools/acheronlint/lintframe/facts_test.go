@@ -1,0 +1,56 @@
+package lintframe
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.add("repro/internal/manifest", PackageFact{
+		Analyzer: "lockorder", Kind: "acquires",
+		Object: "manifest.VersionSet.Close", Data: "manifest.VersionSet.commitMu",
+	})
+	s.add("repro/internal/manifest", PackageFact{
+		Analyzer: "atomicmix", Kind: "atomicfield",
+		Object: "manifest.VersionSet.lastSeqNum",
+	})
+
+	payload, err := s.EncodePackage("repro/internal/manifest")
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dst := NewFactStore()
+	if err := dst.DecodePackage("repro/internal/manifest", payload); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := dst.PackageFacts("repro/internal/manifest")
+	if len(got) != 2 {
+		t.Fatalf("round-trip kept %d facts, want 2: %v", len(got), got)
+	}
+
+	// Facts are visible to the same analyzer in other packages only.
+	lockPass := &Pass{Analyzer: &Analyzer{Name: "lockorder"}, facts: dst}
+	acq := lockPass.ImportedFacts("acquires")
+	want := []PackageFact{{
+		Analyzer: "lockorder", Kind: "acquires",
+		Object: "manifest.VersionSet.Close", Data: "manifest.VersionSet.commitMu",
+	}}
+	if !reflect.DeepEqual(acq, want) {
+		t.Fatalf("ImportedFacts(acquires) = %v, want %v", acq, want)
+	}
+	if other := lockPass.ImportedFacts("atomicfield"); other != nil {
+		t.Fatalf("lockorder pass sees atomicmix facts: %v", other)
+	}
+}
+
+func TestFactStoreEmptyPayload(t *testing.T) {
+	s := NewFactStore()
+	// Pre-facts vetx stubs are zero-length files; they must decode cleanly.
+	if err := s.DecodePackage("repro/internal/wal", nil); err != nil {
+		t.Fatalf("empty payload: %v", err)
+	}
+	if facts := s.PackageFacts("repro/internal/wal"); facts != nil {
+		t.Fatalf("empty payload produced facts: %v", facts)
+	}
+}

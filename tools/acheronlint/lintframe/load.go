@@ -3,6 +3,7 @@ package lintframe
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -31,6 +32,7 @@ type listedPackage struct {
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Deps       []string
 }
 
 // LoadPackages enumerates the packages matching the patterns with
@@ -51,7 +53,7 @@ func LoadPackages(patterns []string) ([]*Package, error) {
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listedPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("decoding go list output: %v", err)
@@ -61,6 +63,7 @@ func LoadPackages(patterns []string) ([]*Package, error) {
 		}
 	}
 	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	listed = topoOrder(listed)
 
 	fset := token.NewFileSet()
 	// One source importer shared across packages so each dependency is
@@ -75,6 +78,40 @@ func LoadPackages(patterns []string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// topoOrder arranges the loaded packages so every package follows the
+// packages it (transitively) depends on. The driver processes them in this
+// order, which is what makes dependency facts available by the time a
+// dependent package is analyzed. Ties (unrelated packages) keep their
+// import-path sort order, so output stays deterministic.
+func topoOrder(listed []listedPackage) []listedPackage {
+	inSet := make(map[string]int, len(listed)) // import path -> index
+	for i, lp := range listed {
+		inSet[lp.ImportPath] = i
+	}
+	out := make([]listedPackage, 0, len(listed))
+	visited := make(map[string]bool, len(listed))
+	var visit func(i int)
+	visit = func(i int) {
+		lp := listed[i]
+		if visited[lp.ImportPath] {
+			return
+		}
+		visited[lp.ImportPath] = true
+		// Deps is transitive and pre-sorted by the go command; restricting
+		// to in-set members keeps this a DAG walk over loaded packages.
+		for _, dep := range lp.Deps {
+			if j, ok := inSet[dep]; ok {
+				visit(j)
+			}
+		}
+		out = append(out, lp)
+	}
+	for i := range listed {
+		visit(i)
+	}
+	return out
 }
 
 func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {

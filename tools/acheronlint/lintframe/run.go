@@ -1,6 +1,7 @@
 package lintframe
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -40,7 +41,15 @@ func Main(analyzers ...*Analyzer) {
 		return
 	}
 
-	patterns := args
+	jsonOut := false
+	patterns := make([]string, 0, len(args))
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -49,26 +58,67 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "acheronlint: %v\n", err)
 		os.Exit(1)
 	}
+	// One shared fact store: packages arrive in dependency order from the
+	// loader, so each analysis sees the facts of every loaded dependency.
+	facts := NewFactStore()
+	var findings []jsonFinding
 	exit := 0
 	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
+		diags, err := RunAnalyzers(pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acheronlint: %s: %v\n", pkg.ImportPath, err)
 			os.Exit(1)
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
 			exit = 2
+			pos := pkg.Fset.Position(d.Pos)
+			if jsonOut {
+				findings = append(findings, jsonFinding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+				continue
+			}
+			fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		}
+	}
+	if jsonOut {
+		// Always emit a (possibly empty) array so CI consumers can parse
+		// the clean case without special-casing empty output.
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "acheronlint: encoding findings: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	os.Exit(exit)
 }
 
+// jsonFinding is the -json exposition of one diagnostic, shaped for CI
+// annotation tooling (file/line/column plus the analyzer name kept apart
+// from the human message).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func usage(analyzers []*Analyzer) {
-	fmt.Println("usage: acheronlint [packages]")
+	fmt.Println("usage: acheronlint [-json] [packages]")
 	fmt.Println()
 	fmt.Println("Runs the Acheron engine-specific analyzers over the given package")
 	fmt.Println("patterns (default ./...). Also usable as go vet -vettool=<binary>.")
+	fmt.Println("-json emits findings as a JSON array (file/line/column/analyzer/")
+	fmt.Println("message) for CI annotation tooling.")
 	fmt.Println()
 	fmt.Println("Suppress a finding with a //lint:ignore <analyzer> <reason> comment")
 	fmt.Println("on, or on the line above, the flagged line.")

@@ -25,6 +25,7 @@ type vetConfig struct {
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
 	Standard                  map[string]bool
+	PackageVetx               map[string]string // dependency import path -> its .vetx facts file
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -32,6 +33,13 @@ type vetConfig struct {
 
 // unitcheckerMain runs the analyzers over one vet unit described by cfgPath
 // and returns the process exit code.
+//
+// Facts flow through the go command's .vetx plumbing: every pass — including
+// VetxOnly dependency passes, which report nothing — type-checks its unit,
+// runs the analyzers, and serializes the facts they export to VetxOutput.
+// Dependency facts arrive through PackageVetx, so cross-package invariants
+// (lock-order summaries, atomic-field discipline) hold over the full build
+// graph, test files' dependencies included.
 func unitcheckerMain(cfgPath string, analyzers []*Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -44,19 +52,69 @@ func unitcheckerMain(cfgPath string, analyzers []*Analyzer) int {
 		return 1
 	}
 
-	// The go command requires the facts output file to exist even though
-	// this suite exports no facts.
+	pkg, code := loadVetUnit(&cfg)
+	if pkg == nil {
+		// Tolerated type-check failures still owe the go command a facts
+		// file; an empty one keeps the downstream passes running.
+		if code == 0 && cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "acheronlint: writing vetx output: %v\n", err)
+				return 1
+			}
+		}
+		return code
+	}
+
+	facts := NewFactStore()
+	for dep, vetx := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetx)
+		if err != nil {
+			// A missing or unreadable facts file degrades to fact-less
+			// analysis of that dependency, not a hard failure: stale vet
+			// caches from a pre-facts binary produce empty files anyway.
+			continue
+		}
+		if err := facts.DecodePackage(dep, payload); err != nil {
+			fmt.Fprintf(os.Stderr, "acheronlint: %v\n", err)
+			return 1
+		}
+	}
+
+	var diags []Diagnostic
+	if cfg.VetxOnly {
+		err = ComputeFacts(pkg, analyzers, facts)
+	} else {
+		diags, err = RunAnalyzers(pkg, analyzers, facts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acheronlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		payload, err := facts.EncodePackage(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acheronlint: encoding facts: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "acheronlint: writing vetx output: %v\n", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency pass: nothing to do without facts.
-		return 0
-	}
 
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// loadVetUnit parses and type-checks one vet unit. A nil package means the
+// caller should exit with the returned code.
+func loadVetUnit(cfg *vetConfig) (*Package, int) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -66,7 +124,7 @@ func unitcheckerMain(cfgPath string, analyzers []*Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acheronlint: %v\n", err)
-			return 1
+			return nil, 1
 		}
 		files = append(files, f)
 	}
@@ -91,30 +149,18 @@ func unitcheckerMain(cfgPath string, analyzers []*Analyzer) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return nil, 0
 		}
 		fmt.Fprintf(os.Stderr, "acheronlint: type-checking %s: %v\n", cfg.ImportPath, err)
-		return 1
+		return nil, 1
 	}
 
-	pkg := &Package{
+	return &Package{
 		ImportPath: cfg.ImportPath,
 		Dir:        cfg.Dir,
 		Fset:       fset,
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
-	}
-	diags, err := RunAnalyzers(pkg, analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "acheronlint: %s: %v\n", cfg.ImportPath, err)
-		return 1
-	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
-	}
-	if len(diags) > 0 {
-		return 2
-	}
-	return 0
+	}, 0
 }

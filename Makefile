@@ -11,7 +11,7 @@ RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|Faili
 # Decode-hardening fuzz targets and their per-target CI time budget.
 FUZZTIME ?= 20s
 
-.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench clean
+.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy clean
 
 all: build lint test
 
@@ -71,6 +71,13 @@ observe:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# bench-policy regenerates the compaction policy x workload sweep (C5) and
+# records the result tables + write-path metrics in BENCH_policy.json so the
+# policy trade-off table's trajectory is tracked across PRs. The wa/sa and
+# delete-persistence columns are deterministic; reads_s is wall clock.
+bench-policy:
+	$(GO) run ./cmd/acheron-bench -exp C5 -json BENCH_policy.json
 
 clean:
 	$(GO) clean ./...

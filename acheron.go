@@ -76,8 +76,50 @@ type JobInfo = core.JobInfo
 // delete).
 type JobKind = core.JobKind
 
-// CompactionOptions select shape, picker, size ratio and the DPT.
+// CompactionOptions select the layout policy, picker, size ratio and the
+// DPT.
 type CompactionOptions = compaction.Options
+
+// CompactionPolicy is the layout-policy abstraction: it decides how many
+// sorted runs each level may hold, when a level is saturated, and which
+// files compact next. All built-in policies share the FADE machinery, so
+// the delete-persistence guarantee (DPT) holds under any of them.
+type CompactionPolicy = compaction.Policy
+
+// PolicyKind selects a built-in compaction policy in CompactionOptions.
+type PolicyKind = compaction.PolicyKind
+
+// Built-in compaction policies.
+const (
+	// PolicyDefault resolves from the deprecated Shape knob (Leveling →
+	// PolicyLeveled, Tiering → PolicySizeTiered), keeping existing
+	// configurations working unchanged.
+	PolicyDefault = compaction.PolicyDefault
+	// PolicyLeveled keeps one sorted run per level below L0.
+	PolicyLeveled = compaction.PolicyLeveled
+	// PolicySizeTiered allows SizeRatio runs per level, merging a level
+	// wholesale when it fills.
+	PolicySizeTiered = compaction.PolicySizeTiered
+	// PolicyLazyLeveling tiers the upper levels and levels the last one
+	// (the Dostoevsky hybrid).
+	PolicyLazyLeveling = compaction.PolicyLazyLeveling
+)
+
+// ParsePolicyKind parses a policy name ("leveled", "size-tiered",
+// "lazy-leveling", plus common aliases) into a PolicyKind, reporting
+// whether the name was recognized.
+func ParsePolicyKind(s string) (PolicyKind, bool) { return compaction.ParsePolicyKind(s) }
+
+// NewLeveledPolicy returns the classic leveling policy for o.
+func NewLeveledPolicy(o CompactionOptions) CompactionPolicy { return compaction.NewLeveled(o) }
+
+// NewSizeTieredPolicy returns the size-tiering policy for o.
+func NewSizeTieredPolicy(o CompactionOptions) CompactionPolicy { return compaction.NewSizeTiered(o) }
+
+// NewLazyLevelingPolicy returns the lazy-leveling policy for o.
+func NewLazyLevelingPolicy(o CompactionOptions) CompactionPolicy {
+	return compaction.NewLazyLeveling(o)
+}
 
 // Event is one structured trace event: an operation begin/end, a write
 // stall, a maintenance-job lifecycle step, a file create/delete, or a
@@ -113,6 +155,12 @@ const (
 type MetricsRegistry = metrics.Registry
 
 // Compaction shapes.
+//
+// Deprecated: Shape is the legacy layout knob; set
+// CompactionOptions.Policy (PolicyLeveled, PolicySizeTiered,
+// PolicyLazyLeveling) instead. Leveling and Tiering map onto PolicyLeveled
+// and PolicySizeTiered when Policy is left at PolicyDefault, so existing
+// code keeps its exact behaviour.
 const (
 	// Leveling keeps one sorted run per level.
 	Leveling = compaction.Leveling

@@ -55,8 +55,9 @@ func main() {
 		"A3": harness.A3FADETieBreak,
 		"C1": harness.C1MaintenanceConcurrency,
 		"C2": harness.C2CommitPipeline,
+		"C5": harness.C5PolicyWorkloadSweep,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C5"}
 
 	var ids []string
 	if *expFlag == "all" {

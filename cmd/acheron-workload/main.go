@@ -168,6 +168,7 @@ func replay(args []string) {
 	in := fs.String("in", "trace.bin", "input trace file")
 	dir := fs.String("dir", "acheron-replay", "store directory")
 	dpt := fs.Duration("dpt", 0, "delete persistence threshold")
+	policyName := fs.String("policy", "", "compaction policy: leveled, size-tiered, or lazy-leveling")
 	kiwi := fs.Bool("kiwi", false, "KiWi layout + eager range deletes")
 	fs.Parse(args)
 
@@ -177,6 +178,13 @@ func replay(args []string) {
 	}
 	if *dpt > 0 {
 		opts.Compaction.Picker = compaction.PickFADE
+	}
+	if *policyName != "" {
+		kind, ok := compaction.ParsePolicyKind(*policyName)
+		if !ok {
+			fatal("-policy: unknown policy %q (want leveled, size-tiered, or lazy-leveling)", *policyName)
+		}
+		opts.Compaction.Policy = kind
 	}
 	if *kiwi {
 		opts.PagesPerTile = 4

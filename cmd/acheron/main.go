@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	acheron -dir /tmp/store [-dpt 1h] [-shape leveling|tiering] [-kiwi]
+//	acheron -dir /tmp/store [-dpt 1h] [-policy leveled|size-tiered|lazy-leveling] [-kiwi]
 //
 // Then type "help" at the prompt.
 package main
@@ -30,7 +30,8 @@ import (
 func main() {
 	dir := flag.String("dir", "acheron-data", "store directory")
 	dpt := flag.Duration("dpt", 0, "delete persistence threshold (0 disables FADE)")
-	shape := flag.String("shape", "leveling", "compaction shape: leveling or tiering")
+	policyName := flag.String("policy", "", "compaction policy: leveled, size-tiered, or lazy-leveling (overrides -shape)")
+	shape := flag.String("shape", "leveling", "deprecated compaction shape: leveling or tiering (use -policy)")
 	kiwi := flag.Bool("kiwi", false, "use the KiWi key-weaving layout (4 pages/tile)")
 	eager := flag.Bool("eager", false, "apply secondary range deletes eagerly")
 	flag.Parse()
@@ -54,6 +55,14 @@ func main() {
 	if *shape == "tiering" {
 		opts.Compaction.Shape = compaction.Tiering
 	}
+	if *policyName != "" {
+		kind, ok := compaction.ParsePolicyKind(*policyName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-policy: unknown policy %q (want leveled, size-tiered, or lazy-leveling)\n", *policyName)
+			os.Exit(1)
+		}
+		opts.Compaction.Policy = kind
+	}
 	if *kiwi {
 		opts.PagesPerTile = 4
 	}
@@ -65,7 +74,7 @@ func main() {
 	}
 	defer db.Close()
 
-	fmt.Printf("acheron shell — store %q, dpt=%v, shape=%s, kiwi=%v\n", *dir, *dpt, *shape, *kiwi)
+	fmt.Printf("acheron shell — store %q, dpt=%v, policy=%s, kiwi=%v\n", *dir, *dpt, db.PolicyName(), *kiwi)
 	fmt.Println(`type "help" for commands`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -236,6 +245,9 @@ func execute(db *core.DB, fields []string) error {
 			kind := j.Kind.String()
 			if j.Kind == core.JobCompact {
 				kind += "/" + j.Trigger.String()
+				if j.Policy != "" {
+					kind += " " + j.Policy
+				}
 			}
 			status := "ok"
 			if j.Err != nil {

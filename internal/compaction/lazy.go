@@ -1,0 +1,209 @@
+package compaction
+
+import (
+	"repro/internal/base"
+	"repro/internal/manifest"
+)
+
+// LazyLeveling is the Dostoevsky hybrid: the upper levels tier (up to
+// SizeRatio runs each, merged wholesale on run count), while the last
+// populated level stays a single sorted run maintained by leveling. Most
+// merge work happens in the small upper levels, where tiering makes it
+// cheap; most data lives in the last level, where the single run keeps
+// reads and space amplification near leveling's. FADE composes per layout
+// region: tiered levels service TTL expiry by whole-level pushes, the
+// leveled last level by batched expired-file evictions.
+type LazyLeveling struct {
+	o Options
+}
+
+// NewLazyLeveling returns the lazy-leveling policy for o (defaults
+// applied).
+func NewLazyLeveling(o Options) *LazyLeveling {
+	return &LazyLeveling{o: o.WithDefaults()}
+}
+
+// lastLevel returns the level lazy leveling keeps as a single sorted run:
+// the deepest populated level, at least 1 so an L0-only tree levels into
+// L1. As the tree grows a level deeper, the old last level becomes a tiered
+// upper level and the new deepest takes over the single-run invariant.
+func lazyLastLevel(v *manifest.Version) int {
+	if d := v.MaxPopulatedLevel(); d > 1 {
+		return d
+	}
+	return 1
+}
+
+// Name implements Policy.
+func (p *LazyLeveling) Name() string { return "lazy-leveling" }
+
+// MaxRunsAt implements Policy: SizeRatio runs on the tiered upper levels,
+// one on the leveled last level.
+func (p *LazyLeveling) MaxRunsAt(v *manifest.Version, l int) int {
+	if l == 0 {
+		return p.o.L0Threshold
+	}
+	if l < lazyLastLevel(v) {
+		return p.o.SizeRatio
+	}
+	return 1
+}
+
+// Saturated implements Policy: run count on the tiered upper levels, byte
+// capacity on the leveled last level.
+func (p *LazyLeveling) Saturated(v *manifest.Version, l int) bool {
+	if l == 0 {
+		return len(v.Levels[0]) >= p.o.L0Threshold
+	}
+	if l >= manifest.NumLevels-1 {
+		return false
+	}
+	size := v.LevelSize(l)
+	if size == 0 {
+		return false
+	}
+	if l < lazyLastLevel(v) {
+		return len(v.Levels[l]) >= p.o.SizeRatio
+	}
+	return float64(size) >= float64(p.o.LevelCapacity(l))
+}
+
+// LeveledOutputAt implements Policy: outputs into the last populated level
+// (or past it, which makes the target the new last level) merge into its
+// single run; outputs into a tiered upper level start a fresh run.
+func (p *LazyLeveling) LeveledOutputAt(v *manifest.Version, l int) bool {
+	return l >= lazyLastLevel(v)
+}
+
+// Pick implements Policy: TTL expiry first, then L0 run count, then the
+// worst saturated level — run-count scored on the tiered upper levels,
+// byte-capacity scored on the leveled last level.
+func (p *LazyLeveling) Pick(v *manifest.Version, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	depth := pickDepth(v)
+	last := lazyLastLevel(v)
+
+	if p.o.DPT != 0 {
+		if c := p.pickTTL(v, depth, last, now, haveSnapshots, inflight); c != nil {
+			return c
+		}
+	}
+
+	if len(v.Levels[0]) >= p.o.L0Threshold {
+		c := p.compactTieredLevel(v, 0, last)
+		c.Trigger = TriggerL0
+		c.Score = float64(len(v.Levels[0]))
+		if !inflight.Conflicts(c) {
+			return c
+		}
+	}
+
+	var best *Candidate
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		size := v.LevelSize(l)
+		if size == 0 {
+			continue
+		}
+		var score float64
+		if l < last {
+			score = float64(len(v.Levels[l])) / float64(p.o.SizeRatio)
+		} else {
+			score = float64(size) / float64(p.o.LevelCapacity(l))
+		}
+		if score < 1 {
+			continue
+		}
+		if best == nil || score > best.Score {
+			var c *Candidate
+			if l < last {
+				c = p.compactTieredLevel(v, l, last)
+				c.Trigger = TriggerSaturation
+			} else {
+				c = p.pickSaturatedLast(v, l, depth, now, haveSnapshots, inflight)
+			}
+			if c != nil && !inflight.Conflicts(c) {
+				c.Score = score
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// compactTieredLevel merges all runs of tiered level l into l+1. When l+1
+// is (at or past) the leveled last level the output merges into its single
+// run; otherwise it lands as a fresh run beside the next level's tiers.
+func (p *LazyLeveling) compactTieredLevel(v *manifest.Version, l, last int) *Candidate {
+	return wholeLevelCandidate(v, l, l+1 >= last)
+}
+
+// pickTTL services the most overdue tombstone. On the leveled last level it
+// batches the run's expired files (pushing the tree one level deeper, where
+// the merge elides everything it shadows); on a tiered level it pushes the
+// whole level down — pulling the next level's runs in too when that level
+// is also tiered, so the tombstone is not stranded beside older runs for
+// another full DPT. A push into the leveled last level needs no such pull:
+// merging into the single run is what disposes the tombstone.
+func (p *LazyLeveling) pickTTL(v *manifest.Version, depth, last int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	worst, worstLevel, worstOverdue := ttlWorstFile(v, p.o, depth, now, haveSnapshots, inflight)
+	if worst == nil {
+		return nil
+	}
+	if worstLevel >= last {
+		batch := expiredBatch(v, p.o, worstLevel, depth, now, haveSnapshots, inflight)
+		c := &Candidate{
+			Trigger:     TriggerTTL,
+			StartLevel:  worstLevel,
+			OutputLevel: worstLevel + 1,
+			Inputs:      []*manifest.Run{{ID: runIDAt(v, worstLevel), Files: batch}},
+			Score:       float64(worstOverdue),
+		}
+		fillOutputOverlap(v, c)
+		if inflight.Conflicts(c) {
+			return nil
+		}
+		return c
+	}
+	c := p.compactTieredLevel(v, worstLevel, last)
+	c.Trigger = TriggerTTL
+	c.Score = float64(worstOverdue)
+	if worstLevel+1 < last {
+		c.InputLevels = make([]int, len(c.Inputs))
+		for i := range c.InputLevels {
+			c.InputLevels[i] = worstLevel
+		}
+		for _, r := range v.Levels[worstLevel+1] {
+			c.Inputs = append(c.Inputs, r)
+			c.InputLevels = append(c.InputLevels, worstLevel+1)
+		}
+	}
+	if inflight.Conflicts(c) {
+		return nil
+	}
+	return c
+}
+
+// pickSaturatedLast evicts one file — chosen by the configured Picker —
+// from the byte-saturated last level into the next level down, which
+// becomes the new leveled last level.
+func (p *LazyLeveling) pickSaturatedLast(v *manifest.Version, l, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	runs := v.Levels[l]
+	if len(runs) == 0 {
+		return nil
+	}
+	files := unclaimedFiles(runs[0].Files, inflight)
+	if len(files) == 0 {
+		return nil
+	}
+	chosen := chooseVictim(v, p.o, files, l, depth, now, haveSnapshots)
+	if chosen == nil {
+		return nil
+	}
+	c := &Candidate{
+		Trigger:     TriggerSaturation,
+		StartLevel:  l,
+		OutputLevel: l + 1,
+		Inputs:      []*manifest.Run{{ID: runs[0].ID, Files: []*manifest.FileMetadata{chosen}}},
+	}
+	fillOutputOverlap(v, c)
+	return c
+}

@@ -1,0 +1,150 @@
+package compaction
+
+import (
+	"repro/internal/base"
+	"repro/internal/manifest"
+)
+
+// Leveled is the classic leveling policy (RocksDB-style): one sorted run
+// per level below L0, byte-capacity saturation, single-file evictions
+// chosen by the configured Picker. With default options it reproduces the
+// engine's original leveling behaviour exactly.
+type Leveled struct {
+	o Options
+}
+
+// NewLeveled returns the leveling policy for o (defaults applied).
+func NewLeveled(o Options) *Leveled {
+	return &Leveled{o: o.WithDefaults()}
+}
+
+// Name implements Policy.
+func (p *Leveled) Name() string { return "leveled" }
+
+// MaxRunsAt implements Policy: one sorted run everywhere below L0.
+func (p *Leveled) MaxRunsAt(_ *manifest.Version, l int) int {
+	if l == 0 {
+		return p.o.L0Threshold
+	}
+	return 1
+}
+
+// Saturated implements Policy: run count at L0, byte capacity below.
+func (p *Leveled) Saturated(v *manifest.Version, l int) bool {
+	if l == 0 {
+		return len(v.Levels[0]) >= p.o.L0Threshold
+	}
+	if l >= manifest.NumLevels-1 {
+		return false
+	}
+	size := v.LevelSize(l)
+	return size > 0 && float64(size) >= float64(p.o.LevelCapacity(l))
+}
+
+// LeveledOutputAt implements Policy: every output merges into the output
+// level's single run.
+func (p *Leveled) LeveledOutputAt(*manifest.Version, int) bool { return true }
+
+// Pick implements Policy: TTL expiry (the delete-persistence guarantee)
+// first, then L0 run count, then the worst byte-saturated level.
+func (p *Leveled) Pick(v *manifest.Version, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	depth := pickDepth(v)
+
+	if p.o.DPT != 0 {
+		if c := p.pickTTL(v, depth, now, haveSnapshots, inflight); c != nil {
+			return c
+		}
+	}
+
+	if len(v.Levels[0]) >= p.o.L0Threshold {
+		if c := p.pickL0(v); c != nil && !inflight.Conflicts(c) {
+			return c
+		}
+		// L0 is busy (a flush-adjacent or prior L0 job holds it); fall
+		// through so deeper saturated levels can still make progress.
+	}
+
+	var best *Candidate
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		size := v.LevelSize(l)
+		if size == 0 {
+			continue
+		}
+		score := float64(size) / float64(p.o.LevelCapacity(l))
+		if score < 1 {
+			continue
+		}
+		if best == nil || score > best.Score {
+			c := p.pickSaturated(v, l, depth, now, haveSnapshots, inflight)
+			if c != nil && !inflight.Conflicts(c) {
+				c.Score = score
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// pickL0 compacts every level-0 run into level 1's single run.
+func (p *Leveled) pickL0(v *manifest.Version) *Candidate {
+	c := wholeLevelCandidate(v, 0, true)
+	c.Trigger = TriggerL0
+	c.Score = float64(len(v.Levels[0]))
+	return c
+}
+
+// pickTTL services the most overdue tombstone: L0 compacts whole (its runs
+// overlap), deeper levels batch every expired file of the level's run.
+func (p *Leveled) pickTTL(v *manifest.Version, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	worst, worstLevel, worstOverdue := ttlWorstFile(v, p.o, depth, now, haveSnapshots, inflight)
+	if worst == nil {
+		return nil
+	}
+	if worstLevel == 0 {
+		c := p.pickL0(v)
+		c.Trigger = TriggerTTL
+		c.Score = float64(worstOverdue)
+		if inflight.Conflicts(c) {
+			return nil
+		}
+		return c
+	}
+	batch := expiredBatch(v, p.o, worstLevel, depth, now, haveSnapshots, inflight)
+	c := &Candidate{
+		Trigger:     TriggerTTL,
+		StartLevel:  worstLevel,
+		OutputLevel: worstLevel + 1,
+		Inputs:      []*manifest.Run{{ID: runIDAt(v, worstLevel), Files: batch}},
+		Score:       float64(worstOverdue),
+	}
+	fillOutputOverlap(v, c)
+	if inflight.Conflicts(c) {
+		return nil
+	}
+	return c
+}
+
+// pickSaturated evicts one file — chosen by the configured Picker — from a
+// byte-saturated level. Files claimed by running jobs are not considered.
+func (p *Leveled) pickSaturated(v *manifest.Version, l, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	runs := v.Levels[l]
+	if len(runs) == 0 {
+		return nil
+	}
+	files := unclaimedFiles(runs[0].Files, inflight)
+	if len(files) == 0 {
+		return nil
+	}
+	chosen := chooseVictim(v, p.o, files, l, depth, now, haveSnapshots)
+	if chosen == nil {
+		return nil
+	}
+	c := &Candidate{
+		Trigger:     TriggerSaturation,
+		StartLevel:  l,
+		OutputLevel: l + 1,
+		Inputs:      []*manifest.Run{{ID: runs[0].ID, Files: []*manifest.FileMetadata{chosen}}},
+	}
+	fillOutputOverlap(v, c)
+	return c
+}

@@ -1,9 +1,10 @@
-// Package compaction implements Acheron's compaction policies: the classic
-// saturation-driven leveling/tiering baseline, and FADE — the delete-aware
-// policy that partitions the delete persistence threshold (DPT) into
-// per-level TTLs and triggers compactions when a file's oldest tombstone
-// overstays its level budget, guaranteeing that every tombstone reaches the
-// last level (and physically erases what it shadows) within the DPT.
+// Package compaction implements Acheron's compaction layer: a Policy
+// interface with leveled, size-tiered, and lazy-leveling implementations,
+// all composing with FADE — the delete-aware machinery that partitions the
+// delete persistence threshold (DPT) into per-level TTLs and triggers
+// compactions when a file's oldest tombstone overstays its level budget,
+// guaranteeing that every tombstone reaches the last level (and physically
+// erases what it shadows) within the DPT, regardless of layout.
 package compaction
 
 import (
@@ -14,6 +15,11 @@ import (
 )
 
 // Shape selects how runs are organized below level 0.
+//
+// Deprecated: Shape is the legacy layout knob. It is kept as a
+// backward-compatible alias that maps onto the Policy interface when
+// Options.Policy is PolicyDefault (Leveling → PolicyLeveled, Tiering →
+// PolicySizeTiered); set Options.Policy directly for new code.
 type Shape int
 
 const (
@@ -96,9 +102,99 @@ func (t Trigger) String() string {
 	return "l0"
 }
 
+// PolicyKind names a built-in layout policy. The zero value derives the
+// policy from the deprecated Shape knob, so existing configurations keep
+// working unchanged.
+type PolicyKind int
+
+const (
+	// PolicyDefault derives the policy from the deprecated Shape field:
+	// Leveling selects PolicyLeveled, Tiering selects PolicySizeTiered.
+	PolicyDefault PolicyKind = iota
+	// PolicyLeveled keeps one sorted run per level below L0.
+	PolicyLeveled
+	// PolicySizeTiered allows up to SizeRatio runs per level, merging the
+	// whole level into a fresh run at the next level when it fills.
+	PolicySizeTiered
+	// PolicyLazyLeveling tiers the upper levels (up to SizeRatio runs
+	// each) but keeps the last populated level as a single sorted run —
+	// the Dostoevsky hybrid: tiering's write cost where merges are
+	// frequent, leveling's read/space cost where most data lives.
+	PolicyLazyLeveling
+)
+
+// String implements fmt.Stringer using the policies' canonical names.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicySizeTiered:
+		return "size-tiered"
+	case PolicyLazyLeveling:
+		return "lazy-leveling"
+	case PolicyLeveled:
+		return "leveled"
+	}
+	return "default"
+}
+
+// ParsePolicyKind maps a policy name (as printed by PolicyKind.String, plus
+// the legacy shape names) to its kind.
+func ParsePolicyKind(s string) (PolicyKind, bool) {
+	switch s {
+	case "leveled", "leveling":
+		return PolicyLeveled, true
+	case "size-tiered", "tiered", "tiering":
+		return PolicySizeTiered, true
+	case "lazy-leveling", "lazy":
+		return PolicyLazyLeveling, true
+	case "", "default":
+		return PolicyDefault, true
+	}
+	return PolicyDefault, false
+}
+
+// Policy is a compaction layout strategy: it decides when levels need
+// compacting, what a compaction's inputs and output shape are, and how many
+// sorted runs a level may hold. Implementations are immutable after
+// construction (safe for concurrent pickers) and delegate the delete-aware
+// decisions — per-level TTL expiry, tombstone-density scoring, min-overlap
+// tie-breaking — to the shared FADE machinery in this package, so the
+// delete-persistence guarantee is policy-independent.
+type Policy interface {
+	// Name returns the policy's stable, kebab-case name, used in metric
+	// labels, job records, and trace events.
+	Name() string
+	// MaxRunsAt returns how many sorted runs level l may accumulate in v
+	// before the level is saturated. Level 0 is governed by L0Threshold
+	// under every policy.
+	MaxRunsAt(v *manifest.Version, l int) int
+	// Saturated reports whether level l of v is at or past its trigger
+	// point (run count for tiered levels, byte capacity for leveled ones).
+	Saturated(v *manifest.Version, l int) bool
+	// LeveledOutputAt reports whether compaction outputs into level l of v
+	// join the level's single sorted run (merging with its overlap) rather
+	// than starting a fresh run beside the existing ones.
+	LeveledOutputAt(v *manifest.Version, l int) bool
+	// Pick inspects v and returns the most urgent compaction, or nil when
+	// nothing needs compacting. now is the engine clock reading used for
+	// TTL expiry; haveSnapshots suppresses disposal-only compactions that
+	// an open snapshot would block anyway. inflight, when non-nil,
+	// excludes files and level/key-span rectangles claimed by running
+	// jobs so concurrent executors pick disjoint work; a candidate that
+	// would conflict is simply not returned (the picker does not search
+	// for a second-best disjoint candidate at the same priority — the
+	// next tick retries).
+	Pick(v *manifest.Version, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate
+}
+
 // Options configure the compaction policy.
 type Options struct {
+	// Policy selects the layout policy. PolicyDefault derives it from the
+	// deprecated Shape field, keeping old configurations working.
+	Policy PolicyKind
 	// Shape selects leveling or tiering.
+	//
+	// Deprecated: use Policy. Shape is consulted only when Policy is
+	// PolicyDefault.
 	Shape Shape
 	// Picker selects the saturated-level file picker.
 	Picker Picker
@@ -134,6 +230,33 @@ func (o Options) WithDefaults() Options {
 		o.TargetFileBytes = 2 << 20
 	}
 	return o
+}
+
+// KindResolved returns the effective policy kind: Policy when set, else the
+// mapping of the deprecated Shape knob (Leveling → PolicyLeveled, Tiering →
+// PolicySizeTiered).
+func (o Options) KindResolved() PolicyKind {
+	if o.Policy != PolicyDefault {
+		return o.Policy
+	}
+	if o.Shape == Tiering {
+		return PolicySizeTiered
+	}
+	return PolicyLeveled
+}
+
+// NewPolicy constructs the configured layout policy, bound to o with
+// defaults applied. The engine builds one at Open and uses it for every
+// pick and commit decision thereafter.
+func (o Options) NewPolicy() Policy {
+	switch o.KindResolved() {
+	case PolicySizeTiered:
+		return NewSizeTiered(o)
+	case PolicyLazyLeveling:
+		return NewLazyLeveling(o)
+	default:
+		return NewLeveled(o)
+	}
 }
 
 // LevelCapacity returns level l's byte capacity. Level 0 is governed by run
@@ -220,10 +343,16 @@ type Candidate struct {
 	// OutputRunFiles are the overlapping files of the output level's run
 	// that must be merged (leveling only; empty under tiering).
 	OutputRunFiles []*manifest.FileMetadata
-	// OutputRunID is the run the outputs join. Under leveling it is the
-	// output level's existing single run (or a fresh id); under tiering
-	// it is always a fresh id, allocated by the caller.
+	// OutputRunID is the run the outputs join. Under leveled output it is
+	// the output level's existing single run (or a fresh id); under
+	// tiered output it is always a fresh id, allocated by the caller.
 	OutputRunID uint64
+	// OutputToNewRun marks a tiered output: the compaction's results form
+	// a fresh sorted run beside the output level's existing runs instead
+	// of merging into its single run. The engine allocates the run id at
+	// commit time and skips the trivial-move fast path (a moved file would
+	// land beside runs it may overlap).
+	OutputToNewRun bool
 	// Score orders candidates (higher = more urgent).
 	Score float64
 }
@@ -277,285 +406,12 @@ func expired(o Options, f *manifest.FileMetadata, l, depth int, now base.Timesta
 	return 0, false
 }
 
-// Pick inspects the version and returns the most urgent compaction, or nil
-// when nothing needs compacting. now is the engine clock reading used for
-// TTL expiry; haveSnapshots suppresses disposal-only compactions that an
-// open snapshot would block anyway. inflight, when non-nil, excludes files
-// and level/key-span rectangles claimed by running jobs so concurrent
-// executors pick disjoint work; a candidate that would conflict is simply
-// not returned (the picker does not search for a second-best disjoint
-// candidate at the same priority — the next tick retries).
+// Pick inspects the version and returns the most urgent compaction under
+// the options' configured policy, or nil when nothing needs compacting. See
+// Policy.Pick for the parameter contract.
+//
+// Deprecated: build a Policy once with Options.NewPolicy and call its Pick;
+// this wrapper constructs a fresh policy on every call.
 func Pick(v *manifest.Version, o Options, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
-	o = o.WithDefaults()
-
-	depth := v.MaxPopulatedLevel()
-	if depth < 1 {
-		depth = 1
-	}
-
-	// 1. FADE: TTL expiry takes priority — it is the delete-persistence
-	// guarantee. Choose the most overdue file.
-	if o.DPT != 0 {
-		if c := pickTTL(v, o, depth, now, haveSnapshots, inflight); c != nil {
-			return c
-		}
-	}
-
-	// 2. Level 0 run count.
-	if len(v.Levels[0]) >= o.L0Threshold {
-		if c := pickL0(v, o); c != nil && !inflight.Conflicts(c) {
-			return c
-		}
-		// L0 is busy (a flush-adjacent or prior L0 job holds it); fall
-		// through so deeper saturated levels can still make progress.
-	}
-
-	// 3. Byte saturation of deeper levels; compact the worst level.
-	var best *Candidate
-	for l := 1; l < manifest.NumLevels-1; l++ {
-		size := v.LevelSize(l)
-		if size == 0 {
-			continue
-		}
-		score := float64(size) / float64(o.LevelCapacity(l))
-		if o.Shape == Tiering {
-			// Tiering compacts on run count, not bytes.
-			score = float64(len(v.Levels[l])) / float64(o.SizeRatio)
-		}
-		if score < 1 {
-			continue
-		}
-		if best == nil || score > best.Score {
-			c := pickSaturated(v, o, l, depth, now, haveSnapshots, inflight)
-			if c != nil && !inflight.Conflicts(c) {
-				c.Score = score
-				best = c
-			}
-		}
-	}
-	return best
-}
-
-// pickTTL finds the file with the most overdue tombstone. Files claimed by
-// running jobs are skipped — their expiry is already being serviced (or will
-// be re-examined next tick once the claim clears).
-func pickTTL(v *manifest.Version, o Options, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
-	var (
-		worst        *manifest.FileMetadata
-		worstLevel   int
-		worstOverdue base.Duration
-	)
-	for l := 0; l < manifest.NumLevels-1; l++ {
-		for _, r := range v.Levels[l] {
-			for _, f := range r.Files {
-				if inflight.FileClaimed(f.FileNum) {
-					continue
-				}
-				if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && (worst == nil || over > worstOverdue) {
-					worst, worstLevel, worstOverdue = f, l, over
-				}
-			}
-		}
-	}
-	if worst == nil {
-		return nil
-	}
-	if worstLevel == 0 || o.Shape == Tiering {
-		// L0 runs overlap, and tiered runs below may too: compact the
-		// whole start level so the expired tombstone actually moves.
-		c := compactWholeLevel(v, o, worstLevel)
-		c.Trigger = TriggerTTL
-		c.Score = float64(worstOverdue)
-		if o.Shape == Tiering {
-			// Pull the next level's runs in too: otherwise the merged
-			// run lands beside older runs at worstLevel+1 and the
-			// tombstone cannot be disposed of, costing another full
-			// DPT before the next chance.
-			c.InputLevels = make([]int, len(c.Inputs))
-			for i := range c.InputLevels {
-				c.InputLevels[i] = worstLevel
-			}
-			for _, r := range v.Levels[worstLevel+1] {
-				c.Inputs = append(c.Inputs, r)
-				c.InputLevels = append(c.InputLevels, worstLevel+1)
-			}
-		}
-		if inflight.Conflicts(c) {
-			return nil
-		}
-		return c
-	}
-	// Batch every expired file of the level into one compaction: expired
-	// files tend to cluster (deletes arrive together), and moving them
-	// one at a time would rewrite the same next-level overlap repeatedly.
-	var batch []*manifest.FileMetadata
-	for _, f := range v.Levels[worstLevel][0].Files {
-		if inflight.FileClaimed(f.FileNum) {
-			continue
-		}
-		if _, ok := expired(o, f, worstLevel, depth, now, haveSnapshots); ok {
-			batch = append(batch, f)
-		}
-	}
-	c := &Candidate{
-		Trigger:     TriggerTTL,
-		StartLevel:  worstLevel,
-		OutputLevel: worstLevel + 1,
-		Inputs:      []*manifest.Run{{ID: runIDAt(v, worstLevel), Files: batch}},
-		Score:       float64(worstOverdue),
-	}
-	fillOutputOverlap(v, c)
-	if inflight.Conflicts(c) {
-		return nil
-	}
-	return c
-}
-
-// pickL0 compacts every level-0 run into level 1.
-func pickL0(v *manifest.Version, o Options) *Candidate {
-	c := compactWholeLevel(v, o, 0)
-	c.Trigger = TriggerL0
-	c.Score = float64(len(v.Levels[0]))
-	return c
-}
-
-// compactWholeLevel builds a candidate merging all runs of level l into
-// level l+1.
-func compactWholeLevel(v *manifest.Version, o Options, l int) *Candidate {
-	c := &Candidate{
-		StartLevel:  l,
-		OutputLevel: l + 1,
-		Inputs:      append([]*manifest.Run(nil), v.Levels[l]...),
-	}
-	if o.Shape == Leveling {
-		fillOutputOverlap(v, c)
-	}
-	return c
-}
-
-// pickSaturated picks the file(s) to evict from a saturated level. Files
-// claimed by running jobs are not considered.
-func pickSaturated(v *manifest.Version, o Options, l, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
-	if o.Shape == Tiering {
-		c := compactWholeLevel(v, o, l)
-		c.Trigger = TriggerSaturation
-		return c
-	}
-	runs := v.Levels[l]
-	if len(runs) == 0 {
-		return nil
-	}
-	files := runs[0].Files
-	if inflight != nil {
-		unclaimed := make([]*manifest.FileMetadata, 0, len(files))
-		for _, f := range files {
-			if !inflight.FileClaimed(f.FileNum) {
-				unclaimed = append(unclaimed, f)
-			}
-		}
-		files = unclaimed
-	}
-	if len(files) == 0 {
-		return nil
-	}
-	var chosen *manifest.FileMetadata
-	switch o.Picker {
-	case PickFADE:
-		// Expired files first (most overdue), then highest tombstone
-		// density, then min overlap.
-		var bestOver base.Duration = -1
-		for _, f := range files {
-			if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && over > bestOver {
-				chosen, bestOver = f, over
-			}
-		}
-		if chosen == nil {
-			bestDensity := -1.0
-			for _, f := range files {
-				if d := f.TombstoneDensity(); d > bestDensity {
-					chosen, bestDensity = f, d
-				}
-			}
-		}
-	case PickOldestTombstone:
-		for _, f := range files {
-			if !f.HasTombstones {
-				continue
-			}
-			if chosen == nil || f.OldestTombstone < chosen.OldestTombstone {
-				chosen = f
-			}
-		}
-		if chosen == nil {
-			chosen = minOverlapFile(v, files, l)
-		}
-	default:
-		chosen = minOverlapFile(v, files, l)
-	}
-	if chosen == nil {
-		return nil
-	}
-	c := &Candidate{
-		Trigger:     TriggerSaturation,
-		StartLevel:  l,
-		OutputLevel: l + 1,
-		Inputs:      []*manifest.Run{{ID: runs[0].ID, Files: []*manifest.FileMetadata{chosen}}},
-	}
-	fillOutputOverlap(v, c)
-	return c
-}
-
-// minOverlapFile returns the file of files (at level l) with the least byte
-// overlap with level l+1.
-func minOverlapFile(v *manifest.Version, files []*manifest.FileMetadata, l int) *manifest.FileMetadata {
-	var chosen *manifest.FileMetadata
-	bestOverlap := uint64(math.MaxUint64)
-	for _, f := range files {
-		var overlap uint64
-		for _, r := range v.Levels[l+1] {
-			for _, of := range r.Find(f.Smallest.UserKey, f.Largest.UserKey) {
-				overlap += of.Size
-			}
-		}
-		if overlap < bestOverlap {
-			chosen, bestOverlap = f, overlap
-		}
-	}
-	return chosen
-}
-
-// fillOutputOverlap computes the output level's overlapping files and run
-// id under leveling.
-func fillOutputOverlap(v *manifest.Version, c *Candidate) {
-	lo, hi := inputBounds(c)
-	if lo == nil {
-		return
-	}
-	outRuns := v.Levels[c.OutputLevel]
-	if len(outRuns) > 0 {
-		c.OutputRunID = outRuns[0].ID
-		c.OutputRunFiles = outRuns[0].Find(lo, hi)
-	}
-}
-
-// inputBounds returns the user-key span of the candidate's inputs.
-func inputBounds(c *Candidate) (lo, hi []byte) {
-	for _, r := range c.Inputs {
-		for _, f := range r.Files {
-			if lo == nil || base.Compare(f.Smallest.UserKey, lo) < 0 {
-				lo = f.Smallest.UserKey
-			}
-			if hi == nil || base.Compare(f.Largest.UserKey, hi) > 0 {
-				hi = f.Largest.UserKey
-			}
-		}
-	}
-	return lo, hi
-}
-
-func runIDAt(v *manifest.Version, l int) uint64 {
-	if len(v.Levels[l]) > 0 {
-		return v.Levels[l][0].ID
-	}
-	return 0
+	return o.WithDefaults().NewPolicy().Pick(v, now, haveSnapshots, inflight)
 }

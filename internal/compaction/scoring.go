@@ -1,0 +1,188 @@
+package compaction
+
+import (
+	"math"
+
+	"repro/internal/base"
+	"repro/internal/manifest"
+)
+
+// Shared FADE scoring machinery. Every Policy implementation delegates
+// here for the delete-aware decisions — TTL-expiry scanning, the expired /
+// tombstone-density / min-overlap victim cascade, and output-overlap
+// computation — so the delete-persistence guarantee does not depend on the
+// layout policy in use.
+
+// pickDepth returns the populated depth used for TTL partitioning (at
+// least 1, so an L0-only tree still has a budget to spend).
+func pickDepth(v *manifest.Version) int {
+	if d := v.MaxPopulatedLevel(); d >= 1 {
+		return d
+	}
+	return 1
+}
+
+// ttlWorstFile scans the tree for the file with the most overdue tombstone.
+// Files claimed by running jobs are skipped — their expiry is already being
+// serviced (or will be re-examined next tick once the claim clears).
+func ttlWorstFile(v *manifest.Version, o Options, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) (worst *manifest.FileMetadata, worstLevel int, worstOverdue base.Duration) {
+	for l := 0; l < manifest.NumLevels-1; l++ {
+		for _, r := range v.Levels[l] {
+			for _, f := range r.Files {
+				if inflight.FileClaimed(f.FileNum) {
+					continue
+				}
+				if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && (worst == nil || over > worstOverdue) {
+					worst, worstLevel, worstOverdue = f, l, over
+				}
+			}
+		}
+	}
+	return worst, worstLevel, worstOverdue
+}
+
+// expiredBatch collects every expired, unclaimed file of level l's newest
+// run into one compaction: expired files tend to cluster (deletes arrive
+// together), and moving them one at a time would rewrite the same
+// next-level overlap repeatedly. Used for levels holding a single sorted
+// run; tiered levels compact whole levels instead.
+func expiredBatch(v *manifest.Version, o Options, l, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) []*manifest.FileMetadata {
+	var batch []*manifest.FileMetadata
+	for _, f := range v.Levels[l][0].Files {
+		if inflight.FileClaimed(f.FileNum) {
+			continue
+		}
+		if _, ok := expired(o, f, l, depth, now, haveSnapshots); ok {
+			batch = append(batch, f)
+		}
+	}
+	return batch
+}
+
+// unclaimedFiles filters out files claimed by running jobs.
+func unclaimedFiles(files []*manifest.FileMetadata, inflight *InFlightSet) []*manifest.FileMetadata {
+	if inflight == nil {
+		return files
+	}
+	unclaimed := make([]*manifest.FileMetadata, 0, len(files))
+	for _, f := range files {
+		if !inflight.FileClaimed(f.FileNum) {
+			unclaimed = append(unclaimed, f)
+		}
+	}
+	return unclaimed
+}
+
+// chooseVictim applies the configured Picker to a saturated leveled run's
+// files: FADE prefers expired files (most overdue first), then the highest
+// tombstone density; the oldest-tombstone ablation ages tombstones; the
+// default is the delete-oblivious min-overlap baseline.
+func chooseVictim(v *manifest.Version, o Options, files []*manifest.FileMetadata, l, depth int, now base.Timestamp, haveSnapshots bool) *manifest.FileMetadata {
+	var chosen *manifest.FileMetadata
+	switch o.Picker {
+	case PickFADE:
+		// Expired files first (most overdue), then highest tombstone
+		// density, then min overlap.
+		var bestOver base.Duration = -1
+		for _, f := range files {
+			if over, ok := expired(o, f, l, depth, now, haveSnapshots); ok && over > bestOver {
+				chosen, bestOver = f, over
+			}
+		}
+		if chosen == nil {
+			bestDensity := -1.0
+			for _, f := range files {
+				if d := f.TombstoneDensity(); d > bestDensity {
+					chosen, bestDensity = f, d
+				}
+			}
+		}
+	case PickOldestTombstone:
+		for _, f := range files {
+			if !f.HasTombstones {
+				continue
+			}
+			if chosen == nil || f.OldestTombstone < chosen.OldestTombstone {
+				chosen = f
+			}
+		}
+		if chosen == nil {
+			chosen = minOverlapFile(v, files, l)
+		}
+	default:
+		chosen = minOverlapFile(v, files, l)
+	}
+	return chosen
+}
+
+// minOverlapFile returns the file of files (at level l) with the least byte
+// overlap with level l+1.
+func minOverlapFile(v *manifest.Version, files []*manifest.FileMetadata, l int) *manifest.FileMetadata {
+	var chosen *manifest.FileMetadata
+	bestOverlap := uint64(math.MaxUint64)
+	for _, f := range files {
+		var overlap uint64
+		for _, r := range v.Levels[l+1] {
+			for _, of := range r.Find(f.Smallest.UserKey, f.Largest.UserKey) {
+				overlap += of.Size
+			}
+		}
+		if overlap < bestOverlap {
+			chosen, bestOverlap = f, overlap
+		}
+	}
+	return chosen
+}
+
+// wholeLevelCandidate builds a candidate merging all runs of level l into
+// level l+1. leveledOutput selects the output shape: merge into the output
+// level's single run (computing its overlap) or start a fresh run there.
+func wholeLevelCandidate(v *manifest.Version, l int, leveledOutput bool) *Candidate {
+	c := &Candidate{
+		StartLevel:  l,
+		OutputLevel: l + 1,
+		Inputs:      append([]*manifest.Run(nil), v.Levels[l]...),
+	}
+	if leveledOutput {
+		fillOutputOverlap(v, c)
+	} else {
+		c.OutputToNewRun = true
+	}
+	return c
+}
+
+// fillOutputOverlap computes the output level's overlapping files and run
+// id for a leveled output.
+func fillOutputOverlap(v *manifest.Version, c *Candidate) {
+	lo, hi := inputBounds(c)
+	if lo == nil {
+		return
+	}
+	outRuns := v.Levels[c.OutputLevel]
+	if len(outRuns) > 0 {
+		c.OutputRunID = outRuns[0].ID
+		c.OutputRunFiles = outRuns[0].Find(lo, hi)
+	}
+}
+
+// inputBounds returns the user-key span of the candidate's inputs.
+func inputBounds(c *Candidate) (lo, hi []byte) {
+	for _, r := range c.Inputs {
+		for _, f := range r.Files {
+			if lo == nil || base.Compare(f.Smallest.UserKey, lo) < 0 {
+				lo = f.Smallest.UserKey
+			}
+			if hi == nil || base.Compare(f.Largest.UserKey, hi) > 0 {
+				hi = f.Largest.UserKey
+			}
+		}
+	}
+	return lo, hi
+}
+
+func runIDAt(v *manifest.Version, l int) uint64 {
+	if len(v.Levels[l]) > 0 {
+		return v.Levels[l][0].ID
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package compaction
+
+import (
+	"repro/internal/base"
+	"repro/internal/manifest"
+)
+
+// SizeTiered is the size-tiering policy: each level accumulates up to
+// SizeRatio sorted runs; when a level fills, all of its runs merge into one
+// fresh run at the next level. Writes are cheap (no overlap rewriting on
+// the way down), reads and space pay for the extra runs. With default
+// options it reproduces the engine's original tiering behaviour exactly.
+type SizeTiered struct {
+	o Options
+}
+
+// NewSizeTiered returns the size-tiering policy for o (defaults applied).
+func NewSizeTiered(o Options) *SizeTiered {
+	return &SizeTiered{o: o.WithDefaults()}
+}
+
+// Name implements Policy.
+func (p *SizeTiered) Name() string { return "size-tiered" }
+
+// MaxRunsAt implements Policy: up to SizeRatio runs per level below L0.
+func (p *SizeTiered) MaxRunsAt(_ *manifest.Version, l int) int {
+	if l == 0 {
+		return p.o.L0Threshold
+	}
+	return p.o.SizeRatio
+}
+
+// Saturated implements Policy: tiering compacts on run count, not bytes.
+func (p *SizeTiered) Saturated(v *manifest.Version, l int) bool {
+	if l == 0 {
+		return len(v.Levels[0]) >= p.o.L0Threshold
+	}
+	if l >= manifest.NumLevels-1 {
+		return false
+	}
+	return v.LevelSize(l) > 0 && len(v.Levels[l]) >= p.o.SizeRatio
+}
+
+// LeveledOutputAt implements Policy: every output starts a fresh run.
+func (p *SizeTiered) LeveledOutputAt(*manifest.Version, int) bool { return false }
+
+// Pick implements Policy: TTL expiry first, then L0 run count, then the
+// level with the worst run-count score.
+func (p *SizeTiered) Pick(v *manifest.Version, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	depth := pickDepth(v)
+
+	if p.o.DPT != 0 {
+		if c := p.pickTTL(v, depth, now, haveSnapshots, inflight); c != nil {
+			return c
+		}
+	}
+
+	if len(v.Levels[0]) >= p.o.L0Threshold {
+		c := wholeLevelCandidate(v, 0, false)
+		c.Trigger = TriggerL0
+		c.Score = float64(len(v.Levels[0]))
+		if !inflight.Conflicts(c) {
+			return c
+		}
+	}
+
+	var best *Candidate
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		if v.LevelSize(l) == 0 {
+			continue
+		}
+		score := float64(len(v.Levels[l])) / float64(p.o.SizeRatio)
+		if score < 1 {
+			continue
+		}
+		if best == nil || score > best.Score {
+			c := wholeLevelCandidate(v, l, false)
+			c.Trigger = TriggerSaturation
+			if !inflight.Conflicts(c) {
+				c.Score = score
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// pickTTL compacts the whole level holding the most overdue tombstone,
+// pulling the next level's runs in too: otherwise the merged run lands
+// beside older runs at the next level and the tombstone cannot be disposed
+// of, costing another full DPT before the next chance.
+func (p *SizeTiered) pickTTL(v *manifest.Version, depth int, now base.Timestamp, haveSnapshots bool, inflight *InFlightSet) *Candidate {
+	worst, worstLevel, worstOverdue := ttlWorstFile(v, p.o, depth, now, haveSnapshots, inflight)
+	if worst == nil {
+		return nil
+	}
+	c := wholeLevelCandidate(v, worstLevel, false)
+	c.Trigger = TriggerTTL
+	c.Score = float64(worstOverdue)
+	c.InputLevels = make([]int, len(c.Inputs))
+	for i := range c.InputLevels {
+		c.InputLevels[i] = worstLevel
+	}
+	for _, r := range v.Levels[worstLevel+1] {
+		c.Inputs = append(c.Inputs, r)
+		c.InputLevels = append(c.InputLevels, worstLevel+1)
+	}
+	if inflight.Conflicts(c) {
+		return nil
+	}
+	return c
+}

@@ -116,8 +116,10 @@ func (d *DB) compactAll() error {
 			OutputLevel: l + 1,
 			Inputs:      append([]*manifest.Run(nil), v.Levels[l]...),
 		}
-		if d.opts.Compaction.Shape == compaction.Leveling {
+		if d.policy.LeveledOutputAt(v, l+1) {
 			d.fillOutputOverlap(v, cand)
+		} else {
+			cand.OutputToNewRun = true
 		}
 		err := d.runCandidate(d.sched.newID(), v, cand)
 		d.maintMu.Unlock()
@@ -227,7 +229,7 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 	if len(files) == 0 {
 		return nil
 	}
-	if d.opts.Compaction.Shape == compaction.Leveling &&
+	if !c.OutputToNewRun &&
 		len(files) == 1 && len(c.OutputRunFiles) == 0 && !files[0].HasTombstones {
 		return d.trivialMove(id, c, files[0])
 	}
@@ -338,7 +340,7 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 	}
 	err = d.vs.LogAndApplyFunc(func(cur *manifest.Version) (*manifest.VersionEdit, error) {
 		runID := c.OutputRunID
-		if d.opts.Compaction.Shape == compaction.Tiering {
+		if c.OutputToNewRun {
 			runID = d.vs.AllocRunID()
 		} else if runID == 0 {
 			if outRuns := cur.Levels[c.OutputLevel]; len(outRuns) > 0 {
@@ -386,6 +388,8 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
 	d.stats.CompactBytesRead.Add(int64(res.BytesRead))
 	d.stats.CompactBytesWritten.Add(int64(res.BytesWritten))
+	d.stats.CompactBytesReadByTrigger[int(c.Trigger)].Add(int64(res.BytesRead))
+	d.stats.CompactBytesWrittenByTrigger[int(c.Trigger)].Add(int64(res.BytesWritten))
 	d.stats.ShadowedDropped.Add(int64(res.ShadowedDropped))
 	d.stats.PagesDropped.Add(int64(res.PagesDropped))
 	d.stats.RangeCoveredDropped.Add(int64(res.RangeCoveredDropped))
@@ -394,6 +398,7 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 		ID:          id,
 		Kind:        JobCompact,
 		Trigger:     c.Trigger,
+		Policy:      d.policy.Name(),
 		StartLevel:  c.StartLevel,
 		OutputLevel: c.OutputLevel,
 		Started:     start,
@@ -410,7 +415,7 @@ func (d *DB) trivialMove(id uint64, c *compaction.Candidate, f *manifest.FileMet
 	err := d.vs.LogAndApplyFunc(func(cur *manifest.Version) (*manifest.VersionEdit, error) {
 		runID := c.OutputRunID
 		if runID == 0 {
-			if runs := cur.Levels[c.OutputLevel]; len(runs) > 0 && d.opts.Compaction.Shape == compaction.Leveling {
+			if runs := cur.Levels[c.OutputLevel]; len(runs) > 0 {
 				runID = runs[0].ID
 			} else {
 				runID = d.vs.AllocRunID()
@@ -432,6 +437,7 @@ func (d *DB) trivialMove(id uint64, c *compaction.Candidate, f *manifest.FileMet
 		ID:          id,
 		Kind:        JobCompact,
 		Trigger:     c.Trigger,
+		Policy:      d.policy.Name(),
 		StartLevel:  c.StartLevel,
 		OutputLevel: c.OutputLevel,
 		Started:     start,

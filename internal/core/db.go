@@ -101,6 +101,12 @@ type DB struct {
 	flushMu sync.Mutex
 	// pickMu makes pick+claim atomic across compaction executors.
 	pickMu sync.Mutex
+	// policy is the compaction layout policy (leveled, size-tiered, or
+	// lazy-leveling), resolved once at Open from Options.Compaction.
+	// Policies are immutable after construction — Pick reads only its own
+	// Options copy and the version/claims passed in — so no lock guards
+	// this field.
+	policy compaction.Policy
 	// inflight tracks the file and level/key-span claims of running
 	// maintenance jobs; pickers exclude them.
 	inflight *compaction.InFlightSet
@@ -162,6 +168,7 @@ func Open(dirname string, opts Options) (*DB, error) {
 		fileRTs:   make(map[base.FileNum][]base.RangeTombstone),
 		eagerDone: make(map[base.FileNum]base.SeqNum),
 		inflight:  compaction.NewInFlightSet(),
+		policy:    opts.Compaction.NewPolicy(),
 		sched:     newScheduler(),
 		workCh:    make(chan struct{}, 1),
 		flushCh:   make(chan struct{}, 1),
@@ -978,6 +985,10 @@ func (d *DB) Levels() [manifest.NumLevels]LevelInfo {
 
 // DiskSize returns the total bytes of live sstables.
 func (d *DB) DiskSize() uint64 { return d.vs.Current().TotalSize() }
+
+// PolicyName returns the name of the compaction policy in use ("leveled",
+// "size-tiered", or "lazy-leveling").
+func (d *DB) PolicyName() string { return d.policy.Name() }
 
 // fileMetaFrom converts a finished table's writer metadata into manifest
 // metadata, widening bounds for range-tombstone-only tables.

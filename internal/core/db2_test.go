@@ -165,6 +165,98 @@ func TestDPTInvariant(t *testing.T) {
 	})
 }
 
+// TestDPTPolicySweepStress checks the FADE delete-persistence guarantee
+// under every layout policy: tombstones must reach the last level and
+// physically erase (no tombstone entry survives in any live file) within
+// the DPT regardless of whether the tree is leveled, size-tiered, or
+// lazy-leveled. Seeds and clocks are deterministic; the "Stress" name
+// places the sweep under the race-detector gate.
+func TestDPTPolicySweepStress(t *testing.T) {
+	policies := []compaction.PolicyKind{
+		compaction.PolicyLeveled,
+		compaction.PolicySizeTiered,
+		compaction.PolicyLazyLeveling,
+	}
+	for _, kind := range policies {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			clk := &base.LogicalClock{}
+			opts := testOptions(vfs.NewMemFS(), clk)
+			const dpt = 4000
+			opts.Compaction.Policy = kind
+			opts.Compaction.DPT = dpt
+			opts.Compaction.Picker = compaction.PickFADE
+			d := mustOpen(t, opts)
+
+			// Build a multi-level tree, then delete a dedicated stripe of
+			// keys that are never written again.
+			for i := 0; i < 3000; i++ {
+				clk.Advance(1)
+				k := fmt.Sprintf("k%05d", i%1200)
+				var err error
+				if i%5 == 4 {
+					err = d.Delete([]byte(k))
+				} else {
+					err = d.Put([]byte(k), testValue(uint64(i), i))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i%97 == 0 {
+					if err := d.WaitIdle(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < 1200; i += 7 {
+				clk.Advance(1)
+				if err := d.Delete([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Quiesce in fine steps so TTL triggers fire close to their
+			// deadlines; the budget spans the full DPT plus slack.
+			for i := 0; i < 50; i++ {
+				clk.Advance(dpt / 40)
+				if err := d.WaitIdle(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			st := d.Stats()
+			if st.TombstonesPersisted.Get() == 0 {
+				t.Fatal("no tombstone ever reached the last level")
+			}
+			if live := st.LiveTombstones.Get(); live != 0 {
+				t.Fatalf("%d tombstones still live after the DPT elapsed under %s", live, kind)
+			}
+			slack := int64(dpt / 8)
+			if max := st.PersistenceLatency.Max(); max > dpt+slack {
+				t.Fatalf("max persistence latency %d exceeds DPT %d (+slack %d) under %s", max, dpt, slack, kind)
+			}
+			// Physical erasure: no live file in any run of any level still
+			// holds a tombstone entry.
+			var residual uint64
+			d.vs.Current().AllFiles(func(l int, f *manifest.FileMetadata) {
+				residual += f.NumDeletes
+			})
+			if residual != 0 {
+				t.Fatalf("%d tombstone entries physically present after settle under %s", residual, kind)
+			}
+			// And the deleted stripe is actually gone.
+			for i := 0; i < 1200; i += 7 {
+				if _, err := d.Get([]byte(fmt.Sprintf("k%05d", i))); err != ErrNotFound {
+					t.Fatalf("deleted key k%05d still readable under %s: %v", i, kind, err)
+				}
+			}
+		})
+	}
+}
+
 func TestBaselineLeavesTombstones(t *testing.T) {
 	clk := &base.LogicalClock{}
 	d := mustOpen(t, testOptions(vfs.NewMemFS(), clk)) // no DPT

@@ -137,6 +137,14 @@ func TestModelEquivalence(t *testing.T) {
 			o.Compaction.Picker = compaction.PickFADE
 			o.Compaction.DPT = 2000
 		}},
+		{"lazy-leveling", func(o *Options) {
+			o.Compaction.Policy = compaction.PolicyLazyLeveling
+		}},
+		{"lazy-leveling-fade", func(o *Options) {
+			o.Compaction.Policy = compaction.PolicyLazyLeveling
+			o.Compaction.Picker = compaction.PickFADE
+			o.Compaction.DPT = 2000
+		}},
 		{"kiwi-eager", func(o *Options) {
 			o.PagesPerTile = 4
 			o.EagerRangeDeletes = true

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/base"
+	"repro/internal/compaction"
 	"repro/internal/vfs"
 )
 
@@ -49,153 +50,166 @@ func checkSnapshotView(t *testing.T, d *DB, snap *Snapshot, frozen map[string][]
 // TestModelDifferentialStress drives the engine with a long randomized op
 // sequence — puts, deletes, batches, secondary range deletes, flushes,
 // maintenance steps, snapshots, and full reopens — and continuously diffs it
-// against the in-memory reference model. Seeds are fixed so every failure
-// reproduces; the "Stress" name places it under the race-detector gate.
+// against the in-memory reference model, under every compaction policy.
+// Seeds are fixed so every failure reproduces; the "Stress" name places it
+// under the race-detector gate.
 func TestModelDifferentialStress(t *testing.T) {
-	for _, seed := range []int64{1, 7, 42} {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel()
-			rng := rand.New(rand.NewSource(seed))
-			fs := vfs.NewMemFS()
-			clk := &base.LogicalClock{}
-			opts := testOptions(fs, clk)
-			d, err := Open("db", opts)
-			if err != nil {
-				t.Fatal(err)
+	policies := []compaction.PolicyKind{
+		compaction.PolicyLeveled,
+		compaction.PolicySizeTiered,
+		compaction.PolicyLazyLeveling,
+	}
+	for _, kind := range policies {
+		for _, seed := range []int64{1, 7, 42} {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				runModelDifferentialStress(t, kind, seed)
+			})
+		}
+	}
+}
+
+func runModelDifferentialStress(t *testing.T, kind compaction.PolicyKind, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	fs := vfs.NewMemFS()
+	clk := &base.LogicalClock{}
+	opts := testOptions(fs, clk)
+	opts.Compaction.Policy = kind
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { d.Close() }()
+	m := newModel()
+
+	const ops = 4000
+	keySpace := 600
+	key := func() string { return fmt.Sprintf("key%05d", rng.Intn(keySpace)) }
+
+	type pinned struct {
+		snap   *Snapshot
+		frozen map[string][]byte
+	}
+	var pins []pinned
+
+	for i := 0; i < ops; i++ {
+		clk.Advance(base.Duration(rng.Intn(1000)))
+		switch p := rng.Intn(100); {
+		case p < 45: // put
+			k := key()
+			v := testValue(uint64(rng.Intn(1000)), i)
+			if err := d.Put([]byte(k), v); err != nil {
+				t.Fatalf("op %d Put: %v", i, err)
 			}
-			defer func() { d.Close() }()
-			m := newModel()
-
-			const ops = 4000
-			keySpace := 600
-			key := func() string { return fmt.Sprintf("key%05d", rng.Intn(keySpace)) }
-
-			type pinned struct {
-				snap   *Snapshot
-				frozen map[string][]byte
+			m.put(k, v)
+		case p < 60: // delete (existing or absent)
+			k := key()
+			if err := d.Delete([]byte(k)); err != nil {
+				t.Fatalf("op %d Delete: %v", i, err)
 			}
-			var pins []pinned
-
-			for i := 0; i < ops; i++ {
-				clk.Advance(base.Duration(rng.Intn(1000)))
-				switch p := rng.Intn(100); {
-				case p < 45: // put
-					k := key()
-					v := testValue(uint64(rng.Intn(1000)), i)
-					if err := d.Put([]byte(k), v); err != nil {
-						t.Fatalf("op %d Put: %v", i, err)
-					}
-					m.put(k, v)
-				case p < 60: // delete (existing or absent)
-					k := key()
-					if err := d.Delete([]byte(k)); err != nil {
-						t.Fatalf("op %d Delete: %v", i, err)
-					}
-					m.delete(k)
-				case p < 70: // batch of puts + deletes
-					b := NewBatch()
-					type bop struct {
-						k   string
-						v   []byte
-						del bool
-					}
-					var staged []bop
-					for j := 0; j < 1+rng.Intn(8); j++ {
-						k := key()
-						if rng.Intn(4) == 0 {
-							b.Delete([]byte(k))
-							staged = append(staged, bop{k: k, del: true})
-						} else {
-							v := testValue(uint64(rng.Intn(1000)), i*100+j)
-							b.Put([]byte(k), v)
-							staged = append(staged, bop{k: k, v: v})
-						}
-					}
-					if err := d.Apply(b); err != nil {
-						t.Fatalf("op %d Apply: %v", i, err)
-					}
-					for _, o := range staged {
-						if o.del {
-							m.delete(o.k)
-						} else {
-							m.put(o.k, o.v)
-						}
-					}
-				case p < 75: // secondary range delete
-					lo := base.DeleteKey(rng.Intn(900))
-					hi := lo + base.DeleteKey(1+rng.Intn(100))
-					if err := d.DeleteSecondaryRange(lo, hi); err != nil {
-						t.Fatalf("op %d DeleteSecondaryRange: %v", i, err)
-					}
-					m.rangeDelete(lo, hi)
-				case p < 85: // point-get spot check
-					k := key()
-					v, err := d.Get([]byte(k))
-					want, present := m.data[k]
-					if present {
-						if err != nil {
-							t.Fatalf("op %d Get(%q): %v", i, k, err)
-						}
-						if string(v) != string(want) {
-							t.Fatalf("op %d Get(%q) divergence", i, k)
-						}
-					} else if err != ErrNotFound {
-						t.Fatalf("op %d Get(absent %q) = %v", i, k, err)
-					}
-				case p < 88: // flush
-					if err := d.Flush(); err != nil {
-						t.Fatalf("op %d Flush: %v", i, err)
-					}
-				case p < 94: // one maintenance step (flush or compaction)
-					if _, err := d.MaintenanceStep(); err != nil {
-						t.Fatalf("op %d MaintenanceStep: %v", i, err)
-					}
-				case p < 97: // pin a snapshot (bounded; released below)
-					if len(pins) < 3 {
-						pins = append(pins, pinned{snap: d.NewSnapshot(), frozen: snapModel(m)})
-					}
-				default: // verify + release the oldest pinned snapshot
-					if len(pins) > 0 {
-						checkSnapshotView(t, d, pins[0].snap, pins[0].frozen)
-						pins[0].snap.Release()
-						pins = pins[1:]
-					}
-				}
-
-				if i%800 == 799 {
-					checkEquivalence(t, d, m, int(seed)*1000+i)
-				}
-				// Two full reopens per run: WAL replay at 1/3, compacted
-				// state at 2/3.
-				if i == ops/3 || i == 2*ops/3 {
-					for _, pin := range pins {
-						checkSnapshotView(t, d, pin.snap, pin.frozen)
-						pin.snap.Release()
-					}
-					pins = nil
-					if i == 2*ops/3 {
-						if err := d.CompactAll(); err != nil {
-							t.Fatalf("op %d CompactAll: %v", i, err)
-						}
-					}
-					if err := d.Close(); err != nil {
-						t.Fatalf("op %d Close: %v", i, err)
-					}
-					d, err = Open("db", opts)
-					if err != nil {
-						t.Fatalf("op %d reopen: %v", i, err)
-					}
-					checkEquivalence(t, d, m, int(seed)*1000+i)
+			m.delete(k)
+		case p < 70: // batch of puts + deletes
+			b := NewBatch()
+			type bop struct {
+				k   string
+				v   []byte
+				del bool
+			}
+			var staged []bop
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				k := key()
+				if rng.Intn(4) == 0 {
+					b.Delete([]byte(k))
+					staged = append(staged, bop{k: k, del: true})
+				} else {
+					v := testValue(uint64(rng.Intn(1000)), i*100+j)
+					b.Put([]byte(k), v)
+					staged = append(staged, bop{k: k, v: v})
 				}
 			}
+			if err := d.Apply(b); err != nil {
+				t.Fatalf("op %d Apply: %v", i, err)
+			}
+			for _, o := range staged {
+				if o.del {
+					m.delete(o.k)
+				} else {
+					m.put(o.k, o.v)
+				}
+			}
+		case p < 75: // secondary range delete
+			lo := base.DeleteKey(rng.Intn(900))
+			hi := lo + base.DeleteKey(1+rng.Intn(100))
+			if err := d.DeleteSecondaryRange(lo, hi); err != nil {
+				t.Fatalf("op %d DeleteSecondaryRange: %v", i, err)
+			}
+			m.rangeDelete(lo, hi)
+		case p < 85: // point-get spot check
+			k := key()
+			v, err := d.Get([]byte(k))
+			want, present := m.data[k]
+			if present {
+				if err != nil {
+					t.Fatalf("op %d Get(%q): %v", i, k, err)
+				}
+				if string(v) != string(want) {
+					t.Fatalf("op %d Get(%q) divergence", i, k)
+				}
+			} else if err != ErrNotFound {
+				t.Fatalf("op %d Get(absent %q) = %v", i, k, err)
+			}
+		case p < 88: // flush
+			if err := d.Flush(); err != nil {
+				t.Fatalf("op %d Flush: %v", i, err)
+			}
+		case p < 94: // one maintenance step (flush or compaction)
+			if _, err := d.MaintenanceStep(); err != nil {
+				t.Fatalf("op %d MaintenanceStep: %v", i, err)
+			}
+		case p < 97: // pin a snapshot (bounded; released below)
+			if len(pins) < 3 {
+				pins = append(pins, pinned{snap: d.NewSnapshot(), frozen: snapModel(m)})
+			}
+		default: // verify + release the oldest pinned snapshot
+			if len(pins) > 0 {
+				checkSnapshotView(t, d, pins[0].snap, pins[0].frozen)
+				pins[0].snap.Release()
+				pins = pins[1:]
+			}
+		}
+
+		if i%800 == 799 {
+			checkEquivalence(t, d, m, int(seed)*1000+i)
+		}
+		// Two full reopens per run: WAL replay at 1/3, compacted
+		// state at 2/3.
+		if i == ops/3 || i == 2*ops/3 {
 			for _, pin := range pins {
 				checkSnapshotView(t, d, pin.snap, pin.frozen)
 				pin.snap.Release()
 			}
-			checkEquivalence(t, d, m, int(seed))
-		})
+			pins = nil
+			if i == 2*ops/3 {
+				if err := d.CompactAll(); err != nil {
+					t.Fatalf("op %d CompactAll: %v", i, err)
+				}
+			}
+			if err := d.Close(); err != nil {
+				t.Fatalf("op %d Close: %v", i, err)
+			}
+			d, err = Open("db", opts)
+			if err != nil {
+				t.Fatalf("op %d reopen: %v", i, err)
+			}
+			checkEquivalence(t, d, m, int(seed)*1000+i)
+		}
 	}
+	for _, pin := range pins {
+		checkSnapshotView(t, d, pin.snap, pin.frozen)
+		pin.snap.Release()
+	}
+	checkEquivalence(t, d, m, int(seed))
 }
 
 // TestCacheAccountingConcurrent hammers a small block cache with parallel

@@ -156,11 +156,17 @@ func (d *DB) buildRegistry() *metrics.Registry {
 	counter("acheron_compact_bytes_read_total", "Bytes read by compactions.", &s.CompactBytesRead)
 	counter("acheron_compact_bytes_written_total", "Bytes written by compactions.", &s.CompactBytesWritten)
 	counter("acheron_trivial_moves_total", "Metadata-only file moves.", &s.TrivialMoves)
+	policy := d.policy.Name()
 	for t := range s.CompactionsByTrigger {
+		lbl := metrics.Labels{"trigger": triggerLabels[t]["trigger"], "policy": policy}
 		must(r.RegisterCounter("acheron_compactions_total",
-			"Compactions run, by trigger.", triggerLabels[t], &s.CompactionsByTrigger[t]))
+			"Compactions run, by trigger and policy.", lbl, &s.CompactionsByTrigger[t]))
 		must(r.RegisterHistogram("acheron_compaction_duration_ns",
-			"Wall-clock nanoseconds per compaction job, by trigger.", triggerLabels[t], &s.JobLatencyByTrigger[t]))
+			"Wall-clock nanoseconds per compaction job, by trigger and policy.", lbl, &s.JobLatencyByTrigger[t]))
+		must(r.RegisterCounter("acheron_compact_bytes_read_by_trigger_total",
+			"Bytes read by compactions, by trigger and policy.", lbl, &s.CompactBytesReadByTrigger[t]))
+		must(r.RegisterCounter("acheron_compact_bytes_written_by_trigger_total",
+			"Bytes written by compactions, by trigger and policy.", lbl, &s.CompactBytesWrittenByTrigger[t]))
 	}
 	must(r.RegisterHistogram("acheron_flush_duration_ns",
 		"Wall-clock nanoseconds per flush job.", nil, &s.FlushLatency))
@@ -251,6 +257,9 @@ func (d *DB) buildRegistry() *metrics.Registry {
 		must(r.RegisterGaugeFunc("acheron_level_tombstones",
 			"Point tombstones resident per level.", lbl,
 			func() int64 { return int64(d.Levels()[l].Tombstones) }))
+		must(r.RegisterGaugeFunc("acheron_level_runs",
+			"Sorted runs per level (tiered policies hold several; leveling holds one).", lbl,
+			func() int64 { return int64(d.Levels()[l].Runs) }))
 	}
 
 	// The tracer itself.
@@ -261,16 +270,17 @@ func (d *DB) buildRegistry() *metrics.Registry {
 
 // eventJSON is the wire form of one trace event (Type rendered by name).
 type eventJSON struct {
-	Seq   uint64 `json:"seq"`
-	Time  string `json:"time"`
-	Type  string `json:"type"`
-	Op    string `json:"op,omitempty"`
-	Job   uint64 `json:"job,omitempty"`
-	File  uint64 `json:"file,omitempty"`
-	Level int    `json:"level,omitempty"`
-	Bytes int64  `json:"bytes,omitempty"`
-	DurNs int64  `json:"dur_ns,omitempty"`
-	Err   string `json:"err,omitempty"`
+	Seq    uint64 `json:"seq"`
+	Time   string `json:"time"`
+	Type   string `json:"type"`
+	Op     string `json:"op,omitempty"`
+	Policy string `json:"policy,omitempty"`
+	Job    uint64 `json:"job,omitempty"`
+	File   uint64 `json:"file,omitempty"`
+	Level  int    `json:"level,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	DurNs  int64  `json:"dur_ns,omitempty"`
+	Err    string `json:"err,omitempty"`
 }
 
 func toEventJSON(evs []event.Event) []eventJSON {
@@ -278,7 +288,7 @@ func toEventJSON(evs []event.Event) []eventJSON {
 	for i, e := range evs {
 		out[i] = eventJSON{
 			Seq: e.Seq, Time: e.Time.Format(time.RFC3339Nano), Type: e.Type.String(),
-			Op: e.Op, Job: e.Job, File: e.File, Level: e.Level,
+			Op: e.Op, Policy: e.Policy, Job: e.Job, File: e.File, Level: e.Level,
 			Bytes: e.Bytes, DurNs: e.Dur.Nanoseconds(), Err: e.Err,
 		}
 	}
@@ -290,6 +300,7 @@ type jobJSON struct {
 	ID          uint64 `json:"id"`
 	Kind        string `json:"kind"`
 	Trigger     string `json:"trigger,omitempty"`
+	Policy      string `json:"policy,omitempty"`
 	StartLevel  int    `json:"start_level"`
 	OutputLevel int    `json:"output_level"`
 	Started     string `json:"started"`
@@ -313,6 +324,7 @@ func toJobJSON(jobs []JobInfo) []jobJSON {
 		}
 		if j.Kind == JobCompact {
 			jj.Trigger = j.Trigger.String()
+			jj.Policy = j.Policy
 		}
 		if j.Err != nil {
 			jj.Err = j.Err.Error()

@@ -39,9 +39,12 @@ func (k JobKind) String() string {
 // jobs — e.g. that a TTL compaction ran while a saturation compaction was
 // still in flight.
 type JobInfo struct {
-	ID          uint64
-	Kind        JobKind
-	Trigger     compaction.Trigger
+	ID      uint64
+	Kind    JobKind
+	Trigger compaction.Trigger
+	// Policy names the compaction policy that picked the job; empty for
+	// flushes and eager range deletes.
+	Policy      string
 	StartLevel  int
 	OutputLevel int
 	Started     time.Time
@@ -161,13 +164,14 @@ func jobOpName(ji JobInfo) string {
 func (d *DB) recordJob(ji JobInfo) {
 	d.sched.record(ji)
 	e := event.Event{
-		Type:  event.JobCommit,
-		Time:  ji.Finished,
-		Op:    jobOpName(ji),
-		Job:   ji.ID,
-		Level: ji.StartLevel,
-		Bytes: int64(ji.BytesOut),
-		Dur:   ji.Finished.Sub(ji.Started),
+		Type:   event.JobCommit,
+		Time:   ji.Finished,
+		Op:     jobOpName(ji),
+		Policy: ji.Policy,
+		Job:    ji.ID,
+		Level:  ji.StartLevel,
+		Bytes:  int64(ji.BytesOut),
+		Dur:    ji.Finished.Sub(ji.Started),
 	}
 	if ji.Err != nil {
 		e.Type = event.JobError
@@ -179,6 +183,12 @@ func (d *DB) recordJob(ji JobInfo) {
 // traceJobClaim emits the JobClaim event for a freshly picked job.
 func (d *DB) traceJobClaim(id uint64, op string, level int) {
 	d.trace.Emit(event.Event{Type: event.JobClaim, Op: op, Job: id, Level: level})
+}
+
+// traceJobClaimPolicy is traceJobClaim carrying the picking policy's name
+// (compaction claims only; flushes and eager work are policy-independent).
+func (d *DB) traceJobClaimPolicy(id uint64, op string, level int, policy string) {
+	d.trace.Emit(event.Event{Type: event.JobClaim, Op: op, Policy: policy, Job: id, Level: level})
 }
 
 // recordFailedJob appends a failed maintenance job to the observability
@@ -366,13 +376,13 @@ func (d *DB) pickCompactionJob() (*compactJob, bool) {
 	haveSnaps := len(d.snapshots) > 0
 	d.mu.Unlock()
 
-	cand := compaction.Pick(v, d.opts.Compaction, now, haveSnaps, claims)
+	cand := d.policy.Pick(v, now, haveSnaps, claims)
 	if cand == nil {
 		return nil, false
 	}
 	id := d.sched.newID()
 	d.inflight.ClaimCandidate(id, cand)
-	d.traceJobClaim(id, "compact/"+cand.Trigger.String(), cand.StartLevel)
+	d.traceJobClaimPolicy(id, "compact/"+cand.Trigger.String(), cand.StartLevel, d.policy.Name())
 	return &compactJob{id: id, v: v, cand: cand}, true
 }
 

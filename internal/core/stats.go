@@ -21,6 +21,11 @@ type Stats struct {
 	// CompactBytesRead / CompactBytesWritten count compaction I/O.
 	CompactBytesRead    metrics.Counter
 	CompactBytesWritten metrics.Counter
+	// CompactBytesReadByTrigger / CompactBytesWrittenByTrigger break the
+	// compaction I/O down by trigger (0=l0, 1=saturation, 2=ttl): the TTL
+	// rows price the delete-persistence guarantee, per policy, in bytes.
+	CompactBytesReadByTrigger    [3]metrics.Counter
+	CompactBytesWrittenByTrigger [3]metrics.Counter
 
 	// Flushes counts memtable flushes.
 	Flushes metrics.Counter

@@ -83,19 +83,21 @@ func Types() []Type {
 }
 
 // Event is one trace record. Fields beyond Seq/Time/Type are populated as
-// relevant: Op names the operation or job kind, Job/File carry IDs, Level
-// the LSM level, Bytes a size, Dur a latency, Err a failure message.
+// relevant: Op names the operation or job kind, Policy the compaction
+// policy that picked a compaction job, Job/File carry IDs, Level the LSM
+// level, Bytes a size, Dur a latency, Err a failure message.
 type Event struct {
-	Seq   uint64
-	Time  time.Time
-	Type  Type
-	Op    string
-	Job   uint64
-	File  uint64
-	Level int
-	Bytes int64
-	Dur   time.Duration
-	Err   string
+	Seq    uint64
+	Time   time.Time
+	Type   Type
+	Op     string
+	Policy string
+	Job    uint64
+	File   uint64
+	Level  int
+	Bytes  int64
+	Dur    time.Duration
+	Err    string
 }
 
 // String renders a single-line human-readable form used by the shell's
@@ -104,6 +106,9 @@ func (e Event) String() string {
 	s := fmt.Sprintf("#%d %s %s", e.Seq, e.Time.Format("15:04:05.000"), e.Type)
 	if e.Op != "" {
 		s += " op=" + e.Op
+	}
+	if e.Policy != "" {
+		s += " policy=" + e.Policy
 	}
 	if e.Job != 0 {
 		s += fmt.Sprintf(" job=%d", e.Job)

@@ -63,7 +63,13 @@ func SmallScale() Scale {
 // EngineConfig names one engine variant under test.
 type EngineConfig struct {
 	Name string
+	// Policy selects the layout policy (leveled, size-tiered,
+	// lazy-leveling). Zero (PolicyDefault) falls back to the deprecated
+	// Shape knob.
+	Policy compaction.PolicyKind
 	// Shape and Picker select the compaction policy.
+	//
+	// Deprecated: Shape is consulted only when Policy is PolicyDefault.
 	Shape  compaction.Shape
 	Picker compaction.Picker
 	// DPT enables FADE when non-zero (in logical ticks; the harness
@@ -123,6 +129,7 @@ func OpenRuntime(cfg EngineConfig, sc Scale) (*Runtime, error) {
 		EagerRangeDeletes:      cfg.EagerRangeDeletes,
 		DisableAutoMaintenance: true,
 		Compaction: compaction.Options{
+			Policy:          cfg.Policy,
 			Shape:           cfg.Shape,
 			Picker:          cfg.Picker,
 			SizeRatio:       sc.SizeRatio,

@@ -125,7 +125,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 // TestE7TinyRunsEndToEnd exercises one full experiment (the strategy
-// matrix, which covers all four engine shapes) at a tiny scale.
+// matrix, which covers every policy x picker pairing) at a tiny scale.
 func TestE7TinyRunsEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run in -short mode")
@@ -134,8 +134,8 @@ func TestE7TinyRunsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 4 {
-		t.Fatalf("E7 produced %d rows, want 4", len(tbl.Rows))
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("E7 produced %d rows, want 6", len(tbl.Rows))
 	}
 }
 

@@ -5,13 +5,14 @@ GO ?= go
 # tests so the race target stays fast enough for CI.
 RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
             ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/... \
-            ./internal/manifest/... ./internal/compaction/... ./internal/event/...
+            ./internal/manifest/... ./internal/compaction/... ./internal/event/... \
+            ./internal/admission/...
 RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|FailingFlush'
 
 # Decode-hardening fuzz targets and their per-target CI time budget.
 FUZZTIME ?= 20s
 
-.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy clean
+.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy overload bench-overload clean
 
 all: build lint test
 
@@ -78,6 +79,22 @@ bench:
 # delete-persistence columns are deterministic; reads_s is wall clock.
 bench-policy:
 	$(GO) run ./cmd/acheron-bench -exp C5 -json BENCH_policy.json
+
+# overload is the overload-resilience gate: the deadline/cancellation and
+# admission-control suites under the race detector (random cancels, bounded
+# Close, cancelled-commit atomicity under fault injection), then a small-scale
+# C6 smoke proving goodput holds as offered load passes the admitted rate.
+overload:
+	$(GO) test -race -count=1 -run 'TestOverloadStress|TestStallDeadline|TestMaintenanceBarrier|TestCancelledCommit' ./internal/core
+	$(GO) test -race -count=1 ./internal/admission/
+	$(GO) run ./cmd/acheron-bench -exp C6 -scale small
+
+# bench-overload regenerates the C6 overload experiment (goodput + rejection
+# latency vs offered load at 1x/2x/4x the admitted write rate) and records
+# the tables + admission metrics in BENCH_overload.json. Wall-clock numbers
+# vary run to run; the shape (flat goodput, microsecond rej_p50) should not.
+bench-overload:
+	$(GO) run ./cmd/acheron-bench -exp C6 -json BENCH_overload.json
 
 clean:
 	$(GO) clean ./...

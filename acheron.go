@@ -36,6 +36,7 @@
 package acheron
 
 import (
+	"repro/internal/admission"
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/core"
@@ -47,6 +48,10 @@ import (
 // DB is an open Acheron store. See the core engine for the full method
 // set: Put, Get, Delete, DeleteSecondaryRange, NewIter, NewSnapshot, Flush,
 // CompactAll, MaintenanceStep, WaitIdle, Stats, Levels, DiskSize, Close.
+// Every foreground operation also has a context-honoring variant (PutCtx,
+// GetCtx, DeleteCtx, ApplyCtx, CheckpointCtx, CompactAllCtx, ...) whose
+// deadline/cancel is observed inside admission control, write stalls, and
+// the group-commit queue.
 type DB = core.DB
 
 // Options configure a store; the zero value works.
@@ -136,17 +141,19 @@ type EventListener = event.Listener
 
 // Trace event types.
 const (
-	EventOpBegin    = event.OpBegin
-	EventOpEnd      = event.OpEnd
-	EventStallBegin = event.StallBegin
-	EventStallEnd   = event.StallEnd
-	EventJobClaim   = event.JobClaim
-	EventJobCommit  = event.JobCommit
-	EventJobRetry   = event.JobRetry
-	EventJobError   = event.JobError
-	EventFileCreate = event.FileCreate
-	EventFileDelete = event.FileDelete
-	EventCheckpoint = event.Checkpoint
+	EventOpBegin         = event.OpBegin
+	EventOpEnd           = event.OpEnd
+	EventStallBegin      = event.StallBegin
+	EventStallEnd        = event.StallEnd
+	EventStallTimeout    = event.StallTimeout
+	EventAdmissionReject = event.AdmissionReject
+	EventJobClaim        = event.JobClaim
+	EventJobCommit       = event.JobCommit
+	EventJobRetry        = event.JobRetry
+	EventJobError        = event.JobError
+	EventFileCreate      = event.FileCreate
+	EventFileDelete      = event.FileDelete
+	EventCheckpoint      = event.Checkpoint
 )
 
 // MetricsRegistry names every engine metric for exposition; DB.Registry
@@ -216,11 +223,38 @@ func NewMemFS() *vfs.MemFS { return vfs.NewMemFS() }
 // ErrNotFound is returned by Get for missing or deleted keys.
 var ErrNotFound = core.ErrNotFound
 
+// ErrClosed is returned by operations issued against a closed store,
+// including writers still queued for admission or group commit when Close
+// ran. Match with errors.Is.
+var ErrClosed = core.ErrClosed
+
 // ErrBackgroundError wraps every write rejected because a permanent
 // background failure (ENOSPC, corruption, retry exhaustion) turned the
 // store read-only. The cause stays in the chain; DB.BackgroundError
 // returns it, and reopening the store is the only recovery.
 var ErrBackgroundError = core.ErrBackgroundError
+
+// ErrOverloaded wraps every operation rejected by admission control
+// (Options.Admission): the pressure gate shed it, or its projected token
+// wait exceeded the context deadline or the configured maximum queue time.
+// Rejections fail in microseconds by design; match with errors.Is. When a
+// context deadline caused the rejection the chain also wraps
+// context.DeadlineExceeded.
+var ErrOverloaded = core.ErrOverloaded
+
+// AdmissionConfig configures token-bucket admission control; set it in
+// Options.Admission. The zero value disables the gate.
+type AdmissionConfig = admission.Config
+
+// AdmissionController is a live admission gate; DB.Admission returns the
+// store's instance (nil when Options.Admission is disabled).
+type AdmissionController = admission.Controller
+
+// Admission classes: reads and writes draw from independent token buckets.
+const (
+	AdmissionRead  = admission.ClassRead
+	AdmissionWrite = admission.ClassWrite
+)
 
 // NewBatch returns an empty write batch.
 func NewBatch() *Batch { return core.NewBatch() }

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/harness"
 )
@@ -56,8 +57,9 @@ func main() {
 		"C1": harness.C1MaintenanceConcurrency,
 		"C2": harness.C2CommitPipeline,
 		"C5": harness.C5PolicyWorkloadSweep,
+		"C6": harness.C6Overload,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C5"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C5", "C6"}
 
 	var ids []string
 	if *expFlag == "all" {
@@ -113,7 +115,7 @@ func main() {
 				key = fmt.Sprintf("%s-%d", key, n)
 			}
 			st := db.Stats()
-			jsonMetrics[key] = map[string]float64{
+			m := map[string]float64{
 				"wal_appends":       float64(st.WALAppends.Get()),
 				"wal_syncs":         float64(st.WALSyncs.Get()),
 				"wal_bytes":         float64(st.WALBytes.Get()),
@@ -129,7 +131,17 @@ func main() {
 				"flushes":           float64(st.Flushes.Get()),
 				"peak_flush_queue":  float64(st.FlushQueueDepth.Peak()),
 				"background_errors": float64(st.BackgroundErrors.Get()),
+				"stall_timeouts":    float64(st.StallTimeouts.Get()),
+				"commit_cancels":    float64(st.CommitCancels.Get()),
 			}
+			if ac := db.Admission(); ac != nil {
+				wm := ac.ClassMetrics(admission.ClassWrite)
+				m["admitted_writes"] = float64(wm.Admitted.Get())
+				m["rejected_writes"] = float64(wm.Rejected.Get())
+				m["shed_writes"] = float64(wm.Shed.Get())
+				m["p99_admission_wait_ns"] = float64(wm.Wait.Quantile(0.99))
+			}
+			jsonMetrics[key] = m
 		})
 	}
 	if len(sinks) > 0 {

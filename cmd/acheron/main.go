@@ -7,12 +7,14 @@
 // Usage:
 //
 //	acheron -dir /tmp/store [-dpt 1h] [-policy leveled|size-tiered|lazy-leveling] [-kiwi]
+//	        [-timeout 50ms] [-write-rate 10000]
 //
 // Then type "help" at the prompt.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/core"
@@ -34,6 +37,8 @@ func main() {
 	shape := flag.String("shape", "leveling", "deprecated compaction shape: leveling or tiering (use -policy)")
 	kiwi := flag.Bool("kiwi", false, "use the KiWi key-weaving layout (4 pages/tile)")
 	eager := flag.Bool("eager", false, "apply secondary range deletes eagerly")
+	flag.DurationVar(&opTimeout, "timeout", 0, "per-operation deadline; stalled or queued ops fail instead of blocking (0 disables)")
+	writeRate := flag.Float64("write-rate", 0, "admitted write rate in ops/s via token-bucket admission control (0 disables)")
 	flag.Parse()
 
 	opts := core.Options{
@@ -66,6 +71,9 @@ func main() {
 	if *kiwi {
 		opts.PagesPerTile = 4
 	}
+	if *writeRate > 0 {
+		opts.Admission = admission.Config{WriteRate: *writeRate}
+	}
 
 	db, err := core.Open(*dir, opts)
 	if err != nil {
@@ -96,6 +104,20 @@ func main() {
 }
 
 var errQuit = fmt.Errorf("quit")
+
+// opTimeout is the -timeout flag: the deadline attached to every shell
+// operation. Under a saturated stall or a drained admission bucket the
+// command returns a wrapped context.DeadlineExceeded or ErrOverloaded
+// instead of hanging the prompt.
+var opTimeout time.Duration
+
+// opCtx returns the context for one shell operation and its cancel func.
+func opCtx() (context.Context, context.CancelFunc) {
+	if opTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), opTimeout)
+}
 
 // watchEvents tails the trace ring for d, polling EventsSince with the last
 // seen sequence number so nothing is printed twice and nothing buffered is
@@ -130,6 +152,7 @@ func execute(db *core.DB, fields []string) error {
   vars                       all metrics as one JSON document
   events [n]                 last n buffered trace events (default 20)
   jobs                       recently completed maintenance jobs
+  admission                  per-class admission-control counters
   watch [seconds]            tail trace events live (default 5s)
   serve [addr]               expose /metrics /vars /events /jobs over HTTP
   flush                      flush memtables
@@ -144,12 +167,16 @@ func execute(db *core.DB, fields []string) error {
 		v := make([]byte, 8+len(fields[2]))
 		binary.BigEndian.PutUint64(v, uint64(time.Now().UnixNano()))
 		copy(v[8:], fields[2])
-		return db.Put([]byte(fields[1]), v)
+		ctx, cancel := opCtx()
+		defer cancel()
+		return db.PutCtx(ctx, []byte(fields[1]), v)
 	case "get":
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: get <key>")
 		}
-		v, err := db.Get([]byte(fields[1]))
+		ctx, cancel := opCtx()
+		defer cancel()
+		v, err := db.GetCtx(ctx, []byte(fields[1]))
 		if err != nil {
 			return err
 		}
@@ -163,7 +190,9 @@ func execute(db *core.DB, fields []string) error {
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: del <key>")
 		}
-		return db.Delete([]byte(fields[1]))
+		ctx, cancel := opCtx()
+		defer cancel()
+		return db.DeleteCtx(ctx, []byte(fields[1]))
 	case "rangedel":
 		if len(fields) != 3 {
 			return fmt.Errorf("usage: rangedel <loUnixNano> <hiUnixNano>")
@@ -176,7 +205,9 @@ func execute(db *core.DB, fields []string) error {
 		if err != nil {
 			return err
 		}
-		return db.DeleteSecondaryRange(lo, hi)
+		ctx, cancel := opCtx()
+		defer cancel()
+		return db.DeleteSecondaryRangeCtx(ctx, lo, hi)
 	case "scan":
 		prefix := ""
 		limit := 20
@@ -278,10 +309,25 @@ func execute(db *core.DB, fields []string) error {
 			return err
 		}
 		fmt.Printf("serving http://%s/{metrics,vars,events,jobs} until the shell exits\n", bound)
+	case "admission":
+		ac := db.Admission()
+		if ac == nil {
+			fmt.Println("admission control disabled (start with -write-rate)")
+			return nil
+		}
+		fmt.Println("class  admitted  rejected  shed  p50_wait   p99_wait")
+		for _, cl := range []admission.Class{admission.ClassRead, admission.ClassWrite} {
+			cm := ac.ClassMetrics(cl)
+			fmt.Printf("%-6s %-9d %-9d %-5d %-10v %v\n", cl,
+				cm.Admitted.Get(), cm.Rejected.Get(), cm.Shed.Get(),
+				time.Duration(cm.Wait.Quantile(0.5)), time.Duration(cm.Wait.Quantile(0.99)))
+		}
 	case "flush":
 		return db.Flush()
 	case "compact":
-		return db.CompactAll()
+		ctx, cancel := opCtx()
+		defer cancel()
+		return db.CompactAllCtx(ctx)
 	case "quit", "exit":
 		return errQuit
 	default:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -122,18 +123,25 @@ func applyWALBatch(m *memtable.MemTable, payload []byte) (base.SeqNum, error) {
 // Apply atomically commits the batch. The batch may be Reset and reused
 // afterwards.
 func (d *DB) Apply(b *Batch) error {
+	return d.applyBatchCtx(nil, b)
+}
+
+func (d *DB) applyBatchCtx(ctx context.Context, b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
 	start := time.Now()
-	err := d.commitBatch(b)
+	err := d.commitBatch(ctx, b)
 	dur := time.Since(start)
 	d.stats.BatchLatency.Record(dur.Nanoseconds())
 	d.traceOp(opBatch, start, dur, err)
 	return err
 }
 
-func (d *DB) commitBatch(b *Batch) error {
+func (d *DB) commitBatch(ctx context.Context, b *Batch) error {
+	if err := d.admitWrite(ctx); err != nil {
+		return err
+	}
 	now := d.opts.Clock.Now()
 	// Stamp tombstone timestamps before committing.
 	for i := range b.ops {
@@ -145,7 +153,7 @@ func (d *DB) commitBatch(b *Batch) error {
 	// The pipeline stamps the batch's contiguous sequence block and keeps
 	// it atomic for readers: the whole block publishes in one step of the
 	// visibility ratchet, so readers see all of the batch or none of it.
-	pc := &pendingCommit{ops: b.ops, asBatch: true}
+	pc := &pendingCommit{ops: b.ops, asBatch: true, ctx: ctx}
 	if err := d.commit.commit(pc); err != nil {
 		return err
 	}

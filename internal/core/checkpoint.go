@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,8 +18,16 @@ import (
 // The checkpoint captures the state as of the implicit flush it performs;
 // writes racing with the checkpoint may or may not be included.
 func (d *DB) Checkpoint(destDir string) error {
+	return d.CheckpointCtx(nil, destDir)
+}
+
+// CheckpointCtx is Checkpoint honoring ctx: the deadline/cancel applies to
+// the executor quiesce (the maintenance barrier) and between file copies. A
+// context error leaves no complete checkpoint behind; destDir may hold a
+// partial copy the caller should discard.
+func (d *DB) CheckpointCtx(ctx context.Context, destDir string) error {
 	start := time.Now()
-	err := d.checkpoint(destDir)
+	err := d.checkpoint(ctx, destDir)
 	dur := time.Since(start)
 	d.traceOp(opCheckpoint, start, dur, err)
 	if err == nil {
@@ -28,7 +37,7 @@ func (d *DB) Checkpoint(destDir string) error {
 	return err
 }
 
-func (d *DB) checkpoint(destDir string) error {
+func (d *DB) checkpoint(ctx context.Context, destDir string) error {
 	// A checkpoint is a write of the whole store; in read-only mode it
 	// fails fast like any other write (and the flush below would fail
 	// anyway).
@@ -40,7 +49,11 @@ func (d *DB) checkpoint(destDir string) error {
 	}
 	// Freeze maintenance (and therefore file deletions) while copying:
 	// quiesce the executors, then take maintMu against synchronous callers.
-	d.sched.pause()
+	// The quiesce is the unbounded wait here (a saturation merge can run
+	// for a long time), so it honors the caller's deadline.
+	if err := d.sched.pauseCtx(ctx); err != nil {
+		return fmt.Errorf("acheron: checkpoint interrupted waiting for maintenance to quiesce: %w", err)
+	}
 	defer d.resumeMaintenance()
 	d.maintMu.Lock()
 	defer d.maintMu.Unlock()
@@ -78,6 +91,11 @@ func (d *DB) checkpoint(destDir string) error {
 		}
 	}
 	for _, p := range files {
+		// The copy loop is the other long-running phase; bail out between
+		// files once the caller's context fires.
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("acheron: checkpoint interrupted: %w", err)
+		}
 		src := manifest.MakeFilename(d.dirname, manifest.FileTypeTable, p.meta.FileNum)
 		dst := manifest.MakeFilename(destDir, manifest.FileTypeTable, p.meta.FileNum)
 		if err := copyVFSFile(fs, src, dst); err != nil {

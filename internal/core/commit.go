@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +87,13 @@ type pendingCommit struct {
 	asBatch bool
 	rt      *base.RangeTombstone
 
+	// ctx is the writer's context; nil for the no-deadline entry points.
+	// Honored while parked in the arrival queue (the writer withdraws on
+	// cancellation, best-effort: once a leader claims the commit it runs to
+	// completion) and inside the stall gate (the leader fails and releases
+	// expired members).
+	ctx context.Context
+
 	// opsBuf backs ops for single-record commits, so Put/Delete allocate
 	// one object, not two.
 	opsBuf [1]batchOp
@@ -92,6 +101,16 @@ type pendingCommit struct {
 	// notify is created by enqueue only for followers (buffered(1); at most
 	// one signal ever sent). A writer that leads immediately never parks.
 	notify chan commitSignal
+
+	// promoted marks the queue head holding the leadership baton: sigLead
+	// has been sent to its notify channel. Guarded by qmu; withdraw must
+	// know whether the writer it removes has to pass the baton on.
+	promoted bool
+
+	// released marks a member the stall gate failed and signalled early
+	// (its context expired mid-stall); leadRound must not signal it again.
+	// Written and read only by the round's leader.
+	released bool
 
 	// groupBuf holds the round's commitGroup, embedded in the first group
 	// member's pendingCommit to spare an allocation; the GC keeps it alive
@@ -142,14 +161,78 @@ func (p *commitPipeline) visibleSeqNum() base.SeqNum {
 }
 
 // commit runs one writer's commit through the pipeline and blocks until the
-// write is durable (per the sync policy), applied, and published.
+// write is durable (per the sync policy), applied, and published — or, for a
+// cancellable commit, until its context fires while it is still parked in
+// the arrival queue, in which case it withdraws and fails without consuming
+// a sequence number. Cancellation is best-effort: once a leader has claimed
+// the commit it completes normally and the caller must treat the write as
+// applied.
 func (p *commitPipeline) commit(pc *pendingCommit) error {
 	if p.enqueue(pc) {
 		p.leadRound(pc)
+		return p.finishCommit(pc)
+	}
+	if done := ctxDoneCh(pc.ctx); done != nil {
+		select {
+		case sig := <-pc.notify:
+			if sig == sigLead {
+				p.leadRound(pc)
+			}
+		case <-done:
+			if p.withdraw(pc) {
+				p.d.stats.CommitCancels.Add(1)
+				return fmt.Errorf("acheron: commit cancelled while queued: %w", pc.ctx.Err())
+			}
+			// A leader claimed us (or the baton arrived) before the
+			// withdrawal: the signal is already in flight, so park for it
+			// and complete the commit normally.
+			if <-pc.notify == sigLead {
+				p.leadRound(pc)
+			}
+		}
 	} else if <-pc.notify == sigLead {
 		p.leadRound(pc)
 	}
 	return p.finishCommit(pc)
+}
+
+// ctxDoneCh returns ctx's done channel, or nil when ctx can never fire, so
+// the non-cancellable fast path stays select-free.
+func ctxDoneCh(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// withdraw removes a cancelled follower from the arrival queue. It returns
+// false when pc is no longer queued — the current leader's drain already
+// owns it — and the caller must park for the pending signal. A promoted
+// writer (it holds the leadership baton) drains its own sigLead and passes
+// the baton on before leaving, so leadership is never stranded.
+func (p *commitPipeline) withdraw(pc *pendingCommit) bool {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	idx := -1
+	for i, q := range p.queue {
+		if q == pc {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
+	if pc.promoted {
+		// The baton was sent under qmu before promoted became observable,
+		// so the buffered sigLead is guaranteed to be present: this receive
+		// cannot block.
+		<-pc.notify
+		pc.promoted = false
+		p.handoffLocked()
+	}
+	return true
 }
 
 // enqueue adds pc to the arrival queue, returning true when pc must lead.
@@ -179,11 +262,11 @@ func (p *commitPipeline) leadRound(own *pendingCommit) {
 	p.spare = nil
 	p.qmu.Unlock()
 
-	p.processGroup(group)
+	p.processGroup(group, own)
 	p.commitMu.Unlock()
 
 	for _, pc := range group {
-		if pc != own {
+		if pc != own && !pc.released {
 			pc.notify <- sigWALDone
 		}
 	}
@@ -197,26 +280,41 @@ func (p *commitPipeline) leadRound(own *pendingCommit) {
 	if p.spare == nil {
 		p.spare = group[:0]
 	}
+	p.handoffLocked()
+	p.qmu.Unlock()
+}
+
+// handoffLocked passes the leadership baton to the queue head, or retires
+// leadership when the queue is empty. Called with qmu held. The sigLead send
+// happens under qmu — the channel is buffered and a queued writer never has
+// a prior signal pending, so it cannot block — which makes promotion atomic
+// with respect to withdraw: a cancelled writer always knows whether it holds
+// the baton it must pass on.
+func (p *commitPipeline) handoffLocked() {
 	if len(p.queue) > 0 {
 		next := p.queue[0]
-		p.qmu.Unlock()
+		next.promoted = true
 		next.notify <- sigLead
 		return
 	}
 	p.leaderActive = false
-	p.qmu.Unlock()
 }
 
-// failPending rejects a whole group at the admission gate.
+// failPending rejects a whole group at the admission gate. Members the
+// stall gate already failed individually keep their own error.
 func failPending(group []*pendingCommit, err error) {
 	for _, pc := range group {
-		pc.err = err
+		if pc.err == nil {
+			pc.err = err
+		}
 	}
 }
 
 // processGroup runs the admission gate, allocates the group's sequence
-// block, and performs the WAL stage. Called with commitMu held.
-func (p *commitPipeline) processGroup(group []*pendingCommit) {
+// block, and performs the WAL stage. Called with commitMu held. Members the
+// stall gate expired (context deadline/cancel while stalled) are dropped
+// from the round; the survivors commit.
+func (p *commitPipeline) processGroup(group []*pendingCommit, own *pendingCommit) {
 	d := p.d
 	d.mu.Lock()
 	if d.closed {
@@ -232,10 +330,31 @@ func (p *commitPipeline) processGroup(group []*pendingCommit) {
 	// Backpressure applies to the whole group — including range deletes,
 	// which previously bypassed the stall gate entirely and could grow the
 	// flush backlog without bound.
-	if err := d.stallWritesLocked(); err != nil {
+	if err := d.stallWritesLocked(group, own); err != nil {
 		d.mu.Unlock()
 		failPending(group, err)
 		return
+	}
+	// The stall gate may have failed (and already released) members whose
+	// context expired; the round continues with the survivors.
+	active := group
+	failed := 0
+	for _, pc := range group {
+		if pc.err != nil {
+			failed++
+		}
+	}
+	if failed == len(group) {
+		d.mu.Unlock()
+		return
+	}
+	if failed > 0 {
+		active = make([]*pendingCommit, 0, len(group)-failed)
+		for _, pc := range group {
+			if pc.err == nil {
+				active = append(active, pc)
+			}
+		}
 	}
 	// Rotation check at the leader boundary: the memtable the previous
 	// round filled past its budget is sealed here, before this round's
@@ -248,7 +367,7 @@ func (p *commitPipeline) processGroup(group []*pendingCommit) {
 	}
 
 	total := 0
-	for _, pc := range group {
+	for _, pc := range active {
 		pc.baseSeq = d.vs.LastSeqNum() + 1 + base.SeqNum(total)
 		if pc.rt != nil {
 			pc.rt.Seq = pc.baseSeq
@@ -261,21 +380,21 @@ func (p *commitPipeline) processGroup(group []*pendingCommit) {
 	// counter until the group lands.
 	d.vs.SetLastSeqNum(endSeq)
 	mem := d.mem
-	mem.AcquireWriters(len(group))
+	mem.AcquireWriters(len(active))
 	walW := d.walW
 	d.mu.Unlock()
 
-	g := &group[0].groupBuf
+	g := &active[0].groupBuf
 	g.endSeq = endSeq
-	g.total = int32(len(group))
+	g.total = int32(len(active))
 	g.done.Add(1)
-	for _, pc := range group {
+	for _, pc := range active {
 		pc.group = g
 		pc.mem = mem
 	}
 
 	if !d.opts.DisableWAL {
-		g.err = p.walStage(group, walW)
+		g.err = p.walStage(active, walW)
 	}
 
 	// Publish-queue insertion happens under commitMu, so publishQ is FIFO

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/base"
@@ -64,7 +66,17 @@ func (d *DB) maintenanceStep() (bool, error) {
 // WaitIdle runs maintenance until no work remains — including work claimed
 // by concurrent executors, which it waits out before concluding idleness.
 func (d *DB) WaitIdle() error {
+	return d.WaitIdleCtx(nil)
+}
+
+// WaitIdleCtx is WaitIdle honoring ctx: the quiesce wait and the step loop
+// both observe the deadline/cancel, so a caller is never pinned behind a
+// long merge it no longer wants to wait for.
+func (d *DB) WaitIdleCtx(ctx context.Context) error {
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("acheron: wait-idle interrupted: %w", err)
+		}
 		did, err := d.MaintenanceStep()
 		if err != nil {
 			return err
@@ -75,7 +87,9 @@ func (d *DB) WaitIdle() error {
 		// Nothing pickable, but an executor job may still be running (its
 		// claims hid work from the picker); wait and re-examine.
 		if d.sched.anyRunning() {
-			d.sched.waitQuiet()
+			if err := d.sched.waitQuietCtx(ctx); err != nil {
+				return fmt.Errorf("acheron: wait-idle interrupted: %w", err)
+			}
 			continue
 		}
 		return nil
@@ -86,24 +100,36 @@ func (d *DB) WaitIdle() error {
 // next one, leaving the tree fully compacted. Intended for tests and
 // benchmarks that want a settled tree.
 func (d *DB) CompactAll() error {
+	return d.CompactAllCtx(nil)
+}
+
+// CompactAllCtx is CompactAll honoring ctx: the executor quiesce and the
+// gaps between per-level merges observe the deadline/cancel. Levels already
+// merged stay merged; the tree is simply left partially compacted.
+func (d *DB) CompactAllCtx(ctx context.Context) error {
 	start := time.Now()
-	err := d.compactAll()
+	err := d.compactAll(ctx)
 	d.traceOp(opCompactAll, start, time.Since(start), err)
 	return err
 }
 
-func (d *DB) compactAll() error {
+func (d *DB) compactAll(ctx context.Context) error {
 	// Freeze the executors: the manually built whole-level candidates
 	// below are not claimed, so they must not race claimed jobs.
-	d.sched.pause()
+	if err := d.sched.pauseCtx(ctx); err != nil {
+		return fmt.Errorf("acheron: compact-all interrupted waiting for maintenance to quiesce: %w", err)
+	}
 	defer d.resumeMaintenance()
 	if err := d.Flush(); err != nil {
 		return err
 	}
-	if err := d.WaitIdle(); err != nil {
+	if err := d.WaitIdleCtx(ctx); err != nil {
 		return err
 	}
 	for l := 0; l < manifest.NumLevels-1; l++ {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("acheron: compact-all interrupted: %w", err)
+		}
 		d.maintMu.Lock()
 		v := d.vs.Current()
 		if len(v.Levels[l]) == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/event"
@@ -66,6 +68,13 @@ type DB struct {
 	// before d.mu), the commit queue, and the published-seqnum ratchet that
 	// readers consult via visibleSeqNum.
 	commit *commitPipeline
+
+	// admit is the token-bucket admission gate in front of the foreground
+	// paths; nil when Options.Admission is disabled (a nil controller
+	// admits everything). Admission runs before any engine lock is taken —
+	// its internal mutex is a leaf — and is closed first on shutdown so
+	// queued admissions fail fast.
+	admit *admission.Controller
 
 	mu        sync.Mutex // guards everything below
 	vs        *manifest.VersionSet
@@ -177,6 +186,15 @@ func Open(dirname string, opts Options) (*DB, error) {
 	}
 	d.stallCond = sync.NewCond(&d.mu)
 	d.commit = newCommitPipeline(d)
+	if opts.Admission.Enabled() {
+		cfg := opts.Admission
+		if cfg.Pressure == nil {
+			// Feed the gate live stall pressure so it sheds load before
+			// writers pile into the stall condition.
+			cfg.Pressure = d.writePressure
+		}
+		d.admit = admission.NewController(cfg)
+	}
 
 	if err := d.recoverAndClean(); err != nil {
 		vfs.BestEffortClose(vs)
@@ -335,6 +353,9 @@ func (d *DB) Close() error {
 	if d.closing.Swap(true) {
 		return ErrClosed
 	}
+	// Release writers queued in the admission gate first: Close must stay
+	// bounded even when the gate is saturated with waiters.
+	d.admit.Close()
 	// Wake writers stalled on backpressure so they observe the shutdown
 	// instead of waiting on maintenance that is about to stop. The
 	// broadcast must hold d.mu (see wakeStalledWriters): a writer that
@@ -455,14 +476,18 @@ func applyWALRecord(m *memtable.MemTable, payload []byte) (base.SeqNum, error) {
 
 // Put inserts or updates a key.
 func (d *DB) Put(key, value []byte) error {
-	return d.apply(opPut, base.KindSet, key, value)
+	return d.apply(nil, opPut, base.KindSet, key, value)
 }
 
 // Delete removes a key by inserting a point tombstone stamped with the
 // current clock reading; FADE guarantees it persists within the DPT.
 func (d *DB) Delete(key []byte) error {
+	return d.deleteCtx(nil, key)
+}
+
+func (d *DB) deleteCtx(ctx context.Context, key []byte) error {
 	value := base.EncodeTombstoneValue(d.opts.Clock.Now())
-	if err := d.apply(opDelete, base.KindDelete, key, value); err != nil {
+	if err := d.apply(ctx, opDelete, base.KindDelete, key, value); err != nil {
 		return err
 	}
 	d.stats.DeletesIssued.Add(1)
@@ -471,13 +496,14 @@ func (d *DB) Delete(key []byte) error {
 }
 
 // apply commits one record, recording its latency and begin/end trace
-// events around the raw commit protocol for sampled operations.
-func (d *DB) apply(op string, kind base.Kind, key, value []byte) error {
+// events around the raw commit protocol for sampled operations. ctx may be
+// nil (the no-deadline entry points).
+func (d *DB) apply(ctx context.Context, op string, kind base.Kind, key, value []byte) error {
 	if !d.opSampled() {
-		return d.commitRecord(kind, key, value)
+		return d.commitRecord(ctx, kind, key, value)
 	}
 	start := time.Now()
-	err := d.commitRecord(kind, key, value)
+	err := d.commitRecord(ctx, kind, key, value)
 	dur := time.Since(start)
 	d.stats.PutLatency.Record(dur.Nanoseconds())
 	d.traceOp(op, start, dur, err)
@@ -487,8 +513,11 @@ func (d *DB) apply(op string, kind base.Kind, key, value []byte) error {
 // commitRecord commits one point entry through the group-commit pipeline.
 // The key and value are not copied until the memtable apply, which happens
 // before commit returns, so callers may reuse their buffers afterwards.
-func (d *DB) commitRecord(kind base.Kind, key, value []byte) error {
-	pc := &pendingCommit{}
+func (d *DB) commitRecord(ctx context.Context, kind base.Kind, key, value []byte) error {
+	if err := d.admitWrite(ctx); err != nil {
+		return err
+	}
+	pc := &pendingCommit{ctx: ctx}
 	pc.opsBuf[0] = batchOp{kind: kind, key: key, value: value}
 	pc.ops = pc.opsBuf[:1]
 	return d.commit.commit(pc)
@@ -503,20 +532,27 @@ func (d *DB) visibleSeqNum() base.SeqNum { return d.commit.visibleSeqNum() }
 // delete key lies in [lo, hi). Requires Options.DeleteKeyFunc. The physical
 // erase path depends on Options.EagerRangeDeletes.
 func (d *DB) DeleteSecondaryRange(lo, hi base.DeleteKey) error {
+	return d.deleteSecondaryRangeCtx(nil, lo, hi)
+}
+
+func (d *DB) deleteSecondaryRangeCtx(ctx context.Context, lo, hi base.DeleteKey) error {
 	start := time.Now()
-	err := d.commitRangeDelete(lo, hi)
+	err := d.commitRangeDelete(ctx, lo, hi)
 	dur := time.Since(start)
 	d.stats.PutLatency.Record(dur.Nanoseconds())
 	d.traceOp(opRangeDelete, start, dur, err)
 	return err
 }
 
-func (d *DB) commitRangeDelete(lo, hi base.DeleteKey) error {
+func (d *DB) commitRangeDelete(ctx context.Context, lo, hi base.DeleteKey) error {
 	if d.opts.DeleteKeyFunc == nil {
 		return errors.New("acheron: DeleteSecondaryRange requires DeleteKeyFunc")
 	}
 	if lo >= hi {
 		return fmt.Errorf("acheron: empty delete-key range [%d, %d)", lo, hi)
+	}
+	if err := d.admitWrite(ctx); err != nil {
+		return err
 	}
 	// The tombstone's sequence number is stamped by the pipeline leader;
 	// the group containing it always syncs the WAL (see walStage). Routing
@@ -524,7 +560,7 @@ func (d *DB) commitRangeDelete(lo, hi base.DeleteKey) error {
 	// gate, which the old path skipped — they could previously grow the
 	// flush backlog without any backpressure.
 	rt := base.RangeTombstone{Lo: lo, Hi: hi, CreatedAt: d.opts.Clock.Now()}
-	pc := &pendingCommit{rt: &rt}
+	pc := &pendingCommit{rt: &rt, ctx: ctx}
 	if err := d.commit.commit(pc); err != nil {
 		return err
 	}
@@ -546,18 +582,47 @@ func (d *DB) wakeStalledWriters() {
 	d.mu.Unlock()
 }
 
+// stallCause indexes the per-cause stall metrics: which resource's limit
+// engaged the backpressure.
+const (
+	stallCauseImm = iota // immutable-memtable backlog (MaxImmutableMemTables)
+	stallCauseL0         // L0 run count (L0StallRuns)
+	numStallCauses
+)
+
+// stallCauseNames labels the per-cause stall metrics in the registry.
+var stallCauseNames = [numStallCauses]string{"imm-memtables", "l0-runs"}
+
 // stallWritesLocked blocks the commit path while the flush/compaction
 // backlog exceeds its limits. Backpressure only engages with auto
 // maintenance: a caller driving MaintenanceStep manually from the writing
 // goroutine must never be made to wait for work only it can perform.
+//
+// The wait is group- and deadline-aware. Each cancellable member arms a
+// context wake-up that re-broadcasts the stall condition through
+// wakeStalledWriters — broadcast under d.mu, so the lost-wakeup discipline
+// is untouched — and on every wake-up the gate fails members whose context
+// has fired with an error wrapping their context error. A failed follower
+// is signalled immediately (it must not wait out a stall it has timed out
+// of); the round then proceeds with the survivors. If the leader itself
+// expires while live members remain it cannot abandon the round — their
+// state lives on its stack — so the gate releases the round past the stall
+// once (a bounded overshoot of one group) instead of pinning the expired
+// caller for the stall's full duration; the backpressure re-engages on the
+// next round.
+//
 // Called with d.mu held; may release and reacquire it.
-func (d *DB) stallWritesLocked() error {
+func (d *DB) stallWritesLocked(group []*pendingCommit, own *pendingCommit) error {
 	if d.opts.DisableAutoMaintenance {
 		return nil
 	}
-	var stallStart time.Time
-	stalled := false
-	var err error
+	var (
+		stallStart time.Time
+		stops      []func() bool
+		causes     [numStallCauses]bool
+		stalled    bool
+		err        error
+	)
 	for {
 		if d.closed || d.closing.Load() {
 			err = ErrClosed
@@ -579,6 +644,51 @@ func (d *DB) stallWritesLocked() error {
 			d.stats.WriteStalls.Add(1)
 			stallStart = time.Now()
 			d.trace.Emit(event.Event{Type: event.StallBegin, Time: stallStart})
+			for _, pc := range group {
+				if stop := armCtxWake(pc.ctx, d.wakeStalledWriters); stop != nil {
+					stops = append(stops, stop)
+				}
+			}
+		}
+		for c, full := range [numStallCauses]bool{immFull, l0Full} {
+			if full && !causes[c] {
+				causes[c] = true
+				d.stats.StallsByCause[c].Add(1)
+			}
+		}
+		// Fail members whose context fired. A member stays failed even if
+		// the stall then clears: its deadline elapsed while the engine held
+		// it, and the caller has likely moved on.
+		live := 0
+		for _, pc := range group {
+			if pc.err != nil {
+				continue
+			}
+			cerr := ctxErr(pc.ctx)
+			if cerr == nil {
+				live++
+				continue
+			}
+			waited := time.Since(stallStart)
+			pc.err = fmt.Errorf("acheron: write stalled %v on backpressure: %w",
+				waited.Round(time.Millisecond), cerr)
+			d.stats.StallTimeouts.Add(1)
+			d.trace.Emit(event.Event{Type: event.StallTimeout, Dur: waited, Err: pc.err.Error()})
+			if pc != own {
+				// Release the follower now; leadRound skips released
+				// members when signalling the finished round.
+				pc.released = true
+				pc.notify <- sigWALDone
+			}
+		}
+		if live == 0 {
+			// Every member expired; the round is empty and aborts.
+			break
+		}
+		if own.err != nil {
+			// Expired leader with live members: release the round past the
+			// stall (see the function comment).
+			break
 		}
 		d.notifyWork()
 		start := time.Now()
@@ -586,7 +696,16 @@ func (d *DB) stallWritesLocked() error {
 		d.stats.WriteStallNanos.Add(time.Since(start).Nanoseconds())
 	}
 	if stalled {
-		e := event.Event{Type: event.StallEnd, Dur: time.Since(stallStart)}
+		for _, stop := range stops {
+			stop()
+		}
+		total := time.Since(stallStart)
+		for c := range causes {
+			if causes[c] {
+				d.stats.StallWaitByCause[c].Record(total.Nanoseconds())
+			}
+		}
+		e := event.Event{Type: event.StallEnd, Dur: total}
 		if err != nil {
 			e.Err = err.Error()
 		}
@@ -854,6 +973,17 @@ func (d *DB) Get(key []byte) ([]byte, error) { return d.GetAt(key, nil) }
 
 // GetAt returns the value of key as of the snapshot (nil = latest).
 func (d *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	return d.getAtCtx(nil, key, snap)
+}
+
+// getAtCtx is the shared lookup entry: the read-class admission gate (reads
+// are rate-limited but never pressure-shed: serving them does not deepen a
+// maintenance backlog, and they must keep working while writes fail fast),
+// then the sampled-instrumentation wrapper around getAt.
+func (d *DB) getAtCtx(ctx context.Context, key []byte, snap *Snapshot) ([]byte, error) {
+	if err := d.admitRead(ctx); err != nil {
+		return nil, err
+	}
 	if !d.opSampled() {
 		return d.getAt(key, snap)
 	}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/base"
 	"repro/internal/event"
 	"repro/internal/manifest"
@@ -149,6 +150,29 @@ func (d *DB) buildRegistry() *metrics.Registry {
 		nil, func() int64 { return int64(d.stats.CommitsPerSync() * 100) }))
 	counter("acheron_write_stalls_total", "Commits that blocked on backpressure.", &s.WriteStalls)
 	counter("acheron_write_stall_ns_total", "Total nanoseconds commits spent stalled.", &s.WriteStallNanos)
+	for c := range s.StallsByCause {
+		lbl := metrics.Labels{"cause": stallCauseNames[c]}
+		must(r.RegisterCounter("acheron_write_stalls_by_cause_total",
+			"Stall episodes by saturated resource (an episode observing both backlogs counts under both).", lbl, &s.StallsByCause[c]))
+		must(r.RegisterHistogram("acheron_stall_wait_ns",
+			"Per stall episode, nanoseconds spent stalled, by saturated resource.", lbl, &s.StallWaitByCause[c]))
+	}
+	counter("acheron_stall_timeouts_total", "Writers released from the stall gate by context deadline or cancellation.", &s.StallTimeouts)
+	counter("acheron_commit_cancels_total", "Commits withdrawn from the group-commit queue by context cancellation.", &s.CommitCancels)
+	if d.admit != nil {
+		for _, cl := range []admission.Class{admission.ClassRead, admission.ClassWrite} {
+			cm := d.admit.ClassMetrics(cl)
+			lbl := metrics.Labels{"class": cl.String()}
+			must(r.RegisterCounter("acheron_admission_admitted_total",
+				"Operations admitted by the token-bucket gate, by class.", lbl, &cm.Admitted))
+			must(r.RegisterCounter("acheron_admission_rejected_total",
+				"Operations rejected by the admission gate (deadline or max-wait exceeded), by class.", lbl, &cm.Rejected))
+			must(r.RegisterCounter("acheron_admission_shed_total",
+				"Operations shed by the pressure gate before stalling, by class.", lbl, &cm.Shed))
+			must(r.RegisterHistogram("acheron_admission_wait_ns",
+				"Nanoseconds admitted operations waited for tokens, by class.", lbl, &cm.Wait))
+		}
+	}
 
 	// Maintenance.
 	counter("acheron_flushes_total", "Memtable flushes.", &s.Flushes)

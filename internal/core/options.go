@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/event"
@@ -92,6 +93,14 @@ type Options struct {
 	// L0StallRuns stalls writes when level 0 holds at least this many
 	// runs (only with auto maintenance). Default 12; negative disables.
 	L0StallRuns int
+	// Admission configures token-bucket admission control ahead of the
+	// write and read paths (see package admission). The zero value
+	// disables the gate entirely; it activates when WriteRate or ReadRate
+	// is positive. The pressure feed defaults to the engine's live stall
+	// pressure: the imm-memtable and L0 backlogs measured against
+	// MaxImmutableMemTables and L0StallRuns, so writes shed before the
+	// stall condition engages.
+	Admission admission.Config
 	// MaxBackgroundRetries bounds consecutive transient failures of a
 	// background job (flush, compaction, eager range delete) before the
 	// engine gives up and enters read-only mode with a sticky background

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,11 +109,31 @@ func (s *scheduler) end() {
 // pause blocks new executor jobs and waits for running ones to finish.
 // Pauses nest.
 func (s *scheduler) pause() {
+	// A nil context never fires, so the error is impossible.
+	_ = s.pauseCtx(nil)
+}
+
+// pauseCtx is pause honoring ctx: if the context fires while executor jobs
+// are still draining, the pause is rolled back and the (bare) context error
+// returned — the scheduler is left exactly as before the call. The context
+// wake-up goes through wake, a broadcast under s.mu, so the same
+// lost-wakeup discipline as end() applies.
+func (s *scheduler) pauseCtx(ctx context.Context) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.paused++
-	for s.running > 0 {
-		s.cond.Wait()
+	if err := condWaitCtx(ctx, s.cond, s.wake, func() bool { return s.running == 0 }); err != nil {
+		s.paused--
+		return err
 	}
+	return nil
+}
+
+// wake re-broadcasts the scheduler condition under its mutex; the context
+// wake-up hook for condWaitCtx.
+func (s *scheduler) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -128,11 +149,15 @@ func (s *scheduler) resume() bool {
 
 // waitQuiet blocks until no executor job is running.
 func (s *scheduler) waitQuiet() {
+	_ = s.waitQuietCtx(nil)
+}
+
+// waitQuietCtx is waitQuiet honoring ctx; returns the bare context error if
+// it fires first.
+func (s *scheduler) waitQuietCtx(ctx context.Context) error {
 	s.mu.Lock()
-	for s.running > 0 {
-		s.cond.Wait()
-	}
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return condWaitCtx(ctx, s.cond, s.wake, func() bool { return s.running == 0 })
 }
 
 // anyRunning reports whether an executor job is in flight.

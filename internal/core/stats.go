@@ -79,6 +79,16 @@ type Stats struct {
 	// WriteStallNanos accumulates the total time spent stalled.
 	WriteStalls     metrics.Counter
 	WriteStallNanos metrics.Counter
+	// StallsByCause splits WriteStalls by the saturated resource (indexed
+	// by stallCause: 0=imm-memtables, 1=l0-runs); a stall episode observing
+	// both backlogs counts under both, so the sum can exceed WriteStalls.
+	StallsByCause [numStallCauses]metrics.Counter
+	// StallTimeouts counts writers released from the stall gate by their
+	// context deadline or cancellation instead of by the backlog clearing.
+	StallTimeouts metrics.Counter
+	// CommitCancels counts commits withdrawn from the group-commit arrival
+	// queue by context cancellation before a leader claimed them.
+	CommitCancels metrics.Counter
 
 	// BackgroundErrors counts failed background job attempts (each retry
 	// that itself fails counts again). JobRetries counts the retries
@@ -137,6 +147,11 @@ type Stats struct {
 	// WALSyncLatency records wall-clock nanoseconds per WAL fsync — the
 	// cost each commit group pays exactly once.
 	WALSyncLatency metrics.Histogram
+
+	// StallWaitByCause records each stall episode's total duration
+	// (nanoseconds) under every cause it observed, so overload dashboards
+	// can tell whether the flush backlog or L0 is saturating.
+	StallWaitByCause [numStallCauses]metrics.Histogram
 }
 
 // WriteAmplification returns (flushed + compaction-written) / ingested, the
@@ -188,6 +203,9 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "p99_job_ns[l0=%d sat=%d ttl=%d] write_stalls=%d stall_ns=%d\n",
 		s.JobLatencyByTrigger[0].Quantile(0.99), s.JobLatencyByTrigger[1].Quantile(0.99), s.JobLatencyByTrigger[2].Quantile(0.99),
 		s.WriteStalls.Get(), s.WriteStallNanos.Get())
+	fmt.Fprintf(&b, "stalls_by_cause[imm=%d l0=%d] stall_timeouts=%d commit_cancels=%d\n",
+		s.StallsByCause[stallCauseImm].Get(), s.StallsByCause[stallCauseL0].Get(),
+		s.StallTimeouts.Get(), s.CommitCancels.Get())
 	fmt.Fprintf(&b, "bg_errors=%d job_retries=%d read_only=%d\n",
 		s.BackgroundErrors.Get(), s.JobRetries.Get(), s.ReadOnly.Get())
 	fmt.Fprintf(&b, "gets=%d hits=%d bloom_skips=%d tables_probed=%d bloom_tp=%d bloom_fp=%d\n",

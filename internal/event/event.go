@@ -45,6 +45,13 @@ const (
 	// GroupCommitEnd marks the leader finishing the group's WAL stage
 	// (Bytes holds the WAL bytes appended, Dur the WAL stage latency).
 	GroupCommitEnd
+	// AdmissionReject marks an operation rejected or shed by the admission
+	// gate (Op holds the class, Err the rejection reason).
+	AdmissionReject
+	// StallTimeout marks a stalled writer released by its context deadline
+	// or cancellation instead of by the backpressure clearing (Dur holds
+	// how long it stalled before timing out).
+	StallTimeout
 
 	numTypes = iota
 )
@@ -63,6 +70,8 @@ var typeNames = [numTypes]string{
 	Checkpoint:       "checkpoint",
 	GroupCommitBegin: "group-commit-begin",
 	GroupCommitEnd:   "group-commit-end",
+	AdmissionReject:  "admission-reject",
+	StallTimeout:     "stall-timeout",
 }
 
 // String returns the kebab-case event-type name used in exposition and docs.

@@ -14,9 +14,11 @@
 //   - type assertions and type switches from the error interface to a
 //     concrete error type (use errors.As, which unwraps).
 //
-// A sentinel is a package-level error variable named Err*, plus io.EOF.
-// Deliberate identity checks (e.g. in the errors package's own tests)
-// suppress with `//lint:ignore errsentinel <reason>`.
+// A sentinel is a package-level error variable named Err*, plus io.EOF and
+// the context package's Canceled / DeadlineExceeded (which the admission
+// gate and the stall path deliver wrapped). Deliberate identity checks
+// (e.g. in the errors package's own tests) suppress with
+// `//lint:ignore errsentinel <reason>`.
 package errsentinel
 
 import (
@@ -167,6 +169,14 @@ func sentinelOf(info *types.Info, e ast.Expr) *types.Var {
 		return v
 	}
 	if v.Pkg().Path() == "io" && (name == "EOF" || name == "ErrUnexpectedEOF") {
+		return v
+	}
+	// The context package's sentinels break the Err* naming convention but
+	// arrive wrapped all the same: the admission gate wraps DeadlineExceeded
+	// under ErrOverloaded, and cancelled commits wrap Canceled with the
+	// queue position. Identity checks against them are exactly the bug this
+	// analyzer exists to catch.
+	if v.Pkg().Path() == "context" && (name == "Canceled" || name == "DeadlineExceeded") {
 		return v
 	}
 	return nil

@@ -3,6 +3,7 @@
 package errsentinel
 
 import (
+	"context"
 	"errors"
 	"io"
 )
@@ -31,6 +32,28 @@ func qualifiedBad(err error) bool {
 
 func isGood(err error) bool {
 	return errors.Is(err, ErrCorrupt) || errors.Is(err, io.EOF)
+}
+
+// The context sentinels break the Err* naming convention but arrive wrapped
+// all the same (admission and stall timeouts wrap DeadlineExceeded).
+func ctxEqlBad(err error) bool {
+	return err == context.DeadlineExceeded // want `sentinel error DeadlineExceeded compared with ==`
+}
+
+func ctxNeqBad(err error) bool {
+	return err != context.Canceled // want `sentinel error Canceled compared with !=`
+}
+
+func ctxSwitchBad(err error) int {
+	switch err {
+	case context.Canceled: // want `switch case compares error to sentinel Canceled by identity`
+		return 1
+	}
+	return 0
+}
+
+func ctxIsGood(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func nilGood(err error) bool {

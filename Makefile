@@ -6,13 +6,14 @@ GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
             ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/... \
             ./internal/manifest/... ./internal/compaction/... ./internal/event/... \
-            ./internal/admission/...
+            ./internal/admission/... ./internal/shard/... ./internal/server/... \
+            ./internal/wire/...
 RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|FailingFlush'
 
 # Decode-hardening fuzz targets and their per-target CI time budget.
 FUZZTIME ?= 20s
 
-.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy overload bench-overload clean
+.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy overload bench-overload serve bench-serve clean
 
 all: build lint test
 
@@ -62,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBlockIter -fuzztime $(FUZZTIME) ./internal/block/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -run '^$$' -fuzz FuzzSSTableFooterProps -fuzztime $(FUZZTIME) ./internal/sstable/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire/
 
 # observe runs the observability gates: registry/tracer unit tests, the
 # exposition golden files, and the metrics-accounting tests (cache, bloom,
@@ -88,6 +90,24 @@ overload:
 	$(GO) test -race -count=1 -run 'TestOverloadStress|TestStallDeadline|TestMaintenanceBarrier|TestCancelledCommit' ./internal/core
 	$(GO) test -race -count=1 ./internal/admission/
 	$(GO) run ./cmd/acheron-bench -exp C6 -scale small
+
+# serve is the network-service gate: sharded differential + DPT-sweep and
+# server chaos tests under the race detector, wire decode units plus a short
+# FuzzWireDecode budget, then a small-scale C7 smoke driving a live acherond
+# through real TCP clients.
+serve:
+	$(GO) test -race -count=1 -run 'TestShardedModelDifferentialStress|TestDPTShardSweepStress|TestServerStressChaosClients' ./internal/shard/ ./internal/server/
+	$(GO) test -count=1 ./internal/wire/ ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) run ./cmd/acheron-bench -exp C7 -scale small
+
+# bench-serve regenerates the C7 served-saturation experiment (aggregate
+# sync-put kops/s vs shard count x connection count through a live acherond)
+# and records the tables + per-shard WAL metrics in BENCH_serve.json.
+# Wall-clock numbers vary run to run; the shape (kops_s rising monotonically
+# with shards at 8+ connections) should not.
+bench-serve:
+	$(GO) run ./cmd/acheron-bench -exp C7 -json BENCH_serve.json
 
 # bench-overload regenerates the C6 overload experiment (goodput + rejection
 # latency vs offered load at 1x/2x/4x the admitted write rate) and records

@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/vfs"
 )
 
@@ -262,4 +263,32 @@ func NewBatch() *Batch { return core.NewBatch() }
 // Open opens (creating if necessary) a store rooted at dirname.
 func Open(dirname string, opts Options) (*DB, error) {
 	return core.Open(dirname, opts)
+}
+
+// ShardedDB partitions the keyspace across Options.Shards independent
+// engine instances: hash routing for point operations, merged cross-shard
+// iterators for scans, fan-out for secondary range deletes, batches, and
+// lifecycle operations. Each shard has its own WAL, memtables, levels,
+// maintenance executors, and admission controller, and FADE enforces the
+// delete persistence threshold per shard.
+type ShardedDB = shard.Router
+
+// ShardedSnapshot pins a per-shard snapshot vector (a consistent point on
+// every shard, not one global cut).
+type ShardedSnapshot = shard.Snapshot
+
+// ShardedIter iterates live keys across all shards in ascending order,
+// merged through the engine's k-way heap.
+type ShardedIter = shard.Iter
+
+// ShardedIterOptions configure a cross-shard iterator.
+type ShardedIterOptions = shard.IterOptions
+
+// ShardedOpen opens (creating if necessary) a sharded store rooted at
+// dirname. Options.Shards picks the shard count for a new store; on reopen
+// 0 adopts the persisted count, and any other value must match it. With
+// Shards <= 1 the store behaves exactly like a single engine behind the
+// router API.
+func ShardedOpen(dirname string, opts Options) (*ShardedDB, error) {
+	return shard.Open(dirname, opts)
 }

@@ -58,8 +58,9 @@ func main() {
 		"C2": harness.C2CommitPipeline,
 		"C5": harness.C5PolicyWorkloadSweep,
 		"C6": harness.C6Overload,
+		"C7": harness.C7ServeSaturation,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C5", "C6"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C5", "C6", "C7"}
 
 	var ids []string
 	if *expFlag == "all" {

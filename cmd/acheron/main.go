@@ -8,8 +8,10 @@
 //
 //	acheron -dir /tmp/store [-dpt 1h] [-policy leveled|size-tiered|lazy-leveling] [-kiwi]
 //	        [-timeout 50ms] [-write-rate 10000]
+//	acheron -connect 127.0.0.1:4600
 //
-// Then type "help" at the prompt.
+// With -connect the shell speaks the wire protocol to a running acherond
+// instead of embedding a store. Then type "help" at the prompt.
 package main
 
 import (
@@ -25,12 +27,14 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/base"
+	"repro/internal/client"
 	"repro/internal/compaction"
 	"repro/internal/core"
 	"repro/internal/event"
 )
 
 func main() {
+	connect := flag.String("connect", "", "acherond address; speak the wire protocol instead of embedding a store")
 	dir := flag.String("dir", "acheron-data", "store directory")
 	dpt := flag.Duration("dpt", 0, "delete persistence threshold (0 disables FADE)")
 	policyName := flag.String("policy", "", "compaction policy: leveled, size-tiered, or lazy-leveling (overrides -shape)")
@@ -40,6 +44,11 @@ func main() {
 	flag.DurationVar(&opTimeout, "timeout", 0, "per-operation deadline; stalled or queued ops fail instead of blocking (0 disables)")
 	writeRate := flag.Float64("write-rate", 0, "admitted write rate in ops/s via token-bucket admission control (0 disables)")
 	flag.Parse()
+
+	if *connect != "" {
+		remoteShell(*connect)
+		return
+	}
 
 	opts := core.Options{
 		DeleteKeyFunc: func(v []byte) base.DeleteKey {
@@ -104,6 +113,144 @@ func main() {
 }
 
 var errQuit = fmt.Errorf("quit")
+
+// remoteShell runs the command loop against a live acherond over the wire
+// protocol. The remote command set is the served surface: point ops, range
+// deletes, scans, and server stats.
+func remoteShell(addr string) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		fmt.Fprintf(os.Stderr, "ping: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("acheron shell — connected to acherond at %s\n", addr)
+	fmt.Println(`type "help" for commands`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := executeRemote(c, fields); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func executeRemote(c *client.Client, fields []string) error {
+	switch fields[0] {
+	case "help":
+		fmt.Print(`commands (remote):
+  put <key> <value>          insert/update (value's delete key = now)
+  get <key>                  point lookup
+  del <key>                  point delete
+  rangedel <loUnix> <hiUnix> secondary range delete on [lo, hi) timestamps
+  scan [prefix] [limit]      iterate live keys
+  stats                      server stats (JSON)
+  ping                       round-trip check
+  quit
+`)
+	case "put":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		v := make([]byte, 8+len(fields[2]))
+		binary.BigEndian.PutUint64(v, uint64(time.Now().UnixNano()))
+		copy(v[8:], fields[2])
+		return c.Put([]byte(fields[1]), v)
+	case "get":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		v, err := c.Get([]byte(fields[1]))
+		if err != nil {
+			return err
+		}
+		if len(v) >= 8 {
+			ts := time.Unix(0, int64(binary.BigEndian.Uint64(v)))
+			fmt.Printf("%s (written %s)\n", v[8:], ts.Format(time.RFC3339))
+		} else {
+			fmt.Printf("%s\n", v)
+		}
+	case "del":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: del <key>")
+		}
+		return c.Delete([]byte(fields[1]))
+	case "rangedel":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: rangedel <loUnixNano> <hiUnixNano>")
+		}
+		lo, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		hi, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		return c.DeleteSecondaryRange(lo, hi)
+	case "scan":
+		prefix := ""
+		limit := 20
+		if len(fields) > 1 {
+			prefix = fields[1]
+		}
+		if len(fields) > 2 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return err
+			}
+			limit = n
+		}
+		kvs, err := c.Scan([]byte(prefix), nil, limit)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, kv := range kvs {
+			if !strings.HasPrefix(string(kv.Key), prefix) {
+				break
+			}
+			val := kv.Value
+			if len(val) >= 8 {
+				val = val[8:]
+			}
+			fmt.Printf("%s = %s\n", kv.Key, val)
+			n++
+		}
+		fmt.Printf("(%d keys)\n", n)
+	case "stats":
+		body, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", body)
+	case "ping":
+		start := time.Now()
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		fmt.Printf("pong (%v)\n", time.Since(start).Round(time.Microsecond))
+	case "quit", "exit":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
 
 // opTimeout is the -timeout flag: the deadline attached to every shell
 // operation. Under a saturated stall or a drained admission bucket the

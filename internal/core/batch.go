@@ -52,6 +52,17 @@ func (b *Batch) Delete(key []byte) {
 // Len returns the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
+// Ops visits each queued operation in insertion order: kind is base.KindSet
+// or base.KindDelete, and value is empty for deletes. The sharded router
+// uses this to split one batch into per-shard sub-batches. The key and
+// value slices alias the batch's internal copies; callers must not retain
+// or mutate them.
+func (b *Batch) Ops(fn func(kind base.Kind, key, value []byte)) {
+	for _, op := range b.ops {
+		fn(op.kind, op.key, op.value)
+	}
+}
+
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() {
 	b.ops = b.ops[:0]

@@ -114,7 +114,16 @@ func (d *DB) oldestTombstoneAge() int64 {
 // acheron_-prefixed name; the registry renders them as Prometheus text
 // (WriteTo) or JSON (WriteJSON).
 func (d *DB) Registry() *metrics.Registry {
-	d.registryOnce.Do(func() { d.registry = d.buildRegistry() })
+	d.registryOnce.Do(func() {
+		r := metrics.NewRegistry()
+		// Registration failures on a fresh registry are programming errors
+		// (static names, checked by the registry); surface them loudly
+		// rather than dropping series.
+		if err := d.RegisterMetrics(r, nil); err != nil {
+			panic(err)
+		}
+		d.registry = r
+	})
 	return d.registry
 }
 
@@ -122,18 +131,39 @@ var triggerLabels = [3]metrics.Labels{
 	{"trigger": "l0"}, {"trigger": "saturation"}, {"trigger": "ttl"},
 }
 
-func (d *DB) buildRegistry() *metrics.Registry {
-	r := metrics.NewRegistry()
+// mergeLabels overlays l on top of extra without mutating either.
+func mergeLabels(extra, l metrics.Labels) metrics.Labels {
+	if len(extra) == 0 {
+		return l
+	}
+	m := make(metrics.Labels, len(extra)+len(l))
+	for k, v := range extra {
+		m[k] = v
+	}
+	for k, v := range l {
+		m[k] = v
+	}
+	return m
+}
+
+// RegisterMetrics registers every engine series into r with extra merged
+// into each series' labels. A sharded store calls this once per shard with
+// Labels{"shard": "<i>"} to aggregate N engines into one registry (the
+// registry accepts one metric family under several distinct label sets);
+// DB.Registry uses it with no extra labels for the single-engine view. The
+// first registration error (duplicate series, mismatched family) is
+// returned; later series still register so a partial failure stays usable.
+func (d *DB) RegisterMetrics(r *metrics.Registry, extra metrics.Labels) error {
 	s := &d.stats
-	// Registration failures are programming errors (static names, checked
-	// by the registry); surface them loudly rather than dropping series.
+	var firstErr error
 	must := func(err error) {
-		if err != nil {
-			panic(err)
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
+	lb := func(l metrics.Labels) metrics.Labels { return mergeLabels(extra, l) }
 	counter := func(name, help string, c *metrics.Counter) {
-		must(r.RegisterCounter(name, help, nil, c))
+		must(r.RegisterCounter(name, help, lb(nil), c))
 	}
 
 	// Write path.
@@ -142,16 +172,16 @@ func (d *DB) buildRegistry() *metrics.Registry {
 	counter("acheron_wal_appends_total", "WAL record appends.", &s.WALAppends)
 	counter("acheron_wal_syncs_total", "WAL fsyncs.", &s.WALSyncs)
 	must(r.RegisterHistogram("acheron_wal_group_size",
-		"Commit-group member count per batched WAL write (group-commit amortization).", nil, &s.WALGroupSize))
+		"Commit-group member count per batched WAL write (group-commit amortization).", lb(nil), &s.WALGroupSize))
 	must(r.RegisterHistogram("acheron_wal_sync_latency_ns",
-		"Wall-clock nanoseconds per WAL fsync.", nil, &s.WALSyncLatency))
+		"Wall-clock nanoseconds per WAL fsync.", lb(nil), &s.WALSyncLatency))
 	must(r.RegisterGaugeFunc("acheron_commits_per_sync",
 		"Derived WAL appends per fsync, scaled by 100 (integer exposition); 0 before any sync.",
-		nil, func() int64 { return int64(d.stats.CommitsPerSync() * 100) }))
+		lb(nil), func() int64 { return int64(d.stats.CommitsPerSync() * 100) }))
 	counter("acheron_write_stalls_total", "Commits that blocked on backpressure.", &s.WriteStalls)
 	counter("acheron_write_stall_ns_total", "Total nanoseconds commits spent stalled.", &s.WriteStallNanos)
 	for c := range s.StallsByCause {
-		lbl := metrics.Labels{"cause": stallCauseNames[c]}
+		lbl := lb(metrics.Labels{"cause": stallCauseNames[c]})
 		must(r.RegisterCounter("acheron_write_stalls_by_cause_total",
 			"Stall episodes by saturated resource (an episode observing both backlogs counts under both).", lbl, &s.StallsByCause[c]))
 		must(r.RegisterHistogram("acheron_stall_wait_ns",
@@ -162,7 +192,7 @@ func (d *DB) buildRegistry() *metrics.Registry {
 	if d.admit != nil {
 		for _, cl := range []admission.Class{admission.ClassRead, admission.ClassWrite} {
 			cm := d.admit.ClassMetrics(cl)
-			lbl := metrics.Labels{"class": cl.String()}
+			lbl := lb(metrics.Labels{"class": cl.String()})
 			must(r.RegisterCounter("acheron_admission_admitted_total",
 				"Operations admitted by the token-bucket gate, by class.", lbl, &cm.Admitted))
 			must(r.RegisterCounter("acheron_admission_rejected_total",
@@ -182,7 +212,7 @@ func (d *DB) buildRegistry() *metrics.Registry {
 	counter("acheron_trivial_moves_total", "Metadata-only file moves.", &s.TrivialMoves)
 	policy := d.policy.Name()
 	for t := range s.CompactionsByTrigger {
-		lbl := metrics.Labels{"trigger": triggerLabels[t]["trigger"], "policy": policy}
+		lbl := lb(metrics.Labels{"trigger": triggerLabels[t]["trigger"], "policy": policy})
 		must(r.RegisterCounter("acheron_compactions_total",
 			"Compactions run, by trigger and policy.", lbl, &s.CompactionsByTrigger[t]))
 		must(r.RegisterHistogram("acheron_compaction_duration_ns",
@@ -193,7 +223,7 @@ func (d *DB) buildRegistry() *metrics.Registry {
 			"Bytes written by compactions, by trigger and policy.", lbl, &s.CompactBytesWrittenByTrigger[t]))
 	}
 	must(r.RegisterHistogram("acheron_flush_duration_ns",
-		"Wall-clock nanoseconds per flush job.", nil, &s.FlushLatency))
+		"Wall-clock nanoseconds per flush job.", lb(nil), &s.FlushLatency))
 	counter("acheron_background_errors_total", "Failed background job attempts.", &s.BackgroundErrors)
 	counter("acheron_job_retries_total", "Background job retries scheduled for transient failures.", &s.JobRetries)
 	counter("acheron_files_created_total", "Table files materialized by flushes, compactions, and eager rewrites.", &s.FilesCreated)
@@ -210,15 +240,15 @@ func (d *DB) buildRegistry() *metrics.Registry {
 	counter("acheron_range_covered_dropped_total", "Entries removed because a range tombstone covered them.", &s.RangeCoveredDropped)
 	counter("acheron_shadowed_dropped_total", "Superseded versions discarded by compactions.", &s.ShadowedDropped)
 	must(r.RegisterHistogram("acheron_persistence_latency_ns",
-		"Per persisted tombstone, nanoseconds from delete issue to physical disposal.", nil, &s.PersistenceLatency))
+		"Per persisted tombstone, nanoseconds from delete issue to physical disposal.", lb(nil), &s.PersistenceLatency))
 	must(r.RegisterGauge("acheron_live_tombstones",
-		"Point tombstones currently in the tree.", nil, &s.LiveTombstones))
+		"Point tombstones currently in the tree.", lb(nil), &s.LiveTombstones))
 	must(r.RegisterGaugeFunc("acheron_oldest_tombstone_age_ns",
 		"Age of the oldest live tombstone (0 when none); compare against acheron_dpt_ns.",
-		nil, d.oldestTombstoneAge))
+		lb(nil), d.oldestTombstoneAge))
 	must(r.RegisterGaugeFunc("acheron_dpt_ns",
 		"Configured delete persistence threshold (0 disables FADE).",
-		nil, func() int64 { return int64(d.opts.Compaction.DPT) }))
+		lb(nil), func() int64 { return int64(d.opts.Compaction.DPT) }))
 
 	// Read path.
 	counter("acheron_gets_total", "Point lookups.", &s.Gets)
@@ -232,23 +262,23 @@ func (d *DB) buildRegistry() *metrics.Registry {
 
 	// Per-operation latency histograms.
 	must(r.RegisterHistogram("acheron_commit_latency_ns",
-		"Single-record commit latency (Put/Delete/DeleteSecondaryRange).", nil, &s.PutLatency))
+		"Single-record commit latency (Put/Delete/DeleteSecondaryRange).", lb(nil), &s.PutLatency))
 	must(r.RegisterHistogram("acheron_batch_latency_ns",
-		"Batch commit latency.", nil, &s.BatchLatency))
+		"Batch commit latency.", lb(nil), &s.BatchLatency))
 	must(r.RegisterHistogram("acheron_get_latency_ns",
-		"Point lookup latency.", nil, &s.GetLatency))
+		"Point lookup latency.", lb(nil), &s.GetLatency))
 	must(r.RegisterHistogram("acheron_iter_seek_latency_ns",
-		"Iterator positioning latency.", nil, &s.IterSeekLatency))
+		"Iterator positioning latency.", lb(nil), &s.IterSeekLatency))
 
 	// Backlog / health gauges.
 	must(r.RegisterGaugeFunc("acheron_flush_queue_depth",
-		"Immutable memtables queued for flush.", nil, s.FlushQueueDepth.Get))
+		"Immutable memtables queued for flush.", lb(nil), s.FlushQueueDepth.Get))
 	must(r.RegisterGaugeFunc("acheron_flush_queue_depth_peak",
-		"Worst flush backlog ever reached.", nil, s.FlushQueueDepth.Peak))
+		"Worst flush backlog ever reached.", lb(nil), s.FlushQueueDepth.Peak))
 	must(r.RegisterGauge("acheron_compactions_in_flight",
-		"Currently running compaction jobs.", nil, &s.CompactionsInFlight))
+		"Currently running compaction jobs.", lb(nil), &s.CompactionsInFlight))
 	must(r.RegisterGauge("acheron_read_only",
-		"1 once a sticky background error flipped the DB read-only.", nil, &s.ReadOnly))
+		"1 once a sticky background error flipped the DB read-only.", lb(nil), &s.ReadOnly))
 
 	// Block cache. The funcs are nil-safe so a cache-disabled DB still
 	// exposes the series (as zeros) and dashboards need no special case.
@@ -260,18 +290,18 @@ func (d *DB) buildRegistry() *metrics.Registry {
 		return fn
 	}
 	must(r.RegisterCounterFunc("acheron_block_cache_hits_total",
-		"Block cache hits.", nil, cacheFn(func() int64 { return blocks.Hits() })))
+		"Block cache hits.", lb(nil), cacheFn(func() int64 { return blocks.Hits() })))
 	must(r.RegisterCounterFunc("acheron_block_cache_misses_total",
-		"Block cache misses.", nil, cacheFn(func() int64 { return blocks.Misses() })))
+		"Block cache misses.", lb(nil), cacheFn(func() int64 { return blocks.Misses() })))
 	must(r.RegisterCounterFunc("acheron_block_cache_evictions_total",
-		"Blocks evicted to stay under capacity.", nil, cacheFn(func() int64 { return blocks.Evictions() })))
+		"Blocks evicted to stay under capacity.", lb(nil), cacheFn(func() int64 { return blocks.Evictions() })))
 	must(r.RegisterGaugeFunc("acheron_block_cache_bytes",
-		"Bytes resident in the block cache.", nil, cacheFn(func() int64 { return blocks.Bytes() })))
+		"Bytes resident in the block cache.", lb(nil), cacheFn(func() int64 { return blocks.Bytes() })))
 
 	// Tree shape, one series per level.
 	for l := 0; l < manifest.NumLevels; l++ {
 		l := l
-		lbl := metrics.Labels{"level": strconv.Itoa(l)}
+		lbl := lb(metrics.Labels{"level": strconv.Itoa(l)})
 		must(r.RegisterGaugeFunc("acheron_level_bytes",
 			"Live sstable bytes per level.", lbl,
 			func() int64 { return int64(d.Levels()[l].Bytes) }))
@@ -288,8 +318,8 @@ func (d *DB) buildRegistry() *metrics.Registry {
 
 	// The tracer itself.
 	must(r.RegisterCounterFunc("acheron_trace_events_total",
-		"Trace events emitted.", nil, func() int64 { return int64(d.trace.Total()) }))
-	return r
+		"Trace events emitted.", lb(nil), func() int64 { return int64(d.trace.Total()) }))
+	return firstErr
 }
 
 // eventJSON is the wire form of one trace event (Type rendered by name).

@@ -55,6 +55,14 @@ type Options struct {
 	// (min-overlap baseline vs FADE), size ratio, and the DPT.
 	Compaction compaction.Options
 
+	// Shards partitions the keyspace across that many independent engine
+	// instances when the store is opened through the sharded façade
+	// (acheron.ShardedOpen / shard.Open); each shard gets its own WAL,
+	// memtable, levels, maintenance executors, and admission controller.
+	// core.Open ignores it. 0 means "adopt the on-disk shard count, else
+	// 1"; see the shard package for routing and reopen rules.
+	Shards int
+
 	// EagerRangeDeletes makes maintenance act on secondary range deletes
 	// immediately: fully covered files are dropped by a metadata-only
 	// edit and partially covered files are rewritten without their

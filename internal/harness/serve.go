@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// walBandwidthFS charges each file Sync a sleeping wait proportional to
+// the bytes written since the previous sync: a device with finite write
+// bandwidth. fsyncDelayFS's fixed per-sync charge (C2) is exactly what
+// group commit amortizes away — one sync absorbs any number of queued
+// commits, so a single pipeline matches N of them and sharding shows
+// nothing. Bandwidth does not amortize: every committed byte must cross
+// some shard's device, so one shard serializes the whole write volume
+// behind one device while N shards drain N devices concurrently (the
+// sleeps overlap in wall time even on a single-core runner, which is also
+// why this waits in time.Sleep rather than burning the CPU the engines
+// need).
+type walBandwidthFS struct {
+	vfs.FS
+	bytesPerSec float64
+}
+
+func (fs walBandwidthFS) Create(name string) (vfs.File, error) {
+	f, err := fs.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &bandwidthFile{File: f, bytesPerSec: fs.bytesPerSec}, nil
+}
+
+type bandwidthFile struct {
+	vfs.File
+	bytesPerSec float64
+	pending     atomic.Int64
+}
+
+func (f *bandwidthFile) Write(p []byte) (int, error) {
+	n, err := f.File.Write(p)
+	f.pending.Add(int64(n))
+	return n, err
+}
+
+func (f *bandwidthFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.File.WriteAt(p, off)
+	f.pending.Add(int64(n))
+	return n, err
+}
+
+func (f *bandwidthFile) Sync() error {
+	if err := f.File.Sync(); err != nil {
+		return err
+	}
+	if n := f.pending.Swap(0); n > 0 {
+		time.Sleep(time.Duration(float64(n) / f.bytesPerSec * float64(time.Second)))
+	}
+	return nil
+}
+
+// C7ServeSaturation measures the served, sharded write path: aggregate
+// sync-put throughput through a live acherond as the shard count and the
+// client connection count grow. Every request is one batch of sync puts
+// (SyncWrites against walBandwidthFS, a device writing 8 MiB/s), so a
+// request carries enough engine work to dwarf the loopback round trip; the
+// router splits it into per-shard sub-batches that commit concurrently, one
+// group-committed WAL sync each. That is the scaling claim in miniature:
+// with one shard every committed byte funnels through one WAL device, with
+// four shards the same offered load spreads across four devices (and four
+// commit pipelines and maintenance executor sets), so aggregate kops/s must
+// rise monotonically with the shard count once enough connections offer
+// load. Wall-clock experiment: absolute numbers vary run to run.
+func C7ServeSaturation(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "C7",
+		Title:  "served saturation: aggregate sync-put kops/s vs shards x connections (acherond, wall clock)",
+		Header: []string{"shards", "conns", "batch", "kops_s", "commits_per_sync", "p99_batch_ms", "wal_syncs"},
+		Notes: []string{
+			"each request is one batch of sync puts; the router commits per-shard sub-batches concurrently",
+			"each shard's WAL writes through its own 8 MiB/s device (walBandwidthFS); sharding multiplies devices",
+			"acceptance: at 8+ conns, kops_s increases monotonically from 1 to 4 shards",
+			"wall-clock experiment: absolute numbers vary run to run",
+		},
+	}
+
+	const batchOps = 96
+	rowPuts := sc.Ops
+	if rowPuts > 60_000 {
+		rowPuts = 60_000
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, conns := range []int{2, 8, 16} {
+			kops, cps, p99ms, syncs, err := c7Row(sc, shards, conns, batchOps, rowPuts)
+			if err != nil {
+				return nil, fmt.Errorf("c7 %d shards %d conns: %w", shards, conns, err)
+			}
+			t.AddRow(I(int64(shards)), I(int64(conns)), I(int64(batchOps)),
+				Fx(kops, 1), Fx(cps, 1), Fx(p99ms, 2), I(syncs))
+		}
+	}
+	return t, nil
+}
+
+// c7Row runs one configuration: a fresh sharded store behind a fresh
+// server, conns clients each pushing rowPuts/conns sync puts in batchOps-
+// sized batches.
+func c7Row(sc Scale, shards, conns, batchOps, rowPuts int) (kops, commitsPerSync, p99ms float64, walSyncs int64, err error) {
+	mem := vfs.NewMemFS()
+	opts := core.Options{
+		FS:                      walBandwidthFS{mem, 8 << 20},
+		Shards:                  shards,
+		SyncWrites:              true,
+		MemTableBytes:           sc.MemTableBytes,
+		BloomBitsPerKey:         10,
+		DeleteKeyFunc:           workload.ExtractDeleteKey,
+		MaintenanceTickInterval: 2 * time.Millisecond,
+	}
+	r, err := shard.Open("bench-db", opts)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	srv := server.New(r, server.Config{OpTimeout: 30 * time.Second})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		_ = r.Close()
+		return 0, 0, 0, 0, err
+	}
+
+	perConn := rowPuts / (conns * batchOps)
+	if perConn < 1 {
+		perConn = 1
+	}
+	var (
+		puts     atomic.Int64
+		batchLat metrics.Histogram
+		hardErrs = make(chan error, conns)
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				select {
+				case hardErrs <- fmt.Errorf("dial: %w", err):
+				default:
+				}
+				return
+			}
+			defer c.Close()
+			g := workload.New(workload.Spec{
+				Seed:     uint64(7700 + w),
+				KeySpace: sc.KeySpace,
+				ValueLen: sc.ValueLen,
+				Dist:     workload.Uniform,
+				Mix:      workload.Mix{Updates: 0.5},
+			})
+			ops := make([]wire.BatchOp, batchOps)
+			for b := 0; b < perConn; b++ {
+				// The generator reuses its key/value buffers per Next, so
+				// each slot keeps its own copy for the life of the request.
+				for i := range ops {
+					op := g.Next()
+					ops[i].Delete = false
+					ops[i].Key = append(ops[i].Key[:0], op.Key...)
+					ops[i].Value = append(ops[i].Value[:0], op.Value...)
+				}
+				opStart := time.Now()
+				if err := c.Apply(ops); err != nil {
+					select {
+					case hardErrs <- fmt.Errorf("conn %d batch %d: %w", w, b, err):
+					default:
+					}
+					return
+				}
+				batchLat.Record(time.Since(opStart).Nanoseconds())
+				puts.Add(int64(batchOps))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-hardErrs:
+		_ = srv.Close()
+		_ = r.Close()
+		return 0, 0, 0, 0, err
+	default:
+	}
+
+	var appends, syncs int64
+	for _, st := range r.Stats() {
+		appends += st.WALAppends.Get()
+		syncs += st.WALSyncs.Get()
+	}
+	if syncs > 0 {
+		commitsPerSync = float64(appends) / float64(syncs)
+	}
+	kops = float64(puts.Load()) / elapsed.Seconds() / 1e3
+	p99ms = float64(batchLat.Quantile(0.99)) / 1e6
+	walSyncs = syncs
+
+	if err := srv.Close(); err != nil {
+		_ = r.Close()
+		return 0, 0, 0, 0, err
+	}
+	// Hand each shard's final state to the metrics sink like every other
+	// experiment's engines, then close the store.
+	if metricsSink != nil {
+		for i := 0; i < r.NumShards(); i++ {
+			metricsSink(fmt.Sprintf("serve-%ds-%dc-shard%d", shards, conns, i), r.Shard(i))
+		}
+	}
+	if err := r.Close(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return kops, commitsPerSync, p99ms, walSyncs, nil
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/client"
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/vfs"
+	"repro/internal/wire"
+)
+
+func testDK(v []byte) base.DeleteKey {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+func testValue(dk uint64, tag int) []byte {
+	v := make([]byte, 24)
+	binary.BigEndian.PutUint64(v, dk)
+	binary.BigEndian.PutUint64(v[8:], uint64(tag))
+	return v
+}
+
+func testRouter(t *testing.T, shards int) *shard.Router {
+	t.Helper()
+	r, err := shard.Open("db", core.Options{
+		FS:            vfs.NewMemFS(),
+		Shards:        shards,
+		MemTableBytes: 32 << 10,
+		DeleteKeyFunc: testDK,
+		Compaction: compaction.Options{
+			SizeRatio:       4,
+			L0Threshold:     2,
+			BaseLevelBytes:  64 << 10,
+			TargetFileBytes: 16 << 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestServerRoundTrip covers every wire op end to end through a live
+// server and the real client.
+func TestServerRoundTrip(t *testing.T) {
+	r := testRouter(t, 2)
+	defer r.Close()
+	srv := New(r, Config{OpTimeout: 5 * time.Second})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("key%03d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := c.Get([]byte("key007"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != string(testValue(7, 7)) {
+		t.Fatal("Get returned the wrong value")
+	}
+	if err := c.Delete([]byte("key007")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("key007")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	// Secondary range delete: values with delete key in [10, 20) vanish.
+	if err := c.DeleteSecondaryRange(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("key012")); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("range-deleted key: %v", err)
+	}
+	if err := c.Apply([]wire.BatchOp{
+		{Key: []byte("b1"), Value: testValue(900, 1)},
+		{Delete: true, Key: []byte("key099")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := c.Scan([]byte("key050"), []byte("key060"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 10 {
+		t.Fatalf("scan returned %d entries, want 10", len(kvs))
+	}
+	for i, kv := range kvs {
+		if string(kv.Key) != fmt.Sprintf("key%03d", 50+i) {
+			t.Fatalf("scan order: entry %d is %q", i, kv.Key)
+		}
+	}
+	raw, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Shards   int `json:"shards"`
+		PerShard []struct {
+			Gets int64 `json:"gets"`
+		} `json:"per_shard"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if doc.Shards != 2 || len(doc.PerShard) != 2 {
+		t.Fatalf("stats doc: %s", raw)
+	}
+}
+
+// TestServerProtocolErrors checks that malformed frames are answered with
+// a typed protocol error and the connection is dropped, without harming
+// other connections.
+func TestServerProtocolErrors(t *testing.T) {
+	r := testRouter(t, 1)
+	defer r.Close()
+	srv := New(r, Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// An unknown op decodes to a protocol error response...
+	if err := wire.WriteFrame(conn, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rerr, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr == nil || rerr.Code != wire.CodeProtocol {
+		t.Fatalf("unknown op answered %+v, want CodeProtocol", rerr)
+	}
+	// ...and the server hangs up afterwards.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(conn, nil); err == nil {
+		t.Fatal("connection stayed open after a protocol error")
+	}
+
+	// A healthy connection still works.
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerStressChaosClients hammers a live server with concurrent
+// clients that randomly disconnect mid-stream, checks that surviving
+// clients see coherent data, that Close is bounded while requests are in
+// flight, and that every connection goroutine unwinds (no leaks). The
+// "Stress" name places it under the race-detector gate.
+func TestServerStressChaosClients(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	r := testRouter(t, 2)
+	srv := New(r, Config{OpTimeout: 5 * time.Second})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	hardErrs := make(chan error, clients)
+	stop := make(chan struct{})
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := client.Dial(addr)
+				if err != nil {
+					// Expected once Close starts racing the dials.
+					return
+				}
+				abrupt := rng.Intn(3) == 0
+				for i := 0; i < 20; i++ {
+					k := []byte(fmt.Sprintf("chaos-%02d-%04d", w, rng.Intn(500)))
+					var opErr error
+					switch rng.Intn(4) {
+					case 0:
+						opErr = c.Put(k, testValue(uint64(rng.Intn(100)), i))
+					case 1:
+						if _, err := c.Get(k); err != nil && !errors.Is(err, core.ErrNotFound) {
+							opErr = err
+						}
+					case 2:
+						opErr = c.Delete(k)
+					default:
+						_, opErr = c.Scan([]byte(fmt.Sprintf("chaos-%02d-", w)), nil, 32)
+					}
+					if opErr != nil {
+						// Server-side shutdown races surface as closed/io
+						// errors; anything engine-shaped is a real failure.
+						if errors.Is(opErr, wire.ErrProtocol) {
+							select {
+							case hardErrs <- fmt.Errorf("client %d iter %d: %w", w, iter, opErr):
+							default:
+							}
+						}
+						break
+					}
+					if abrupt && i == 10 {
+						break // drop the connection mid-conversation
+					}
+				}
+				c.Close()
+			}
+		}(w)
+	}
+
+	// Let the chaos run, then close the server while requests are still in
+	// flight; Close must drain every connection goroutine within bounds.
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- srv.Close() }()
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close blocked behind live connections")
+	}
+	wg.Wait()
+	select {
+	case err := <-hardErrs:
+		t.Fatal(err)
+	default:
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every accept/connection goroutine and the engine's background workers
+	// must unwind.
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A second Close is a no-op, mirroring the engine's idempotent close.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/compaction"
+	"repro/internal/core"
+	"repro/internal/vfs"
+)
+
+func testDK(v []byte) base.DeleteKey {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+func testValue(dk uint64, tag int) []byte {
+	v := make([]byte, 24)
+	binary.BigEndian.PutUint64(v, dk)
+	binary.BigEndian.PutUint64(v[8:], uint64(tag))
+	return v
+}
+
+func testOptions(fs vfs.FS, clk base.Clock, shards int) core.Options {
+	return core.Options{
+		FS:                     fs,
+		Clock:                  clk,
+		Shards:                 shards,
+		MemTableBytes:          32 << 10,
+		DeleteKeyFunc:          testDK,
+		DisableAutoMaintenance: true,
+		Compaction: compaction.Options{
+			SizeRatio:       4,
+			L0Threshold:     2,
+			BaseLevelBytes:  64 << 10,
+			TargetFileBytes: 16 << 10,
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts core.Options) *Router {
+	t.Helper()
+	r, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestShardRouting checks that point routing is deterministic, stable
+// across reopen, and actually spreads a realistic keyspace over every
+// shard.
+func TestShardRouting(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := mustOpen(t, "db", testOptions(fs, &base.LogicalClock{}, 4))
+	defer r.Close()
+
+	hits := make([]int, r.NumShards())
+	for i := 0; i < 4096; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		s := r.ShardFor(k)
+		if again := r.ShardFor(k); again != s {
+			t.Fatalf("ShardFor(%q) unstable: %d then %d", k, s, again)
+		}
+		hits[s]++
+	}
+	for s, n := range hits {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys out of 4096", s)
+		}
+	}
+
+	// A key routed to shard s must be readable through the router and
+	// present only on that shard.
+	key, val := []byte("routed"), testValue(9, 9)
+	if err := r.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	home := r.ShardFor(key)
+	for i := 0; i < r.NumShards(); i++ {
+		_, err := r.Shard(i).Get(key)
+		if i == home && err != nil {
+			t.Fatalf("home shard %d: %v", i, err)
+		}
+		if i != home && err != core.ErrNotFound {
+			t.Fatalf("foreign shard %d sees the key: %v", i, err)
+		}
+	}
+	got, err := r.Get(key)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("router Get = %q, %v", got, err)
+	}
+}
+
+// TestShardMetaPersistence checks that the shard count written at create
+// time is adopted on reopen (Shards=0) and defended against mismatch
+// (resharding is not supported).
+func TestShardMetaPersistence(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{}, 3)
+	r := mustOpen(t, "db", opts)
+	if err := r.Put([]byte("a"), testValue(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Shards = 0 // adopt persisted count
+	r = mustOpen(t, "db", opts)
+	if n := r.NumShards(); n != 3 {
+		t.Fatalf("reopen adopted %d shards, want 3", n)
+	}
+	if _, err := r.Get([]byte("a")); err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Shards = 5
+	if _, err := Open("db", opts); err == nil || !strings.Contains(err.Error(), "resharding") {
+		t.Fatalf("mismatched shard count opened: err=%v", err)
+	}
+}
+
+// TestShardScanMerge checks cross-shard iteration: global ascending order,
+// bound handling, and SeekGE through the k-way merge.
+func TestShardScanMerge(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := mustOpen(t, "db", testOptions(fs, &base.LogicalClock{}, 4))
+	defer r.Close()
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("key%04d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spill some of it out of the memtables so the scan crosses levels too.
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := r.NewIter(IterOptions{
+		LowerBound: []byte("key0100"),
+		UpperBound: []byte("key0400"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	want := 100
+	for ok := it.First(); ok; ok = it.Next() {
+		if got := string(it.Key()); got != fmt.Sprintf("key%04d", want) {
+			t.Fatalf("scan order: got %q, want key%04d", got, want)
+		}
+		want++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if want != 400 {
+		t.Fatalf("scan stopped at key%04d, want key0400", want)
+	}
+
+	if !it.SeekGE([]byte("key0250")) {
+		t.Fatal("SeekGE(key0250) found nothing")
+	}
+	if got := string(it.Key()); got != "key0250" {
+		t.Fatalf("SeekGE landed on %q", got)
+	}
+}
+
+// TestShardBatchSplit checks that one batch spanning every shard commits
+// atomically per shard and lands each op on its routed shard.
+func TestShardBatchSplit(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := mustOpen(t, "db", testOptions(fs, &base.LogicalClock{}, 4))
+	defer r.Close()
+
+	if err := r.Put([]byte("gone"), testValue(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewBatch()
+	for i := 0; i < 64; i++ {
+		b.Put([]byte(fmt.Sprintf("batch%03d", i)), testValue(uint64(i), i))
+	}
+	b.Delete([]byte("gone"))
+	if err := r.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("batch%03d", i)
+		v, err := r.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if !bytes.Equal(v, testValue(uint64(i), i)) {
+			t.Fatalf("Get(%q) wrong value", k)
+		}
+	}
+	if _, err := r.Get([]byte("gone")); err != core.ErrNotFound {
+		t.Fatalf("batched delete not applied: %v", err)
+	}
+}
+
+// TestShardCheckpoint checks that a checkpoint of a sharded store
+// reproduces the SHARDS meta plus every shard's state, and opens.
+func TestShardCheckpoint(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := testOptions(fs, &base.LogicalClock{}, 2)
+	r := mustOpen(t, "db", opts)
+	defer r.Close()
+
+	for i := 0; i < 200; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("ck%04d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.CheckpointCtx(context.Background(), "ckpt"); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Shards = 0
+	cp := mustOpen(t, "ckpt", opts)
+	defer cp.Close()
+	if n := cp.NumShards(); n != 2 {
+		t.Fatalf("checkpoint adopted %d shards, want 2", n)
+	}
+	it, err := cp.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	seen := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		seen++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 200 {
+		t.Fatalf("checkpoint scan found %d keys, want 200", seen)
+	}
+}
+
+// TestShardRegistryLabels checks that the aggregated registry exposes one
+// family per metric with a shard label per instance.
+func TestShardRegistryLabels(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := mustOpen(t, "db", testOptions(fs, &base.LogicalClock{}, 2))
+	defer r.Close()
+	if err := r.Put([]byte("m"), testValue(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if _, err := r.Registry().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{`shard="0"`, `shard="1"`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("registry output lacks %s", want)
+		}
+	}
+	if strings.Count(text, "# HELP acheron_wal_appends") != 1 {
+		t.Fatal("acheron_wal_appends family not exposed exactly once")
+	}
+}
+
+// TestShardAggregates checks that Levels, DiskSize, and Stats sum over
+// shards rather than reporting one of them.
+func TestShardAggregates(t *testing.T) {
+	fs := vfs.NewMemFS()
+	r := mustOpen(t, "db", testOptions(fs, &base.LogicalClock{}, 4))
+	defer r.Close()
+
+	for i := 0; i < 2000; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("agg%05d", i)), testValue(uint64(i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	var files int
+	for _, li := range r.Levels() {
+		files += li.Files
+	}
+	var perShard int
+	var disk uint64
+	for i := 0; i < r.NumShards(); i++ {
+		for _, li := range r.Shard(i).Levels() {
+			perShard += li.Files
+		}
+		disk += r.Shard(i).DiskSize()
+	}
+	if files == 0 || files != perShard {
+		t.Fatalf("aggregated Levels reports %d files, shards sum to %d", files, perShard)
+	}
+	if got := r.DiskSize(); got != disk {
+		t.Fatalf("DiskSize %d, shards sum to %d", got, disk)
+	}
+	if sts := r.Stats(); len(sts) != 4 {
+		t.Fatalf("Stats returned %d entries, want 4", len(sts))
+	}
+
+	if len(sortedRouterKeys(t, r)) != 2000 {
+		t.Fatal("router scan lost keys after flush")
+	}
+}
+
+func sortedRouterKeys(t *testing.T, r *Router) []string {
+	t.Helper()
+	it, err := r.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var keys []string
+	for ok := it.First(); ok; ok = it.Next() {
+		keys = append(keys, string(it.Key()))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("router scan out of order")
+	}
+	return keys
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes through every protocol decoder: the
+// frame reader, the request parser, the response parser, and the scan-body
+// walker. Decoding must terminate with nil, an error wrapping ErrProtocol,
+// or a framing io error — never panic, never loop forever, never allocate
+// proportional to a hostile length prefix. A payload that decodes cleanly
+// must re-encode to the identical bytes (the codec has one canonical form).
+func FuzzWireDecode(f *testing.F) {
+	seed := func(req Request) { f.Add(AppendRequest(nil, req)) }
+	seed(Request{Op: OpPing})
+	seed(Request{Op: OpStats})
+	seed(Request{Op: OpPut, Key: []byte("key"), Value: []byte("value")})
+	seed(Request{Op: OpGet, Key: []byte("key")})
+	seed(Request{Op: OpDelete, Key: []byte("key")})
+	seed(Request{Op: OpRangeDelete, Lo: 7, Hi: 7000})
+	seed(Request{Op: OpScan, Key: []byte("a"), Value: []byte("z"), Limit: 10})
+	seed(Request{Op: OpBatch, Batch: []BatchOp{
+		{Key: []byte("p"), Value: []byte("v")},
+		{Delete: true, Key: []byte("d")},
+	}})
+	f.Add(AppendOK(nil, []byte("body")))
+	f.Add(AppendNotFound(nil))
+	f.Add(AppendErr(nil, CodeOverloaded, "overloaded"))
+	f.Add(AppendScanEntry(AppendScanEntry(nil, []byte("k1"), []byte("v1")), []byte("k2"), []byte("v2")))
+	f.Add([]byte{byte(OpBatch), 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+
+	checkErr := func(t *testing.T, what string, err error) {
+		if err != nil && !errors.Is(err, ErrProtocol) {
+			t.Fatalf("%s: error %v does not wrap ErrProtocol", what, err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeRequest(data); err == nil {
+			// Canonical form: decode∘encode is the identity on valid input.
+			if re := AppendRequest(nil, req); !bytes.Equal(re, data) {
+				t.Fatalf("request re-encode differs: %x != %x", re, data)
+			}
+		} else {
+			checkErr(t, "request", err)
+		}
+
+		if _, _, _, err := DecodeResponse(data); err != nil {
+			checkErr(t, "response", err)
+		}
+
+		entries := 0
+		err := DecodeScanBody(data, func(k, v []byte) { entries++ })
+		checkErr(t, "scan body", err)
+		if err == nil && entries > len(data) {
+			t.Fatalf("scan body produced %d entries from %d bytes", entries, len(data))
+		}
+
+		// Frame the bytes and read them back; then read the raw bytes as a
+		// frame stream, which must end in io.EOF, io.ErrUnexpectedEOF, or a
+		// protocol error — never hang or over-allocate.
+		if len(data) <= MaxFrame {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, data); err != nil {
+				t.Fatalf("frame write: %v", err)
+			}
+			got, err := ReadFrame(&buf, nil)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("frame round trip: %v", err)
+			}
+		}
+		r := bytes.NewReader(data)
+		for {
+			_, err := ReadFrame(r, nil)
+			if err == nil {
+				continue
+			}
+			if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, ErrProtocol) {
+				t.Fatalf("frame stream: %v", err)
+			}
+			break
+		}
+	})
+}

@@ -1,0 +1,398 @@
+// Package wire defines the acherond client/server protocol: length-prefixed
+// binary frames carrying one request or one response each.
+//
+// A frame is a 4-byte big-endian payload length followed by the payload,
+// capped at MaxFrame. A request payload is an op byte followed by an
+// op-specific body; a response payload is a status byte followed by a
+// status- and op-specific body (the client knows which op it sent, so
+// response bodies need no op tag). All variable-length fields are uvarint-
+// prefixed byte strings.
+//
+// Decoding is hardened against malicious frames: every length is checked
+// against the bytes actually present before any allocation sized by it, so
+// a crafted frame produces an error wrapping ErrProtocol — never a panic or
+// an unbounded allocation. The package is dependency-free below the engine;
+// the server maps engine errors to ErrCode values and the client maps them
+// back.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload. Large enough for any sane batch or scan
+// page, small enough that a hostile length prefix cannot balloon memory.
+const MaxFrame = 1 << 20
+
+// MaxBatchOps bounds the operations in one batch request independently of
+// MaxFrame, so a batch of empty keys cannot explode the decoded op count.
+const MaxBatchOps = 1 << 16
+
+// ErrProtocol is wrapped by every decode failure: short frames, oversized
+// lengths, unknown ops, trailing garbage. Match with errors.Is; a server
+// receiving it from DecodeRequest should answer CodeProtocol and drop the
+// connection.
+var ErrProtocol = errors.New("wire: protocol error")
+
+// Op identifies a request operation.
+type Op byte
+
+// Request operations.
+const (
+	OpPing        Op = 1
+	OpPut         Op = 2
+	OpGet         Op = 3
+	OpDelete      Op = 4
+	OpRangeDelete Op = 5
+	OpScan        Op = 6
+	OpBatch       Op = 7
+	OpStats       Op = 8
+)
+
+// String names the op for errors and traces.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpRangeDelete:
+		return "range-delete"
+	case OpScan:
+		return "scan"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Status is the first byte of every response payload.
+type Status byte
+
+// Response statuses.
+const (
+	StatusOK       Status = 0
+	StatusNotFound Status = 1
+	StatusErr      Status = 2
+)
+
+// ErrCode classifies a StatusErr response so the client can restore the
+// engine's sentinel errors across the wire.
+type ErrCode byte
+
+// Error codes.
+const (
+	CodeGeneric    ErrCode = 0
+	CodeOverloaded ErrCode = 1
+	CodeClosed     ErrCode = 2
+	CodeProtocol   ErrCode = 3
+)
+
+// Request is one decoded client request. Key/Value/Batch fields alias the
+// frame buffer they were decoded from; copy before retaining.
+type Request struct {
+	Op    Op
+	Key   []byte
+	Value []byte
+	// Lo and Hi bound a secondary range delete [Lo, Hi), and double as the
+	// scan bounds' presence via Key (lower) / Value (upper).
+	Lo, Hi uint64
+	// Limit caps a scan's returned entries; 0 means no cap.
+	Limit uint64
+	// Batch holds the decoded batch operations.
+	Batch []BatchOp
+}
+
+// BatchOp is one operation inside a batch request.
+type BatchOp struct {
+	Delete bool
+	Key    []byte
+	Value  []byte
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: frame payload %d exceeds max %d", ErrProtocol, len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf when it is large enough. An
+// oversized length prefix fails before any allocation sized by it. io.EOF
+// is returned exactly at a clean frame boundary; a partial frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame length %d exceeds max %d", ErrProtocol, n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendBytes appends a uvarint length prefix and the bytes.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// uvarintLen is the length of the minimal uvarint encoding of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// takeBytes decodes one uvarint-prefixed byte string, returning the string
+// and the remainder. The length is validated against the bytes present
+// before any slicing.
+func takeBytes(rest []byte, what string) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(rest)
+	if n <= 0 || n != uvarintLen(l) || l > uint64(len(rest)-n) {
+		return nil, nil, fmt.Errorf("%w: bad %s length", ErrProtocol, what)
+	}
+	return rest[n : n+int(l)], rest[n+int(l):], nil
+}
+
+// takeUvarint decodes one uvarint, returning it and the remainder. Only the
+// minimal encoding is accepted: every valid payload has exactly one byte
+// form, so decode∘encode is the identity and a proxy can re-frame without
+// changing meaning.
+func takeUvarint(rest []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(rest)
+	if n <= 0 || n != uvarintLen(v) {
+		return 0, nil, fmt.Errorf("%w: bad %s", ErrProtocol, what)
+	}
+	return v, rest[n:], nil
+}
+
+// AppendRequest encodes req onto dst.
+func AppendRequest(dst []byte, req Request) []byte {
+	dst = append(dst, byte(req.Op))
+	switch req.Op {
+	case OpPut:
+		dst = appendBytes(dst, req.Key)
+		dst = appendBytes(dst, req.Value)
+	case OpGet, OpDelete:
+		dst = appendBytes(dst, req.Key)
+	case OpRangeDelete:
+		dst = binary.BigEndian.AppendUint64(dst, req.Lo)
+		dst = binary.BigEndian.AppendUint64(dst, req.Hi)
+	case OpScan:
+		dst = appendBytes(dst, req.Key)   // lower bound (empty = none)
+		dst = appendBytes(dst, req.Value) // upper bound (empty = none)
+		dst = binary.AppendUvarint(dst, req.Limit)
+	case OpBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(req.Batch)))
+		for _, op := range req.Batch {
+			kind := byte(0)
+			if op.Delete {
+				kind = 1
+			}
+			dst = append(dst, kind)
+			dst = appendBytes(dst, op.Key)
+			if !op.Delete {
+				dst = appendBytes(dst, op.Value)
+			}
+		}
+	}
+	return dst
+}
+
+// DecodeRequest parses one request payload. The returned request aliases
+// payload. Trailing bytes after a well-formed body are a protocol error:
+// they would desynchronize a framing bug into silent corruption.
+func DecodeRequest(payload []byte) (Request, error) {
+	var req Request
+	if len(payload) == 0 {
+		return req, fmt.Errorf("%w: empty request", ErrProtocol)
+	}
+	req.Op = Op(payload[0])
+	rest := payload[1:]
+	var err error
+	switch req.Op {
+	case OpPing, OpStats:
+		// no body
+	case OpPut:
+		if req.Key, rest, err = takeBytes(rest, "put key"); err != nil {
+			return req, err
+		}
+		if req.Value, rest, err = takeBytes(rest, "put value"); err != nil {
+			return req, err
+		}
+	case OpGet, OpDelete:
+		if req.Key, rest, err = takeBytes(rest, "key"); err != nil {
+			return req, err
+		}
+	case OpRangeDelete:
+		if len(rest) < 16 {
+			return req, fmt.Errorf("%w: short range-delete body", ErrProtocol)
+		}
+		req.Lo = binary.BigEndian.Uint64(rest)
+		req.Hi = binary.BigEndian.Uint64(rest[8:])
+		rest = rest[16:]
+	case OpScan:
+		if req.Key, rest, err = takeBytes(rest, "scan lower bound"); err != nil {
+			return req, err
+		}
+		if req.Value, rest, err = takeBytes(rest, "scan upper bound"); err != nil {
+			return req, err
+		}
+		if req.Limit, rest, err = takeUvarint(rest, "scan limit"); err != nil {
+			return req, err
+		}
+	case OpBatch:
+		var count uint64
+		if count, rest, err = takeUvarint(rest, "batch count"); err != nil {
+			return req, err
+		}
+		// Each op needs at least 2 bytes (kind + empty-key length), so the
+		// count is bounded by the bytes present before anything is
+		// allocated from it.
+		if count > MaxBatchOps || count > uint64(len(rest))/2 {
+			return req, fmt.Errorf("%w: batch count %d exceeds frame", ErrProtocol, count)
+		}
+		req.Batch = make([]BatchOp, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(rest) == 0 {
+				return req, fmt.Errorf("%w: truncated batch op", ErrProtocol)
+			}
+			op := BatchOp{Delete: rest[0] == 1}
+			if rest[0] > 1 {
+				return req, fmt.Errorf("%w: bad batch op kind %d", ErrProtocol, rest[0])
+			}
+			rest = rest[1:]
+			if op.Key, rest, err = takeBytes(rest, "batch key"); err != nil {
+				return req, err
+			}
+			if !op.Delete {
+				if op.Value, rest, err = takeBytes(rest, "batch value"); err != nil {
+					return req, err
+				}
+			}
+			req.Batch = append(req.Batch, op)
+		}
+	default:
+		return req, fmt.Errorf("%w: unknown op %d", ErrProtocol, payload[0])
+	}
+	if len(rest) != 0 {
+		return req, fmt.Errorf("%w: %d trailing bytes after %s request", ErrProtocol, len(rest), req.Op)
+	}
+	return req, nil
+}
+
+// AppendOK encodes a success response with an op-specific body (nil for
+// ops that return nothing).
+func AppendOK(dst, body []byte) []byte {
+	dst = append(dst, byte(StatusOK))
+	return append(dst, body...)
+}
+
+// AppendNotFound encodes the not-found response to a get.
+func AppendNotFound(dst []byte) []byte { return append(dst, byte(StatusNotFound)) }
+
+// AppendErr encodes an error response from its classified code and
+// message.
+func AppendErr(dst []byte, code ErrCode, msg string) []byte {
+	dst = append(dst, byte(StatusErr), byte(code))
+	return appendBytes(dst, []byte(msg))
+}
+
+// RemoteError is an engine or protocol error restored from a StatusErr
+// response. The client wraps it with the matching local sentinel so
+// errors.Is works across the wire; Code preserves the exact classification.
+type RemoteError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// DecodeResponse splits one response payload into its status and body; for
+// StatusErr the error details are parsed out.
+func DecodeResponse(payload []byte) (Status, []byte, *RemoteError, error) {
+	if len(payload) == 0 {
+		return 0, nil, nil, fmt.Errorf("%w: empty response", ErrProtocol)
+	}
+	status := Status(payload[0])
+	rest := payload[1:]
+	switch status {
+	case StatusOK:
+		return status, rest, nil, nil
+	case StatusNotFound:
+		if len(rest) != 0 {
+			return status, nil, nil, fmt.Errorf("%w: trailing bytes after not-found", ErrProtocol)
+		}
+		return status, nil, nil, nil
+	case StatusErr:
+		if len(rest) == 0 {
+			return status, nil, nil, fmt.Errorf("%w: short error response", ErrProtocol)
+		}
+		code := ErrCode(rest[0])
+		msg, rest, err := takeBytes(rest[1:], "error message")
+		if err != nil {
+			return status, nil, nil, err
+		}
+		if len(rest) != 0 {
+			return status, nil, nil, fmt.Errorf("%w: trailing bytes after error", ErrProtocol)
+		}
+		return status, nil, &RemoteError{Code: code, Msg: string(msg)}, nil
+	}
+	return status, nil, nil, fmt.Errorf("%w: unknown status %d", ErrProtocol, payload[0])
+}
+
+// AppendScanEntry appends one key/value pair to a scan response body.
+func AppendScanEntry(dst, key, value []byte) []byte {
+	dst = appendBytes(dst, key)
+	return appendBytes(dst, value)
+}
+
+// DecodeScanBody walks a scan response body, invoking fn per entry. The
+// slices alias body.
+func DecodeScanBody(body []byte, fn func(key, value []byte)) error {
+	for len(body) > 0 {
+		key, rest, err := takeBytes(body, "scan key")
+		if err != nil {
+			return err
+		}
+		value, rest, err := takeBytes(rest, "scan value")
+		if err != nil {
+			return err
+		}
+		fn(key, value)
+		body = rest
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestRequestRoundTrip encodes every op and decodes it back.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpStats},
+		{Op: OpPut, Key: []byte("k"), Value: []byte("v")},
+		{Op: OpPut, Key: []byte{}, Value: []byte{}},
+		{Op: OpGet, Key: []byte("some-key")},
+		{Op: OpDelete, Key: []byte("doomed")},
+		{Op: OpRangeDelete, Lo: 100, Hi: 2000},
+		{Op: OpScan, Key: []byte("a"), Value: []byte("z"), Limit: 50},
+		{Op: OpScan, Key: []byte{}, Value: []byte{}, Limit: 0},
+		{Op: OpBatch, Batch: []BatchOp{
+			{Key: []byte("p1"), Value: []byte("v1")},
+			{Delete: true, Key: []byte("d1")},
+			{Key: []byte("p2"), Value: bytes.Repeat([]byte{0xEE}, 300)},
+		}},
+	}
+	for _, want := range reqs {
+		payload := AppendRequest(nil, want)
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Op, err)
+		}
+		if got.Op != want.Op || !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) ||
+			got.Lo != want.Lo || got.Hi != want.Hi || got.Limit != want.Limit {
+			t.Fatalf("%s: round trip mismatch: %+v != %+v", want.Op, got, want)
+		}
+		if len(got.Batch) != len(want.Batch) {
+			t.Fatalf("%s: batch len %d != %d", want.Op, len(got.Batch), len(want.Batch))
+		}
+		for i := range want.Batch {
+			if got.Batch[i].Delete != want.Batch[i].Delete ||
+				!bytes.Equal(got.Batch[i].Key, want.Batch[i].Key) ||
+				!bytes.Equal(got.Batch[i].Value, want.Batch[i].Value) {
+				t.Fatalf("%s: batch op %d mismatch", want.Op, i)
+			}
+		}
+	}
+}
+
+// TestResponseRoundTrip covers the three statuses and scan bodies.
+func TestResponseRoundTrip(t *testing.T) {
+	status, body, rerr, err := DecodeResponse(AppendOK(nil, []byte("value")))
+	if err != nil || rerr != nil || status != StatusOK || string(body) != "value" {
+		t.Fatalf("ok response: %v %q %v %v", status, body, rerr, err)
+	}
+	status, _, rerr, err = DecodeResponse(AppendNotFound(nil))
+	if err != nil || rerr != nil || status != StatusNotFound {
+		t.Fatalf("not-found response: %v %v %v", status, rerr, err)
+	}
+	status, _, rerr, err = DecodeResponse(AppendErr(nil, CodeOverloaded, "too busy"))
+	if err != nil || status != StatusErr {
+		t.Fatalf("err response: %v %v", status, err)
+	}
+	if rerr == nil || rerr.Code != CodeOverloaded || rerr.Msg != "too busy" {
+		t.Fatalf("err details: %+v", rerr)
+	}
+
+	scan := AppendScanEntry(nil, []byte("k1"), []byte("v1"))
+	scan = AppendScanEntry(scan, []byte("k2"), []byte{})
+	var kv [][2]string
+	if err := DecodeScanBody(scan, func(k, v []byte) {
+		kv = append(kv, [2]string{string(k), string(v)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kv) != 2 || kv[0] != [2]string{"k1", "v1"} || kv[1] != [2]string{"k2", ""} {
+		t.Fatalf("scan body: %v", kv)
+	}
+}
+
+// TestDecodeHardening checks that crafted payloads produce ErrProtocol, not
+// panics or over-allocations.
+func TestDecodeHardening(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown op", []byte{0xFF}},
+		{"ping with trailing bytes", []byte{byte(OpPing), 0x00}},
+		{"put missing value", []byte{byte(OpPut), 0x01, 'k'}},
+		{"put truncated key", []byte{byte(OpPut), 0x10, 'a'}},
+		{"put length past frame", []byte{byte(OpPut), 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}},
+		{"get overlong uvarint", append([]byte{byte(OpGet)}, bytes.Repeat([]byte{0x80}, 11)...)},
+		{"get non-minimal key length", []byte{byte(OpGet), 0x80, 0x00}},
+		{"batch non-minimal count", []byte{byte(OpBatch), 0x81, 0x00, 0x00, 0x00}},
+		{"range-delete short body", []byte{byte(OpRangeDelete), 1, 2, 3}},
+		{"scan missing limit", AppendRequest(nil, Request{Op: OpScan})[:3]},
+		{"batch count exceeds frame", append([]byte{byte(OpBatch)}, binary.AppendUvarint(nil, 1<<40)...)},
+		{"batch count just over ops", append([]byte{byte(OpBatch)}, binary.AppendUvarint(nil, MaxBatchOps+1)...)},
+		{"batch bad kind", []byte{byte(OpBatch), 0x01, 0x07, 0x00}},
+		{"batch truncated op", []byte{byte(OpBatch), 0x02, 0x00, 0x00, 0x00}},
+		{"batch trailing bytes", append(AppendRequest(nil, Request{Op: OpBatch, Batch: []BatchOp{{Key: []byte("k"), Value: []byte("v")}}}), 0xAA)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.payload); !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", tc.name, err)
+		}
+	}
+
+	for _, resp := range [][]byte{
+		nil,
+		{0xEE},                  // unknown status
+		{byte(StatusErr)},       // missing code
+		{byte(StatusErr), 0x00}, // missing message
+		{byte(StatusNotFound), 0x01},
+		append(AppendErr(nil, CodeGeneric, "m"), 0x00),
+	} {
+		if _, _, _, err := DecodeResponse(resp); !errors.Is(err, ErrProtocol) {
+			t.Errorf("response %x: err = %v, want ErrProtocol", resp, err)
+		}
+	}
+
+	if err := DecodeScanBody([]byte{0x09, 'k'}, func(k, v []byte) {}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("truncated scan body: err = %v, want ErrProtocol", err)
+	}
+}
+
+// TestFrameIO checks framing round trips, the oversized-length guard, and
+// EOF semantics at and inside frame boundaries.
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("first"), {}, bytes.Repeat([]byte{0x42}, 5000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d bytes != %d bytes", len(got), len(want))
+		}
+		scratch = got[:cap(got)]
+	}
+	if _, err := ReadFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("clean boundary: err = %v, want io.EOF", err)
+	}
+
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized write: err = %v, want ErrProtocol", err)
+	}
+
+	// A hostile length prefix larger than MaxFrame must fail before any
+	// allocation sized by it.
+	var hostile bytes.Buffer
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	hostile.Write(hdr)
+	if _, err := ReadFrame(&hostile, nil); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("hostile length: err = %v, want ErrProtocol", err)
+	}
+
+	// A torn frame (header promises more than arrives) is an unexpected EOF.
+	var torn bytes.Buffer
+	binary.Write(&torn, binary.BigEndian, uint32(100))
+	torn.WriteString("only a little")
+	if _, err := ReadFrame(&torn, nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

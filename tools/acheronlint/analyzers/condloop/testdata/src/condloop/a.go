@@ -121,3 +121,57 @@ func gateWakeBad() {
 	gateOpen = true
 	gateCond.Broadcast() // want `condloop.gateCond.Broadcast without holding "condloop.gateMu"`
 }
+
+// Reg models acherond's connection registry: Close force-closes every
+// connection, then drains the map with a predicate loop; handlers
+// unregister themselves and broadcast under the cond's mutex.
+type Reg struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	conns map[int]struct{}
+}
+
+func newReg() *Reg {
+	r := &Reg{conns: map[int]struct{}{}}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// closeGood is the server-shutdown drain done right: re-check the live
+// connection count around every Wait.
+func (r *Reg) closeGood() {
+	r.mu.Lock()
+	for len(r.conns) > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// closeOnce waits exactly once: with two live connections the first
+// unregister wakes Close while the map is still non-empty, and shutdown
+// returns with a handler goroutine still running.
+func (r *Reg) closeOnce() {
+	r.mu.Lock()
+	if len(r.conns) > 0 {
+		r.cond.Wait() // want `condloop.Reg.cond.Wait outside a loop`
+	}
+	r.mu.Unlock()
+}
+
+// unregisterGood deletes and broadcasts under the mutex, so the drain
+// loop cannot re-check between the delete and the wakeup.
+func (r *Reg) unregisterGood(id int) {
+	r.mu.Lock()
+	delete(r.conns, id)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// unregisterUnlocked broadcasts after unlocking: Close can check the map,
+// see it non-empty, and sleep through the only wakeup for the last conn.
+func (r *Reg) unregisterUnlocked(id int) {
+	r.mu.Lock()
+	delete(r.conns, id)
+	r.mu.Unlock()
+	r.cond.Broadcast() // want `condloop.Reg.cond.Broadcast without holding "condloop.Reg.mu"`
+}

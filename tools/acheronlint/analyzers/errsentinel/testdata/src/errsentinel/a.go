@@ -109,3 +109,30 @@ func anySwitch(v any) int {
 	}
 	return 0
 }
+
+// The server maps engine errors onto wire codes; every sentinel it
+// classifies arrives wrapped (fmt.Errorf %w chains through the router and
+// the client), so identity checks misclassify.
+var ErrOverloaded = errors.New("overloaded")
+var ErrClosed = errors.New("closed")
+
+func classifyBad(err error) int {
+	if err == ErrOverloaded { // want `sentinel error ErrOverloaded compared with ==`
+		return 1
+	}
+	switch err {
+	case ErrClosed: // want `switch case compares error to sentinel ErrClosed by identity`
+		return 2
+	}
+	return 0
+}
+
+func classifyGood(err error) int {
+	if errors.Is(err, ErrOverloaded) {
+		return 1
+	}
+	if errors.Is(err, ErrClosed) {
+		return 2
+	}
+	return 0
+}

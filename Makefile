@@ -6,14 +6,14 @@ GO ?= go
 RACE_PKGS = ./internal/core/... ./internal/cache/... ./internal/memtable/... \
             ./internal/skiplist/... ./internal/vfs/... ./internal/metrics/... \
             ./internal/manifest/... ./internal/compaction/... ./internal/event/... \
-            ./internal/admission/... ./internal/shard/... ./internal/server/... \
+            ./internal/admission/... ./internal/shard/... ./internal/server/... ./internal/readview/... \
             ./internal/wire/...
 RACE_RUN  = 'Concurrent|Parallel|Stress|Scheduler|InFlight|BackgroundError|FailingFlush'
 
 # Decode-hardening fuzz targets and their per-target CI time budget.
 FUZZTIME ?= 20s
 
-.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy overload bench-overload serve bench-serve clean
+.PHONY: all build test race faults fuzz-smoke observe lint lint-strict vet acheronlint bench bench-policy overload bench-overload bench-scan serve bench-serve clean
 
 all: build lint test
 
@@ -63,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBlockIter -fuzztime $(FUZZTIME) ./internal/block/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -run '^$$' -fuzz FuzzSSTableFooterProps -fuzztime $(FUZZTIME) ./internal/sstable/
+	$(GO) test -run '^$$' -fuzz FuzzPrefixBloom -fuzztime $(FUZZTIME) ./internal/sstable/
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire/
 
 # observe runs the observability gates: registry/tracer unit tests, the
@@ -115,6 +116,12 @@ bench-serve:
 # vary run to run; the shape (flat goodput, microsecond rej_p50) should not.
 bench-overload:
 	$(GO) run ./cmd/acheron-bench -exp C6 -json BENCH_overload.json
+
+# bench-scan regenerates the iterator-throughput experiment (C4): cached
+# sorted views vs the heap merge on scan/delete-heavy trees, and prefix
+# bloom table skipping, recorded in BENCH_scan.json.
+bench-scan:
+	$(GO) run ./cmd/acheron-bench -exp C4 -json BENCH_scan.json
 
 clean:
 	$(GO) clean ./...

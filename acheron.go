@@ -33,6 +33,14 @@
 // The engine is durable (write-ahead log + manifest), supports snapshots
 // and range iteration, and exposes detailed statistics including the
 // per-tombstone persistence latency distribution.
+//
+// Range scans use a per-version cached sorted view (REMIX-style) so
+// steady-state iteration advances a single cursor instead of a k-way heap;
+// disable with Options.DisableReadViews, tune with
+// Options.ReadViewAnchorInterval and Options.ReadViewMaxEntries. With
+// Options.PrefixBloomLength set, sstables also carry prefix Bloom filters
+// and prefix scans (IterOptions.Prefix) skip non-matching tables without
+// opening them.
 package acheron
 
 import (

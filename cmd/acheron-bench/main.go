@@ -56,11 +56,12 @@ func main() {
 		"A3": harness.A3FADETieBreak,
 		"C1": harness.C1MaintenanceConcurrency,
 		"C2": harness.C2CommitPipeline,
+		"C4": harness.C4IteratorThroughput,
 		"C5": harness.C5PolicyWorkloadSweep,
 		"C6": harness.C6Overload,
 		"C7": harness.C7ServeSaturation,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C5", "C6", "C7"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "C1", "C2", "C4", "C5", "C6", "C7"}
 
 	var ids []string
 	if *expFlag == "all" {
@@ -117,23 +118,30 @@ func main() {
 			}
 			st := db.Stats()
 			m := map[string]float64{
-				"wal_appends":       float64(st.WALAppends.Get()),
-				"wal_syncs":         float64(st.WALSyncs.Get()),
-				"wal_bytes":         float64(st.WALBytes.Get()),
-				"commits_per_sync":  st.CommitsPerSync(),
-				"p99_group_size":    float64(st.WALGroupSize.Quantile(0.99)),
-				"p99_wal_sync_ns":   float64(st.WALSyncLatency.Quantile(0.99)),
-				"p99_put_ns":        float64(st.PutLatency.Quantile(0.99)),
-				"p99_batch_ns":      float64(st.BatchLatency.Quantile(0.99)),
-				"write_stalls":      float64(st.WriteStalls.Get()),
-				"write_stall_ns":    float64(st.WriteStallNanos.Get()),
-				"bytes_ingested":    float64(st.BytesIngested.Get()),
-				"write_amp":         st.WriteAmplification(),
-				"flushes":           float64(st.Flushes.Get()),
-				"peak_flush_queue":  float64(st.FlushQueueDepth.Peak()),
-				"background_errors": float64(st.BackgroundErrors.Get()),
-				"stall_timeouts":    float64(st.StallTimeouts.Get()),
-				"commit_cancels":    float64(st.CommitCancels.Get()),
+				"wal_appends":        float64(st.WALAppends.Get()),
+				"wal_syncs":          float64(st.WALSyncs.Get()),
+				"wal_bytes":          float64(st.WALBytes.Get()),
+				"commits_per_sync":   st.CommitsPerSync(),
+				"p99_group_size":     float64(st.WALGroupSize.Quantile(0.99)),
+				"p99_wal_sync_ns":    float64(st.WALSyncLatency.Quantile(0.99)),
+				"p99_put_ns":         float64(st.PutLatency.Quantile(0.99)),
+				"p99_batch_ns":       float64(st.BatchLatency.Quantile(0.99)),
+				"write_stalls":       float64(st.WriteStalls.Get()),
+				"write_stall_ns":     float64(st.WriteStallNanos.Get()),
+				"bytes_ingested":     float64(st.BytesIngested.Get()),
+				"write_amp":          st.WriteAmplification(),
+				"flushes":            float64(st.Flushes.Get()),
+				"peak_flush_queue":   float64(st.FlushQueueDepth.Peak()),
+				"background_errors":  float64(st.BackgroundErrors.Get()),
+				"stall_timeouts":     float64(st.StallTimeouts.Get()),
+				"commit_cancels":     float64(st.CommitCancels.Get()),
+				"iter_reseeks":       float64(st.IterReseeks.Get()),
+				"view_builds":        float64(st.IterViewBuilds.Get()),
+				"view_hits":          float64(st.IterViewHits.Get()),
+				"view_invalidations": float64(st.IterViewInvalidations.Get()),
+				"prefix_bloom_skips": float64(st.PrefixBloomSkips.Get()),
+				"scan_tables_opened": float64(st.IterTablesOpened.Get()),
+				"p99_scan_step_ns":   float64(st.IterScanLatency.Quantile(0.99)),
 			}
 			if ac := db.Admission(); ac != nil {
 				wm := ac.ClassMetrics(admission.ClassWrite)

@@ -386,6 +386,7 @@ func (d *DB) runCandidate(id uint64, v *manifest.Version, c *compaction.Candidat
 	if err != nil {
 		return err
 	}
+	d.invalidateReadViews()
 	// L0 may have shrunk; wake stalled writers.
 	d.wakeStalledWriters()
 
@@ -455,6 +456,7 @@ func (d *DB) trivialMove(id uint64, c *compaction.Candidate, f *manifest.FileMet
 	if err != nil {
 		return err
 	}
+	d.invalidateReadViews()
 	d.wakeStalledWriters()
 	d.stats.TrivialMoves.Add(1)
 	d.stats.CompactionsByTrigger[int(c.Trigger)].Add(1)
@@ -657,6 +659,7 @@ func (d *DB) eagerDropFile(l int, f *manifest.FileMetadata) error {
 	if err := d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
+	d.invalidateReadViews()
 	d.deleteTables([]base.FileNum{f.FileNum})
 	d.stats.RangeCoveredDropped.Add(int64(f.NumEntries))
 	return nil
@@ -753,6 +756,7 @@ func (d *DB) eagerRewriteFile(l int, runID uint64, f *manifest.FileMetadata, rts
 	if err = d.vs.LogAndApply(edit); err != nil {
 		return err
 	}
+	d.invalidateReadViews()
 	if meta.HasEntries() {
 		d.stats.FilesCreated.Add(1)
 		d.trace.Emit(event.Event{

@@ -18,6 +18,7 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/memtable"
 	"repro/internal/metrics"
+	"repro/internal/readview"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -52,6 +53,11 @@ type DB struct {
 	dirname string
 	stats   Stats
 	cache   *tableCache
+	// readViews caches one REMIX-style sorted view per immutable version,
+	// keyed by *manifest.Version identity. Built lazily on first scan,
+	// invalidated (lock-free, after the install completes) whenever a
+	// flush/compaction/eager edit commits a new version.
+	readViews *readview.Cache
 	// trace buffers structured engine events (op begin/end, stalls, job
 	// lifecycle, file lifecycle, checkpoints) and forwards them to
 	// Options.EventListener.
@@ -185,6 +191,13 @@ func Open(dirname string, opts Options) (*DB, error) {
 		closeCh:   make(chan struct{}),
 	}
 	d.stallCond = sync.NewCond(&d.mu)
+	if !opts.DisableReadViews {
+		d.readViews = readview.NewCache(4, readview.CacheStats{
+			Builds:        &d.stats.IterViewBuilds,
+			Hits:          &d.stats.IterViewHits,
+			Invalidations: &d.stats.IterViewInvalidations,
+		})
+	}
 	d.commit = newCommitPipeline(d)
 	if opts.Admission.Enabled() {
 		cfg := opts.Admission
@@ -851,6 +864,18 @@ func (s *Snapshot) Release() {
 
 // ---------------------------------------------------------------------------
 // Read path
+
+// invalidateReadViews drops every cached sorted view. Called lock-free after
+// a version edit has installed (flush, compaction, trivial move, eager range
+// delete): the timing is purely a memory-management concern, because views
+// are keyed by version identity — a stale entry can only be looked up by a
+// scan still pinning that same (immutable) version, for which it remains
+// correct.
+func (d *DB) invalidateReadViews() {
+	if d.readViews != nil {
+		d.readViews.Invalidate()
+	}
+}
 
 // readState is a consistent view captured under d.mu.
 type readState struct {

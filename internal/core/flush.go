@@ -15,10 +15,11 @@ import (
 // options.
 func (d *DB) writerOptions() sstable.WriterOptions {
 	return sstable.WriterOptions{
-		BlockSize:       d.opts.BlockBytes,
-		BloomBitsPerKey: d.opts.BloomBitsPerKey,
-		PagesPerTile:    d.opts.PagesPerTile,
-		DeleteKeyFunc:   d.opts.DeleteKeyFunc,
+		BlockSize:         d.opts.BlockBytes,
+		BloomBitsPerKey:   d.opts.BloomBitsPerKey,
+		PrefixBloomLength: d.opts.PrefixBloomLength,
+		PagesPerTile:      d.opts.PagesPerTile,
+		DeleteKeyFunc:     d.opts.DeleteKeyFunc,
 	}
 }
 
@@ -179,6 +180,7 @@ func (d *DB) flushOne() (bool, error) {
 		d.recordFailedJob(JobFlush, start, err)
 		return false, err
 	}
+	d.invalidateReadViews()
 	// The flush queue shrank (and L0 is examined afresh by stalled
 	// writers); wake them.
 	d.wakeStalledWriters()

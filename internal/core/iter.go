@@ -6,6 +6,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/iterator"
 	"repro/internal/manifest"
+	"repro/internal/readview"
 )
 
 // IterOptions configure a range iterator.
@@ -14,6 +15,12 @@ type IterOptions struct {
 	// iteration to user keys in [LowerBound, UpperBound).
 	LowerBound []byte
 	UpperBound []byte
+	// Prefix restricts the scan to keys starting with this prefix: it
+	// implies bounds [Prefix, prefix-successor(Prefix)), intersected with
+	// any explicit bounds. When tables carry prefix Bloom filters
+	// (Options.PrefixBloomLength), candidate sstables whose filter rules
+	// the prefix out are excluded before ever being opened.
+	Prefix []byte
 	// Snapshot pins the view; nil reads the latest state.
 	Snapshot *Snapshot
 }
@@ -33,6 +40,7 @@ type Iter struct {
 	value   []byte
 	valid   bool
 	decided bool // i.key holds the last user key already resolved
+	sought  bool // at least one positioning call has run
 	stepped int64
 	closed  bool
 	err     error
@@ -58,36 +66,144 @@ func (d *DB) newIter(opts IterOptions) (*Iter, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Prefix != nil {
+		// A prefix implies bounds [Prefix, successor); intersect with any
+		// explicit bounds so settle() and First/SeekGE enforce them.
+		if opts.LowerBound == nil || base.Compare(opts.Prefix, opts.LowerBound) > 0 {
+			opts.LowerBound = opts.Prefix
+		}
+		if succ := prefixSuccessor(opts.Prefix); succ != nil {
+			if opts.UpperBound == nil || base.Compare(succ, opts.UpperBound) < 0 {
+				opts.UpperBound = succ
+			}
+		}
+	}
 	it := &Iter{d: d, opts: opts, seq: rs.seq}
 	it.rts = d.collectRangeTombstones(rs)
 
-	var sources []iterator.Internal
+	// One Concat per sorted run, in version order (L0 newest-run-first down
+	// to the last level) — the fixed run order a cached view's selectors
+	// refer to.
+	var runIters []iterator.Internal
+	for l := 0; l < manifest.NumLevels; l++ {
+		for _, run := range rs.version.Levels[l] {
+			files := run.Files
+			if opts.Prefix != nil {
+				files = d.prefixCandidateFiles(files, opts.Prefix, opts.UpperBound)
+			}
+			if len(files) == 0 {
+				continue
+			}
+			runIters = append(runIters, it.newRunConcat(files))
+		}
+	}
+
+	sources := make([]iterator.Internal, 0, len(runIters)+1+len(rs.imms))
 	sources = append(sources, rs.mem.NewIter())
 	for i := len(rs.imms) - 1; i >= 0; i-- {
 		sources = append(sources, rs.imms[i].mem.NewIter())
 	}
-	for l := 0; l < manifest.NumLevels; l++ {
-		for _, run := range rs.version.Levels[l] {
-			files := run.Files
-			if len(files) == 0 {
-				continue
-			}
-			sources = append(sources, iterator.NewConcat(len(files),
-				func(i int) (base.InternalKey, base.InternalKey) {
-					return files[i].Smallest, files[i].Largest
-				},
-				func(i int) (iterator.Internal, error) {
-					r, release, err := d.cache.get(files[i].FileNum)
-					if err != nil {
-						return nil, err
-					}
-					it.releases = append(it.releases, release)
-					return r.NewIter(), nil
-				}))
+
+	// Cached sorted view: with at least two runs the per-Next heap work is
+	// real, and the view replaces it with one cursor advance. The view is
+	// keyed by version identity, so snapshots and mid-scan compactions are
+	// naturally correct: this read state pins rs.version, and the view never
+	// describes anything else. Prefix scans bypass it — their filtered file
+	// set would not match the view's selector sequence.
+	usedView := false
+	if d.readViews != nil && opts.Prefix == nil && len(runIters) >= 2 &&
+		versionWithinViewCap(rs.version, d.opts.ReadViewMaxEntries) {
+		view, err := d.readViews.Get(rs.version, func() (*readview.View, error) {
+			return readview.Build(runIters, d.opts.ReadViewAnchorInterval)
+		})
+		if err == nil && view != nil {
+			// The same Concats serve as the view's cursors: Build may have
+			// walked them, but readview.Iter repositions every run on
+			// First/SeekGE.
+			sources = append(sources, readview.NewIter(view, runIters))
+			usedView = true
 		}
+		// On build failure fall back to the plain merge below; the failed
+		// entry was dropped, so a later scan retries.
+	}
+	if !usedView {
+		sources = append(sources, runIters...)
 	}
 	it.merge = iterator.NewMerge(sources...)
 	return it, nil
+}
+
+// newRunConcat builds the lazily-opening Concat over one run's files,
+// pinning table readers on it.releases.
+func (it *Iter) newRunConcat(files []*manifest.FileMetadata) iterator.Internal {
+	d := it.d
+	return iterator.NewConcat(len(files),
+		func(i int) (base.InternalKey, base.InternalKey) {
+			return files[i].Smallest, files[i].Largest
+		},
+		func(i int) (iterator.Internal, error) {
+			r, release, err := d.cache.get(files[i].FileNum)
+			if err != nil {
+				return nil, err
+			}
+			it.releases = append(it.releases, release)
+			d.stats.IterTablesOpened.Add(1)
+			return r.NewIter(), nil
+		})
+}
+
+// prefixCandidateFiles filters a run's files down to those that may hold a
+// key starting with prefix: first by key-range overlap with
+// [prefix, upper), then by each remaining file's prefix Bloom filter. Files
+// the filter excludes are never opened by the scan. A table-cache error
+// keeps the file (the scan will surface the error if it actually reads it).
+func (d *DB) prefixCandidateFiles(files []*manifest.FileMetadata, prefix, upper []byte) []*manifest.FileMetadata {
+	out := files[:0:0]
+	for _, f := range files {
+		if base.Compare(f.Largest.UserKey, prefix) < 0 {
+			continue
+		}
+		if upper != nil && base.Compare(f.Smallest.UserKey, upper) >= 0 {
+			continue
+		}
+		r, release, err := d.cache.get(f.FileNum)
+		if err != nil {
+			out = append(out, f)
+			continue
+		}
+		skip := !r.MayContainPrefix(prefix)
+		release()
+		if skip {
+			d.stats.PrefixBloomSkips.Add(1)
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// prefixSuccessor returns the smallest key greater than every key with the
+// given prefix, or nil if no such key exists (the prefix is all 0xff).
+func prefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			succ := append([]byte(nil), prefix[:i+1]...)
+			succ[i]++
+			return succ
+		}
+	}
+	return nil
+}
+
+// versionWithinViewCap reports whether the version's total entry count (from
+// file metadata) is within the configured view-size cap.
+func versionWithinViewCap(v *manifest.Version, maxEntries int) bool {
+	if maxEntries < 0 {
+		return true
+	}
+	var total uint64
+	v.AllFiles(func(_ int, f *manifest.FileMetadata) { total += f.NumEntries })
+	return total <= uint64(maxEntries)
 }
 
 // Close releases the iterator's pinned resources. Closing twice is safe.
@@ -144,10 +260,15 @@ func (i *Iter) SeekGE(key []byte) bool {
 	return valid
 }
 
-// seekStart counts one positioning call and, when the op is sampled,
-// reads the clock for latency accounting.
+// seekStart counts one positioning call (distinguishing reseeks — calls
+// beyond the iterator's first) and, when the op is sampled, reads the clock
+// for latency accounting.
 func (i *Iter) seekStart() (time.Time, bool) {
 	i.d.stats.IterSeeks.Add(1)
+	if i.sought {
+		i.d.stats.IterReseeks.Add(1)
+	}
+	i.sought = true
 	if !i.d.opSampled() {
 		return time.Time{}, false
 	}
@@ -165,10 +286,20 @@ func (i *Iter) recordSeek(start time.Time, sampled bool) {
 	i.d.traceOp(opIterSeek, start, dur, i.err)
 }
 
-// Next advances to the next live key.
+// Next advances to the next live key. One in OpSampleInterval steps records
+// its wall-clock cost (including any tombstones and shadowed versions
+// skipped while settling) in IterScanLatency.
 func (i *Iter) Next() bool {
 	if !i.valid {
 		return false
+	}
+	if i.d.opSampled() {
+		start := time.Now()
+		ok := i.settle(i.merge.Next())
+		dur := time.Since(start)
+		i.d.stats.IterScanLatency.Record(dur.Nanoseconds())
+		i.d.traceOp(opIterNext, start, dur, i.err)
+		return ok
 	}
 	return i.settle(i.merge.Next())
 }

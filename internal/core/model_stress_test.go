@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -44,6 +45,74 @@ func checkSnapshotView(t *testing.T, d *DB, snap *Snapshot, frozen map[string][]
 	}
 	if seen != len(frozen) {
 		t.Fatalf("snapshot scan has %d keys, frozen model %d", seen, len(frozen))
+	}
+}
+
+// checkScanAcrossMaintenance opens a (possibly bounded) iterator, walks part
+// of it, runs a flush or a maintenance step while the iterator is mid-flight,
+// and then finishes the walk — the whole scan must still read exactly the
+// state frozen at open time. This is the single-threaded version of a scan
+// racing a compaction: the version the iterator (and any cached read view)
+// refers to is replaced underneath it.
+func checkScanAcrossMaintenance(t *testing.T, d *DB, m *model, rng *rand.Rand, op int) {
+	t.Helper()
+	var opts IterOptions
+	if rng.Intn(2) == 0 {
+		lo := fmt.Sprintf("key%05d", rng.Intn(400))
+		hi := fmt.Sprintf("key%05d", 200+rng.Intn(400))
+		if lo < hi {
+			opts.LowerBound, opts.UpperBound = []byte(lo), []byte(hi)
+		}
+	}
+	inBounds := func(k string) bool {
+		if opts.LowerBound != nil && k < string(opts.LowerBound) {
+			return false
+		}
+		if opts.UpperBound != nil && k >= string(opts.UpperBound) {
+			return false
+		}
+		return true
+	}
+	var want []string
+	for _, k := range m.sortedKeys() {
+		if inBounds(k) {
+			want = append(want, k)
+		}
+	}
+
+	it, err := d.NewIter(opts)
+	if err != nil {
+		t.Fatalf("op %d scan open: %v", op, err)
+	}
+	defer it.Close()
+	var got []string
+	ok := it.First()
+	cut := rng.Intn(len(want) + 1)
+	for i := 0; ok && i < cut; i++ {
+		got = append(got, string(it.Key()))
+		ok = it.Next()
+	}
+	// Shift the tree underneath the open iterator.
+	if rng.Intn(2) == 0 {
+		if err := d.Flush(); err != nil {
+			t.Fatalf("op %d mid-scan Flush: %v", op, err)
+		}
+	} else if _, err := d.MaintenanceStep(); err != nil {
+		t.Fatalf("op %d mid-scan MaintenanceStep: %v", op, err)
+	}
+	for ; ok; ok = it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatalf("op %d scan: %v", op, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("op %d scan across maintenance: %d keys, want %d", op, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d scan entry %d: %s != %s", op, i, got[i], want[i])
+		}
 	}
 }
 
@@ -145,7 +214,7 @@ func runModelDifferentialStress(t *testing.T, kind compaction.PolicyKind, seed i
 				t.Fatalf("op %d DeleteSecondaryRange: %v", i, err)
 			}
 			m.rangeDelete(lo, hi)
-		case p < 85: // point-get spot check
+		case p < 82: // point-get spot check
 			k := key()
 			v, err := d.Get([]byte(k))
 			want, present := m.data[k]
@@ -159,6 +228,8 @@ func runModelDifferentialStress(t *testing.T, kind compaction.PolicyKind, seed i
 			} else if err != ErrNotFound {
 				t.Fatalf("op %d Get(absent %q) = %v", i, k, err)
 			}
+		case p < 85: // long range scan with a flush/compaction mid-flight
+			checkScanAcrossMaintenance(t, d, m, rng, i)
 		case p < 88: // flush
 			if err := d.Flush(); err != nil {
 				t.Fatalf("op %d Flush: %v", i, err)
@@ -210,6 +281,152 @@ func runModelDifferentialStress(t *testing.T, kind compaction.PolicyKind, seed i
 		pin.snap.Release()
 	}
 	checkEquivalence(t, d, m, int(seed))
+}
+
+// TestScanCompactionStress runs range scans (full and prefix) concurrently
+// with writers and a maintenance loop that flushes and compacts, under the
+// race detector. Each writer w inserts keys "w<w>-000000", "w<w>-000001", ...
+// in order, so any iterator — which pins a sequence number and a version at
+// open — must observe a CONTIGUOUS prefix of every writer's key sequence no
+// matter how many compactions replace the tree mid-scan. The "Stress" name
+// places it under the race-detector gate.
+func TestScanCompactionStress(t *testing.T) {
+	fs := vfs.NewMemFS()
+	clk := &base.LogicalClock{}
+	opts := testOptions(fs, clk)
+	opts.PrefixBloomLength = 3
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const writers = 4
+	const perWriter = 1500
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-%06d", w, i)
+				if err := d.Put([]byte(k), testValue(uint64(w), i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Maintenance loop: keep flushing and compacting so scans overlap many
+	// version installs (and read-view invalidations).
+	var mwg sync.WaitGroup
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := d.Flush(); err != nil {
+				t.Errorf("maintenance Flush: %v", err)
+				return
+			}
+			if _, err := d.MaintenanceStep(); err != nil {
+				t.Errorf("MaintenanceStep: %v", err)
+				return
+			}
+		}
+	}()
+
+	// checkContiguous asserts the scanned keys form, per writer, the prefix
+	// w<w>-000000 .. w<w>-<n-1> with nothing missing or out of order.
+	checkContiguous := func(keys []string) {
+		next := make([]int, writers)
+		for _, k := range keys {
+			var w, i int
+			if _, err := fmt.Sscanf(k, "w%d-%d", &w, &i); err != nil {
+				t.Errorf("malformed key %q", k)
+				return
+			}
+			if i != next[w] {
+				t.Errorf("writer %d: scan saw index %d, want %d (hole or reorder)", w, i, next[w])
+				return
+			}
+			next[w]++
+		}
+	}
+
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < 15; r++ {
+				var opts IterOptions
+				prefixed := -1
+				if g%2 == 1 { // half the scanners use prefix scans
+					prefixed = rng.Intn(writers)
+					opts.Prefix = []byte(fmt.Sprintf("w%d-", prefixed))
+				}
+				it, err := d.NewIter(opts)
+				if err != nil {
+					t.Errorf("scanner %d: %v", g, err)
+					return
+				}
+				var keys []string
+				for ok := it.First(); ok; ok = it.Next() {
+					keys = append(keys, string(it.Key()))
+				}
+				err = it.Error()
+				it.Close()
+				if err != nil {
+					t.Errorf("scanner %d: %v", g, err)
+					return
+				}
+				if prefixed >= 0 {
+					for _, k := range keys {
+						if !strings.HasPrefix(k, fmt.Sprintf("w%d-", prefixed)) {
+							t.Errorf("prefix scan leaked key %q", k)
+							return
+						}
+					}
+				}
+				checkContiguous(keys)
+			}
+		}()
+	}
+
+	// Writers and scanners finish on their own; then stop maintenance.
+	wg.Wait()
+	close(done)
+	mwg.Wait()
+
+	// Final full scan sees everything.
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := d.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		count++
+	}
+	if count != writers*perWriter {
+		t.Fatalf("final scan: %d keys, want %d", count, writers*perWriter)
+	}
 }
 
 // TestCacheAccountingConcurrent hammers a small block cache with parallel

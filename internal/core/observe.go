@@ -26,6 +26,7 @@ const (
 	opBatch       = "batch"
 	opIterOpen    = "iter-open"
 	opIterSeek    = "iter-seek"
+	opIterNext    = "iter-next"
 	opFlush       = "flush"
 	opCompactAll  = "compact-all"
 	opMaintStep   = "maintenance-step"
@@ -259,6 +260,12 @@ func (d *DB) RegisterMetrics(r *metrics.Registry, extra metrics.Labels) error {
 	counter("acheron_bloom_false_positives_total", "Filter pass-throughs where the key was absent.", &s.BloomFalsePositives)
 	counter("acheron_iters_opened_total", "Iterators opened.", &s.ItersOpened)
 	counter("acheron_iter_seeks_total", "Iterator positioning calls (First/SeekGE).", &s.IterSeeks)
+	counter("acheron_iter_reseeks_total", "Positioning calls beyond an iterator's first.", &s.IterReseeks)
+	counter("acheron_iter_view_builds_total", "Cached sorted views constructed (one merge pass each).", &s.IterViewBuilds)
+	counter("acheron_iter_view_hits_total", "Scans served by an already-cached sorted view.", &s.IterViewHits)
+	counter("acheron_iter_view_invalidations_total", "Cached sorted views dropped by version installs.", &s.IterViewInvalidations)
+	counter("acheron_prefix_bloom_skips_total", "Sstables excluded from prefix scans by prefix Bloom filters.", &s.PrefixBloomSkips)
+	counter("acheron_iter_tables_opened_total", "Sstable iterators materialized by range scans.", &s.IterTablesOpened)
 
 	// Per-operation latency histograms.
 	must(r.RegisterHistogram("acheron_commit_latency_ns",
@@ -269,6 +276,8 @@ func (d *DB) RegisterMetrics(r *metrics.Registry, extra metrics.Labels) error {
 		"Point lookup latency.", lb(nil), &s.GetLatency))
 	must(r.RegisterHistogram("acheron_iter_seek_latency_ns",
 		"Iterator positioning latency.", lb(nil), &s.IterSeekLatency))
+	must(r.RegisterHistogram("acheron_iter_scan_step_latency_ns",
+		"Sampled per-entry scan step latency (Next).", lb(nil), &s.IterScanLatency))
 
 	// Backlog / health gauges.
 	must(r.RegisterGaugeFunc("acheron_flush_queue_depth",

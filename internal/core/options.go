@@ -17,6 +17,7 @@ import (
 	"repro/internal/base"
 	"repro/internal/compaction"
 	"repro/internal/event"
+	"repro/internal/readview"
 	"repro/internal/vfs"
 )
 
@@ -44,6 +45,26 @@ type Options struct {
 	// BlockCacheBytes bounds the shared block cache. Default 8 MiB;
 	// negative disables caching.
 	BlockCacheBytes int64
+	// PrefixBloomLength, when positive, adds a second Bloom filter to every
+	// newly written sstable indexing all key prefixes of length 1 up to
+	// this bound. Prefix scans (IterOptions.Prefix) probe it to skip whole
+	// tables without opening them. 0 disables prefix filters (default);
+	// tables written either way remain readable by both configurations.
+	PrefixBloomLength int
+	// DisableReadViews turns off the cached sorted views built lazily over
+	// each version's runs (REMIX-style): with views on — the default — a
+	// range scan's steady-state Next advances a single run cursor instead
+	// of re-running the k-way heap merge per entry.
+	DisableReadViews bool
+	// ReadViewAnchorInterval spaces the anchor keys of a cached sorted
+	// view: smaller intervals make SeekGE cheaper (shorter selector walk)
+	// at one cloned key per interval of memory. 0 selects the default (32).
+	ReadViewAnchorInterval int
+	// ReadViewMaxEntries skips view construction for versions with more
+	// entries than this, bounding a view's resident size (2 bytes per entry
+	// plus anchors). 0 selects the default (4M entries); negative removes
+	// the cap.
+	ReadViewMaxEntries int
 	// PagesPerTile enables the KiWi layout when > 1: that many delete-
 	// key-ordered pages per delete tile. Requires DeleteKeyFunc.
 	PagesPerTile int
@@ -162,6 +183,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OpSampleInterval <= 0 {
 		o.OpSampleInterval = 16
+	}
+	if o.ReadViewAnchorInterval <= 0 {
+		o.ReadViewAnchorInterval = readview.DefaultAnchorInterval
+	}
+	if o.ReadViewMaxEntries == 0 {
+		o.ReadViewMaxEntries = 4 << 20
 	}
 	if o.PagesPerTile <= 0 {
 		o.PagesPerTile = 1

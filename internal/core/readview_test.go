@@ -1,0 +1,366 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/vfs"
+)
+
+// fillMultiRun loads the DB (and model) with enough flushed batches to leave
+// several overlapping runs on disk plus data in the live memtable.
+func fillMultiRun(t *testing.T, d *DB, m *model, batches, perBatch int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tick := uint64(0)
+	for b := 0; b < batches; b++ {
+		for i := 0; i < perBatch; i++ {
+			k := fmt.Sprintf("key%05d", rng.Intn(batches*perBatch/2))
+			tick++
+			v := testValue(tick, b*perBatch+i)
+			if err := d.Put([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+			m.put(k, v)
+			if rng.Intn(9) == 0 {
+				dk := fmt.Sprintf("key%05d", rng.Intn(batches*perBatch/2))
+				if err := d.Delete([]byte(dk)); err != nil {
+					t.Fatal(err)
+				}
+				m.delete(dk)
+			}
+		}
+		if b < batches-1 {
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// collectScan drains an iterator into (keys, values).
+func collectScan(t *testing.T, it *Iter) ([]string, [][]byte) {
+	t.Helper()
+	var ks []string
+	var vs [][]byte
+	for ok := it.First(); ok; ok = it.Next() {
+		ks = append(ks, string(it.Key()))
+		vs = append(vs, append([]byte(nil), it.Value()...))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return ks, vs
+}
+
+// TestReadViewScanMatchesDisabled runs the same workload through two engines
+// — views on (default) and off — and requires byte-identical scans, full and
+// bounded, plus working view counters on the enabled engine.
+func TestReadViewScanMatchesDisabled(t *testing.T) {
+	open := func(disable bool) (*DB, *model) {
+		opts := testOptions(vfs.NewMemFS(), &base.LogicalClock{})
+		opts.DisableReadViews = disable
+		d, err := Open("db", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		m := newModel()
+		fillMultiRun(t, d, m, 6, 300, 7)
+		return d, m
+	}
+	dOn, mOn := open(false)
+	dOff, _ := open(true)
+
+	scan := func(d *DB, opts IterOptions) ([]string, [][]byte) {
+		it, err := d.NewIter(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		return collectScan(t, it)
+	}
+
+	probes := []IterOptions{
+		{},
+		{LowerBound: []byte("key00100"), UpperBound: []byte("key00700")},
+		{LowerBound: []byte("key00500")},
+		{UpperBound: []byte("key00042")},
+	}
+	for pi, opts := range probes {
+		kOn, vOn := scan(dOn, opts)
+		kOff, vOff := scan(dOff, opts)
+		if len(kOn) != len(kOff) {
+			t.Fatalf("probe %d: %d keys with views vs %d without", pi, len(kOn), len(kOff))
+		}
+		for i := range kOn {
+			if kOn[i] != kOff[i] || !bytes.Equal(vOn[i], vOff[i]) {
+				t.Fatalf("probe %d entry %d: views=(%s) plain=(%s)", pi, i, kOn[i], kOff[i])
+			}
+		}
+	}
+	// The model agrees too.
+	checkEquivalence(t, dOn, mOn, 200)
+
+	if dOn.stats.IterViewBuilds.Get() == 0 {
+		t.Fatal("views enabled but no view was ever built")
+	}
+	if dOn.stats.IterViewHits.Get() == 0 {
+		t.Fatal("repeat scans of one version should hit the view cache")
+	}
+	if dOff.stats.IterViewBuilds.Get() != 0 {
+		t.Fatalf("views disabled but %d were built", dOff.stats.IterViewBuilds.Get())
+	}
+}
+
+// TestReadViewSnapshotAndMidScanCompaction pins a snapshot and an open
+// iterator, compacts everything underneath them, and requires both the
+// in-flight scan and a fresh snapshot scan to read the pinned state.
+func TestReadViewSnapshotAndMidScanCompaction(t *testing.T) {
+	opts := testOptions(vfs.NewMemFS(), &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	m := newModel()
+	fillMultiRun(t, d, m, 5, 250, 21)
+
+	snap := d.NewSnapshot()
+	defer snap.Release()
+	want := m.sortedKeys()
+
+	// Start a scan and advance partway before any mutation.
+	it, err := d.NewIter(IterOptions{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	ok := it.First()
+	for i := 0; ok && i < len(want)/2; i++ {
+		got = append(got, string(it.Key()))
+		ok = it.Next()
+	}
+
+	// Mutate and compact everything while the scan is mid-flight.
+	for i := 0; i < 300; i++ {
+		if err := d.Put([]byte(fmt.Sprintf("key%05d", i)), testValue(uint64(900000+i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Finish the pinned scan: it must still see exactly the snapshot state.
+	for ; ok; ok = it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mid-scan compaction changed the scan: %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %s != %s", i, got[i], want[i])
+		}
+	}
+
+	// A fresh iterator over the same snapshot agrees (this one builds or
+	// reuses a view for the OLD pinned version even though newer versions
+	// exist).
+	it2, err := d.NewIter(IterOptions{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	got2, _ := collectScan(t, it2)
+	if len(got2) != len(want) {
+		t.Fatalf("snapshot scan after compaction: %d keys, want %d", len(got2), len(want))
+	}
+
+	if d.stats.IterViewInvalidations.Get() == 0 {
+		t.Fatal("compaction should have invalidated cached views")
+	}
+}
+
+// TestPrefixScanWithBloomSkips checks prefix-scan semantics and that prefix
+// Bloom filters exclude whole tables from the scan.
+func TestPrefixScanWithBloomSkips(t *testing.T) {
+	opts := testOptions(vfs.NewMemFS(), &base.LogicalClock{})
+	opts.PrefixBloomLength = 4
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// Three runs. Two of them span the target prefix "usrb" by key range
+	// (keys on both sides of it) without containing a single usrb key —
+	// only the prefix Bloom filter can exclude those; range pruning cannot.
+	m := newModel()
+	runs := [][]string{
+		{"usra", "usrd"},
+		{"usrb"},
+		{"usra", "usre"},
+	}
+	tick := uint64(0)
+	for _, fams := range runs {
+		for _, fam := range fams {
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("%s%05d", fam, i)
+				tick++
+				v := testValue(tick, i)
+				if err := d.Put([]byte(k), v); err != nil {
+					t.Fatal(err)
+				}
+				m.put(k, v)
+			}
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	opened0 := d.stats.IterTablesOpened.Get()
+	it, err := d.NewIter(IterOptions{Prefix: []byte("usrb")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := collectScan(t, it)
+	it.Close()
+	openedPrefix := d.stats.IterTablesOpened.Get() - opened0
+
+	if len(keys) != 100 {
+		t.Fatalf("prefix scan returned %d keys, want 100", len(keys))
+	}
+	for _, k := range keys {
+		if !bytes.HasPrefix([]byte(k), []byte("usrb")) {
+			t.Fatalf("prefix scan leaked key %s", k)
+		}
+	}
+	if skips := d.stats.PrefixBloomSkips.Get(); skips < 2 {
+		t.Fatalf("prefix bloom skips = %d, want >= 2 (the two straddling tables)", skips)
+	}
+	if openedPrefix != 1 {
+		t.Fatalf("prefix scan opened %d tables, want exactly the usrb table", openedPrefix)
+	}
+
+	// A longer prefix than the indexed bound stays correct (truncated probe).
+	it, err = d.NewIter(IterOptions{Prefix: []byte("usrb0000")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = collectScan(t, it)
+	it.Close()
+	if len(keys) != 10 {
+		t.Fatalf("long-prefix scan returned %d keys, want 10", len(keys))
+	}
+
+	// An absent family is rejected without opening anything.
+	opened1 := d.stats.IterTablesOpened.Get()
+	it, err = d.NewIter(IterOptions{Prefix: []byte("zzzz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = collectScan(t, it)
+	it.Close()
+	if len(keys) != 0 {
+		t.Fatalf("absent-prefix scan returned %d keys", len(keys))
+	}
+	if d.stats.IterTablesOpened.Get() != opened1 {
+		t.Fatal("absent-prefix scan opened tables despite bloom filters")
+	}
+}
+
+// TestPrefixScanWithoutFiltersStillCorrect: prefix semantics are pure bounds
+// when tables carry no prefix filter.
+func TestPrefixScanWithoutFiltersStillCorrect(t *testing.T) {
+	opts := testOptions(vfs.NewMemFS(), &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	m := newModel()
+	fillMultiRun(t, d, m, 4, 200, 3)
+
+	it, err := d.NewIter(IterOptions{Prefix: []byte("key001")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := collectScan(t, it)
+	it.Close()
+
+	var want []string
+	for _, k := range m.sortedKeys() {
+		if bytes.HasPrefix([]byte(k), []byte("key001")) {
+			want = append(want, k)
+		}
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("prefix scan: %d keys, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("entry %d: %s != %s", i, keys[i], want[i])
+		}
+	}
+	if d.stats.PrefixBloomSkips.Get() != 0 {
+		t.Fatal("no prefix filters were written, so nothing can be skipped")
+	}
+}
+
+// TestPrefixSuccessor pins the implied-upper-bound edge cases.
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []byte
+	}{
+		{"abc", []byte("abd")},
+		{"a\xff", []byte("b")},
+		{"\xff\xff", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := prefixSuccessor([]byte(c.in)); !bytes.Equal(got, c.want) {
+			t.Errorf("prefixSuccessor(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestReadViewReseekCounting: positioning calls beyond an iterator's first
+// count as reseeks.
+func TestReadViewReseekCounting(t *testing.T) {
+	opts := testOptions(vfs.NewMemFS(), &base.LogicalClock{})
+	d, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	m := newModel()
+	fillMultiRun(t, d, m, 3, 150, 11)
+
+	before := d.stats.IterReseeks.Get()
+	it, err := d.NewIter(IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.First()
+	it.SeekGE([]byte("key00100"))
+	it.SeekGE([]byte("key00200"))
+	it.First()
+	if got := d.stats.IterReseeks.Get() - before; got != 3 {
+		t.Fatalf("reseeks = %d, want 3 (4 positioning calls, first exempt)", got)
+	}
+}

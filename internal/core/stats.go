@@ -120,6 +120,25 @@ type Stats struct {
 	// calls (First/SeekGE) across all iterators.
 	ItersOpened metrics.Counter
 	IterSeeks   metrics.Counter
+	// IterReseeks counts positioning calls beyond an iterator's first: the
+	// reuse pattern the Concat same-child fast path and the view cache are
+	// built for.
+	IterReseeks metrics.Counter
+	// IterViewBuilds / IterViewHits / IterViewInvalidations trace the
+	// cached-sorted-view lifecycle: one build per (version, first scan),
+	// hits for every later scan of that version, invalidations when a
+	// version install drops the cache.
+	IterViewBuilds        metrics.Counter
+	IterViewHits          metrics.Counter
+	IterViewInvalidations metrics.Counter
+	// PrefixBloomSkips counts sstables excluded from a prefix scan by
+	// their prefix Bloom filter — files never opened at all.
+	PrefixBloomSkips metrics.Counter
+	// IterTablesOpened counts sstable iterators materialized by range
+	// scans (Concat children actually opened). Together with
+	// PrefixBloomSkips it prices prefix filtering: skips are tables this
+	// counter never saw.
+	IterTablesOpened metrics.Counter
 
 	// FilesCreated / FilesDeleted count table files materialized and
 	// unlinked by flushes, compactions, and eager rewrites.
@@ -138,6 +157,10 @@ type Stats struct {
 	BatchLatency    metrics.Histogram
 	GetLatency      metrics.Histogram
 	IterSeekLatency metrics.Histogram
+	// IterScanLatency records sampled full-scan step costs: the wall-clock
+	// nanoseconds a sampled Next spent producing its entry (including
+	// skipped tombstones and shadowed versions).
+	IterScanLatency metrics.Histogram
 
 	// WALGroupSize records the member count of each commit group whose
 	// records reached the WAL: group commit's amortization factor. The
@@ -214,6 +237,9 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "wal_appends=%d wal_syncs=%d iters=%d seeks=%d files_created=%d files_deleted=%d checkpoints=%d\n",
 		s.WALAppends.Get(), s.WALSyncs.Get(), s.ItersOpened.Get(), s.IterSeeks.Get(),
 		s.FilesCreated.Get(), s.FilesDeleted.Get(), s.Checkpoints.Get())
+	fmt.Fprintf(&b, "reseeks=%d view_builds=%d view_hits=%d view_invalidations=%d prefix_bloom_skips=%d scan_tables_opened=%d p99_scan_step_ns=%d\n",
+		s.IterReseeks.Get(), s.IterViewBuilds.Get(), s.IterViewHits.Get(), s.IterViewInvalidations.Get(),
+		s.PrefixBloomSkips.Get(), s.IterTablesOpened.Get(), s.IterScanLatency.Quantile(0.99))
 	fmt.Fprintf(&b, "p99_put_ns=%d p99_batch_ns=%d p99_get_ns=%d p99_seek_ns=%d\n",
 		s.PutLatency.Quantile(0.99), s.BatchLatency.Quantile(0.99),
 		s.GetLatency.Quantile(0.99), s.IterSeekLatency.Quantile(0.99))

@@ -84,6 +84,11 @@ type EngineConfig struct {
 	// BloomBitsPerKey overrides the default (10) when non-zero; -1
 	// disables filters.
 	BloomBitsPerKey int
+	// PrefixBloomLength > 0 adds prefix Bloom filters covering prefixes up
+	// to that many bytes (see core.Options.PrefixBloomLength).
+	PrefixBloomLength int
+	// DisableReadViews turns off the cached sorted-view scan path.
+	DisableReadViews bool
 }
 
 // Baseline is the delete-oblivious leveled engine.
@@ -124,6 +129,8 @@ func OpenRuntime(cfg EngineConfig, sc Scale) (*Runtime, error) {
 		Clock:                  clk,
 		MemTableBytes:          sc.MemTableBytes,
 		BloomBitsPerKey:        bloom,
+		PrefixBloomLength:      cfg.PrefixBloomLength,
+		DisableReadViews:       cfg.DisableReadViews,
 		PagesPerTile:           cfg.PagesPerTile,
 		DeleteKeyFunc:          workload.ExtractDeleteKey,
 		EagerRangeDeletes:      cfg.EagerRangeDeletes,

@@ -4,8 +4,6 @@
 package iterator
 
 import (
-	"container/heap"
-
 	"repro/internal/base"
 )
 
@@ -29,36 +27,22 @@ type Internal interface {
 	Error() error
 }
 
-// mergeHeap orders sources by current key; ties go to the lower index,
-// which callers arrange to be the newer source.
-type mergeHeap struct {
-	items []*mergeItem
-}
-
+// mergeItem is one live source in the merge heap. Items are stored by value
+// in a plain slice: the heap operations are hand-rolled below instead of
+// going through container/heap, whose interface methods box every pushed and
+// popped element into an `any` and so allocate on the steady-state Next path.
 type mergeItem struct {
 	iter  Internal
 	index int
 }
 
-func (h *mergeHeap) Len() int { return len(h.items) }
-
-func (h *mergeHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+// mergeLess orders sources by current key; ties go to the lower index, which
+// callers arrange to be the newer source.
+func mergeLess(a, b *mergeItem) bool {
 	if c := a.iter.Key().Compare(b.iter.Key()); c != 0 {
 		return c < 0
 	}
 	return a.index < b.index
-}
-
-func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-
-func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(*mergeItem)) }
-
-func (h *mergeHeap) Pop() any {
-	n := len(h.items)
-	it := h.items[n-1]
-	h.items = h.items[:n-1]
-	return it
 }
 
 // Merge combines multiple internal iterators into one stream in internal-key
@@ -66,7 +50,7 @@ func (h *mergeHeap) Pop() any {
 // arise across distinct snapshots of the same data) resolve to the newest.
 type Merge struct {
 	sources []Internal
-	heap    mergeHeap
+	items   []mergeItem
 	err     error
 }
 
@@ -75,19 +59,44 @@ func NewMerge(sources ...Internal) *Merge {
 	return &Merge{sources: sources}
 }
 
-// init rebuilds the heap from sources positioned by pos.
+// siftDown restores the heap property below i. The slice is accessed through
+// a local so the compiler keeps the bounds stable across the loop.
+func (m *Merge) siftDown(i int) {
+	items := m.items
+	n := len(items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && mergeLess(&items[r], &items[l]) {
+			min = r
+		}
+		if !mergeLess(&items[min], &items[i]) {
+			return
+		}
+		items[i], items[min] = items[min], items[i]
+		i = min
+	}
+}
+
+// init rebuilds the heap from sources positioned by pos, reusing the item
+// slice's backing array across repositioning calls.
 func (m *Merge) init(pos func(Internal) bool) bool {
 	m.err = nil
-	m.heap.items = m.heap.items[:0]
+	m.items = m.items[:0]
 	for i, s := range m.sources {
 		if pos(s) {
-			m.heap.items = append(m.heap.items, &mergeItem{iter: s, index: i})
+			m.items = append(m.items, mergeItem{iter: s, index: i})
 		} else if err := s.Error(); err != nil {
 			m.err = err
 			return false
 		}
 	}
-	heap.Init(&m.heap)
+	for i := len(m.items)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
 	return m.Valid()
 }
 
@@ -102,13 +111,17 @@ func (m *Merge) SeekGE(target base.InternalKey) bool {
 }
 
 // Valid reports whether the iterator is positioned on an entry.
-func (m *Merge) Valid() bool { return m.err == nil && m.heap.Len() > 0 }
+func (m *Merge) Valid() bool { return m.err == nil && len(m.items) > 0 }
 
 // Key returns the current internal key.
-func (m *Merge) Key() base.InternalKey { return m.heap.items[0].iter.Key() }
+func (m *Merge) Key() base.InternalKey { return m.items[0].iter.Key() }
 
 // Value returns the current value.
-func (m *Merge) Value() []byte { return m.heap.items[0].iter.Value() }
+func (m *Merge) Value() []byte { return m.items[0].iter.Value() }
+
+// Source returns the index (in the NewMerge argument order) of the source
+// supplying the current entry. Only valid while Valid.
+func (m *Merge) Source() int { return m.items[0].index }
 
 // Error returns the first error from any source.
 func (m *Merge) Error() error { return m.err }
@@ -118,15 +131,18 @@ func (m *Merge) Next() bool {
 	if !m.Valid() {
 		return false
 	}
-	top := m.heap.items[0]
+	top := &m.items[0]
 	if top.iter.Next() {
-		heap.Fix(&m.heap, 0)
+		m.siftDown(0)
 	} else {
 		if err := top.iter.Error(); err != nil {
 			m.err = err
 			return false
 		}
-		heap.Pop(&m.heap)
+		n := len(m.items) - 1
+		m.items[0] = m.items[n]
+		m.items = m.items[:n]
+		m.siftDown(0)
 	}
 	return m.Valid()
 }
@@ -172,7 +188,21 @@ func (c *Concat) load(i int) bool {
 func (c *Concat) First() bool {
 	c.err = nil
 	c.invalid = false
-	for i := 0; i < c.n; i++ {
+	start := 0
+	if c.cur != nil && c.curIdx == 0 {
+		// Reseek fast path: child 0 is already open; reposition it instead
+		// of re-materializing a fresh iterator.
+		if c.cur.First() {
+			return true
+		}
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			c.invalid = true
+			return false
+		}
+		start = 1
+	}
+	for i := start; i < c.n; i++ {
 		if !c.load(i) {
 			return false
 		}
@@ -189,7 +219,10 @@ func (c *Concat) First() bool {
 	return false
 }
 
-// SeekGE positions on the first entry >= target.
+// SeekGE positions on the first entry >= target. The target child is found
+// by binary search over the children's key bounds; when the target lands in
+// the already-open child it is reseeked in place rather than reopened (the
+// common case for the short forward reseeks a cached read view issues).
 func (c *Concat) SeekGE(target base.InternalKey) bool {
 	c.err = nil
 	c.invalid = false
@@ -204,7 +237,19 @@ func (c *Concat) SeekGE(target base.InternalKey) bool {
 			hi = mid
 		}
 	}
-	for i := lo; i < c.n; i++ {
+	start := lo
+	if c.cur != nil && c.curIdx == lo {
+		if c.cur.SeekGE(target) {
+			return true
+		}
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			c.invalid = true
+			return false
+		}
+		start = lo + 1
+	}
+	for i := start; i < c.n; i++ {
 		if !c.load(i) {
 			return false
 		}

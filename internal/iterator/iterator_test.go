@@ -340,3 +340,143 @@ func TestConcatSkipsEmptyChildren(t *testing.T) {
 		t.Fatalf("iterated %d entries through empty children", n)
 	}
 }
+
+func TestMergeSourceAttribution(t *testing.T) {
+	a := newSliceIter(map[string]string{"a": "", "c": ""}, 10)
+	b := newSliceIter(map[string]string{"b": "", "d": ""}, 20)
+	m := NewMerge(a, b)
+	want := []int{0, 1, 0, 1} // a, b, c, d
+	i := 0
+	for ok := m.First(); ok; ok = m.Next() {
+		if m.Source() != want[i] {
+			t.Fatalf("entry %d (%q): source = %d, want %d", i, m.Key().UserKey, m.Source(), want[i])
+		}
+		i++
+	}
+	// Ties resolve to the lower (newer) source index.
+	newer := &sliceIter{
+		keys: []base.InternalKey{base.MakeInternalKey([]byte("k"), 9, base.KindSet)},
+		vals: [][]byte{nil}, pos: -1,
+	}
+	older := &sliceIter{
+		keys: []base.InternalKey{base.MakeInternalKey([]byte("k"), 4, base.KindSet)},
+		vals: [][]byte{nil}, pos: -1,
+	}
+	m = NewMerge(newer, older)
+	if !m.First() || m.Source() != 0 {
+		t.Fatalf("newest version should come from source 0, got %d", m.Source())
+	}
+	if !m.Next() || m.Source() != 1 {
+		t.Fatalf("older version should come from source 1, got %d", m.Source())
+	}
+}
+
+func TestConcatReseekReusesOpenChild(t *testing.T) {
+	children := []*sliceIter{
+		newSliceIter(map[string]string{"a": "", "b": ""}, 1),
+		newSliceIter(map[string]string{"m": "", "n": "", "o": ""}, 10),
+		newSliceIter(map[string]string{"x": "", "y": ""}, 20),
+	}
+	opens := 0
+	c := NewConcat(len(children),
+		func(i int) (base.InternalKey, base.InternalKey) {
+			return children[i].keys[0], children[i].keys[len(children[i].keys)-1]
+		},
+		func(i int) (Internal, error) {
+			opens++
+			return children[i], nil
+		})
+	if !c.SeekGE(base.MakeSearchKey([]byte("m"), base.MaxSeqNum)) {
+		t.Fatal("seek failed")
+	}
+	if opens != 1 {
+		t.Fatalf("first seek opened %d children", opens)
+	}
+	// Repeated seeks landing in the same child must not reopen it —
+	// forward, backward within the child, and exact-position reseeks alike.
+	for _, k := range []string{"n", "o", "m", "n"} {
+		if !c.SeekGE(base.MakeSearchKey([]byte(k), base.MaxSeqNum)) {
+			t.Fatalf("reseek to %q failed", k)
+		}
+		if string(c.Key().UserKey) != k {
+			t.Fatalf("reseek landed on %q, want %q", c.Key().UserKey, k)
+		}
+	}
+	if opens != 1 {
+		t.Fatalf("reseeks within one child opened %d children, want 1", opens)
+	}
+	// A seek into a different child opens it.
+	if !c.SeekGE(base.MakeSearchKey([]byte("x"), base.MaxSeqNum)) {
+		t.Fatal("seek to x failed")
+	}
+	if opens != 2 {
+		t.Fatalf("cross-child seek opened %d children, want 2", opens)
+	}
+	// Reseek past the open child's keys rolls into the next one.
+	if !c.SeekGE(base.MakeSearchKey([]byte("y"), base.MaxSeqNum)) || string(c.Key().UserKey) != "y" {
+		t.Fatal("reseek within last child failed")
+	}
+	if opens != 2 {
+		t.Fatalf("reseek reopened a child: %d opens", opens)
+	}
+}
+
+func TestConcatReseekBackwardReopens(t *testing.T) {
+	children := []*sliceIter{
+		newSliceIter(map[string]string{"a": "", "b": ""}, 1),
+		newSliceIter(map[string]string{"m": ""}, 10),
+	}
+	opens := 0
+	c := NewConcat(len(children),
+		func(i int) (base.InternalKey, base.InternalKey) {
+			return children[i].keys[0], children[i].keys[len(children[i].keys)-1]
+		},
+		func(i int) (Internal, error) {
+			opens++
+			return children[i], nil
+		})
+	if !c.SeekGE(base.MakeSearchKey([]byte("m"), base.MaxSeqNum)) {
+		t.Fatal("seek failed")
+	}
+	if !c.SeekGE(base.MakeSearchKey([]byte("a"), base.MaxSeqNum)) || string(c.Key().UserKey) != "a" {
+		t.Fatal("backward reseek failed")
+	}
+	if opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+}
+
+// BenchmarkMergeNext measures the steady-state Next cost of a k-way merge.
+// Run with -benchmem: the hand-rolled heap must not allocate per step.
+func BenchmarkMergeNext(b *testing.B) {
+	for _, k := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("sources=%d", k), func(b *testing.B) {
+			var sources []Internal
+			per := 4096
+			for s := 0; s < k; s++ {
+				it := &sliceIter{pos: -1}
+				for i := 0; i < per; i++ {
+					it.keys = append(it.keys,
+						base.MakeInternalKey([]byte(fmt.Sprintf("k%08d", i*k+s)), base.SeqNum(i+1), base.KindSet))
+					it.vals = append(it.vals, nil)
+				}
+				sources = append(sources, it)
+			}
+			m := NewMerge(sources...)
+			if !m.First() {
+				b.Fatal("empty merge")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !m.Next() {
+					b.StopTimer()
+					if !m.First() {
+						b.Fatal("reset failed")
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}

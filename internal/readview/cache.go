@@ -1,0 +1,135 @@
+package readview
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// CacheStats collects the cache's observable behaviour into caller-owned
+// counters (the engine registers them under its metric registry). Nil
+// fields are simply not counted.
+type CacheStats struct {
+	// Builds counts view constructions (one full merge pass each).
+	Builds *metrics.Counter
+	// Hits counts Get calls served by an already-cached view.
+	Hits *metrics.Counter
+	// Invalidations counts cached views dropped by Invalidate.
+	Invalidations *metrics.Counter
+}
+
+func (s CacheStats) add(c *metrics.Counter, d int64) {
+	if c != nil {
+		c.Add(d)
+	}
+}
+
+// entry is one cached view; once makes concurrent first scans of the same
+// version build it exactly once, with the build running outside the cache
+// mutex so a long build never blocks unrelated lookups or invalidation.
+type entry struct {
+	once sync.Once
+	view *View
+	err  error
+	gen  uint64
+}
+
+// Cache memoizes one View per immutable version, keyed by the version's
+// identity (the engine passes the *manifest.Version pointer). A small
+// capacity keeps a snapshot scan on a just-replaced version from thrashing
+// the current version's view out.
+type Cache struct {
+	stats CacheStats
+	max   int
+
+	// mu guards the map and the LRU generation stamps; it is a leaf lock
+	// (nothing is acquired while holding it), view builds happen outside
+	// it, and the engine invalidates after a version install completes, so
+	// no lock is ever held while acquiring it.
+	mu      sync.Mutex
+	entries map[any]*entry
+	gen     uint64
+}
+
+// NewCache returns a cache holding at most max views (minimum 1).
+func NewCache(max int, stats CacheStats) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, stats: stats, entries: make(map[any]*entry)}
+}
+
+// Get returns the view for key, building it with build on first use. A
+// failed build is not cached: the entry is dropped so a later scan can
+// retry, and (nil, err) is returned — callers fall back to the plain merge.
+func (c *Cache) Get(key any, build func() (*View, error)) (*View, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if len(c.entries) >= c.max {
+			c.evictOldestLocked()
+		}
+		e = &entry{}
+		c.entries[key] = e
+	}
+	c.gen++
+	e.gen = c.gen
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.view, e.err = build()
+		c.stats.add(c.stats.Builds, 1)
+	})
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	if ok {
+		c.stats.add(c.stats.Hits, 1)
+	}
+	return e.view, nil
+}
+
+// evictOldestLocked drops the least-recently-used entry. Caller holds mu.
+func (c *Cache) evictOldestLocked() {
+	var (
+		oldKey any
+		oldGen uint64
+		have   bool
+	)
+	for k, e := range c.entries {
+		if !have || e.gen < oldGen {
+			oldKey, oldGen, have = k, e.gen, true
+		}
+	}
+	if have {
+		delete(c.entries, oldKey)
+	}
+}
+
+// Invalidate drops every cached view. The engine calls it when a version
+// edit commits: the new current version's runs differ, so its first scan
+// must rebuild. Iterators already holding a view keep it — views are
+// immutable and their versions are pinned by the read state.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	n := len(c.entries)
+	if n > 0 {
+		c.entries = make(map[any]*entry)
+	}
+	c.mu.Unlock()
+	if n > 0 {
+		c.stats.add(c.stats.Invalidations, int64(n))
+	}
+}
+
+// Len returns the number of cached views.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

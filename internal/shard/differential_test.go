@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/base"
@@ -109,6 +110,79 @@ func checkRouterSnapshotView(t *testing.T, r *Router, snap *Snapshot, frozen map
 	}
 }
 
+// checkRouterScanAcrossMaintenance opens a merged cross-shard iterator
+// (optionally bounded or prefix-restricted), walks part of it, flushes or
+// compacts every shard while the iterator is mid-flight, and finishes the
+// walk. The per-shard children pin their read states at open, so the scan
+// must read exactly the model state frozen at open no matter how many shard
+// trees were replaced underneath it.
+func checkRouterScanAcrossMaintenance(t *testing.T, r *Router, m *model, rng *rand.Rand, op int) {
+	t.Helper()
+	var opts IterOptions
+	switch rng.Intn(3) {
+	case 0: // bounded
+		lo := fmt.Sprintf("key%05d", rng.Intn(400))
+		hi := fmt.Sprintf("key%05d", 200+rng.Intn(400))
+		if lo < hi {
+			opts.LowerBound, opts.UpperBound = []byte(lo), []byte(hi)
+		}
+	case 1: // prefix (a decimal digit of the key space)
+		opts.Prefix = []byte(fmt.Sprintf("key%02d", rng.Intn(10)))
+	}
+	match := func(k string) bool {
+		if opts.Prefix != nil {
+			return strings.HasPrefix(k, string(opts.Prefix))
+		}
+		if opts.LowerBound != nil && k < string(opts.LowerBound) {
+			return false
+		}
+		if opts.UpperBound != nil && k >= string(opts.UpperBound) {
+			return false
+		}
+		return true
+	}
+	var want []string
+	for _, k := range m.sortedKeys() {
+		if match(k) {
+			want = append(want, k)
+		}
+	}
+
+	it, err := r.NewIter(opts)
+	if err != nil {
+		t.Fatalf("op %d router scan open: %v", op, err)
+	}
+	defer it.Close()
+	var got []string
+	ok := it.First()
+	cut := rng.Intn(len(want) + 1)
+	for i := 0; ok && i < cut; i++ {
+		got = append(got, string(it.Key()))
+		ok = it.Next()
+	}
+	if rng.Intn(2) == 0 {
+		if err := r.Flush(); err != nil {
+			t.Fatalf("op %d mid-scan Flush: %v", op, err)
+		}
+	} else if _, err := r.MaintenanceStep(); err != nil {
+		t.Fatalf("op %d mid-scan MaintenanceStep: %v", op, err)
+	}
+	for ; ok; ok = it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatalf("op %d router scan: %v", op, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("op %d router scan across maintenance: %d keys, want %d", op, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d router scan entry %d: %s != %s", op, i, got[i], want[i])
+		}
+	}
+}
+
 // TestShardedModelDifferentialStress drives the sharded façade with the
 // same randomized op soup as the single-engine differential test — puts,
 // deletes, batches, cross-shard secondary range deletes, scans, snapshot
@@ -203,7 +277,7 @@ func runShardedDifferentialStress(t *testing.T, shards int, seed int64) {
 				t.Fatalf("op %d DeleteSecondaryRange: %v", i, err)
 			}
 			m.rangeDelete(lo, hi)
-		case p < 85: // point-get spot check
+		case p < 82: // point-get spot check
 			k := key()
 			v, err := r.Get([]byte(k))
 			want, present := m.data[k]
@@ -217,6 +291,8 @@ func runShardedDifferentialStress(t *testing.T, shards int, seed int64) {
 			} else if err != core.ErrNotFound {
 				t.Fatalf("op %d Get(absent %q) = %v", i, k, err)
 			}
+		case p < 85: // cross-shard range scan with maintenance mid-flight
+			checkRouterScanAcrossMaintenance(t, r, m, rng, i)
 		case p < 88: // flush every shard
 			if err := r.Flush(); err != nil {
 				t.Fatalf("op %d Flush: %v", i, err)

@@ -14,6 +14,10 @@ type IterOptions struct {
 	// iteration to user keys in [LowerBound, UpperBound).
 	LowerBound []byte
 	UpperBound []byte
+	// Prefix restricts the scan to keys starting with this prefix (see
+	// core.IterOptions.Prefix); each shard applies its prefix Bloom
+	// filters independently.
+	Prefix []byte
 	// Snapshot pins the view; nil reads each shard's latest state.
 	Snapshot *Snapshot
 }
@@ -53,6 +57,7 @@ func (r *Router) NewIter(opts IterOptions) (*Iter, error) {
 		it, err := db.NewIter(core.IterOptions{
 			LowerBound: opts.LowerBound,
 			UpperBound: opts.UpperBound,
+			Prefix:     opts.Prefix,
 			Snapshot:   opts.Snapshot.sub(i),
 		})
 		if err != nil {

@@ -176,6 +176,14 @@ type Properties struct {
 	// version of a key whose newest version was range-deleted, so it is
 	// only permitted on duplicate-free tables.
 	HasDuplicates bool
+	// PrefixBloomMaxLen, when non-zero, is the longest key-prefix length
+	// indexed by the table's prefix Bloom filter, and PrefixFilter locates
+	// that filter's block. These ride as optional trailing fields of the
+	// properties block (readers that predate them ignore trailing bytes;
+	// tables written without them decode to the zero values), so the footer
+	// layout and format version are unchanged.
+	PrefixBloomMaxLen uint64
+	PrefixFilter      BlockHandle
 }
 
 func encodeProperties(dst []byte, p *Properties) []byte {
@@ -197,6 +205,11 @@ func encodeProperties(dst []byte, p *Properties) []byte {
 		dup = 1
 	}
 	dst = binary.AppendUvarint(dst, dup)
+	if p.PrefixBloomMaxLen > 0 {
+		dst = binary.AppendUvarint(dst, p.PrefixBloomMaxLen)
+		dst = binary.AppendUvarint(dst, p.PrefixFilter.Offset)
+		dst = binary.AppendUvarint(dst, p.PrefixFilter.Length)
+	}
 	return dst
 }
 
@@ -223,6 +236,19 @@ func decodeProperties(b []byte) (Properties, error) {
 	p.MaxSeqNum = base.SeqNum(maxSeq)
 	p.MinSeqNum = base.SeqNum(minSeq)
 	p.HasDuplicates = dup == 1
+	// Optional trailing fields: the prefix-bloom triple. Absent in tables
+	// written before (or without) prefix filters.
+	if len(b) > 0 {
+		opt := []*uint64{&p.PrefixBloomMaxLen, &p.PrefixFilter.Offset, &p.PrefixFilter.Length}
+		for i, f := range opt {
+			v, n := binary.Uvarint(b)
+			if n <= 0 {
+				return p, fmt.Errorf("%w: corrupt properties block (optional field %d)", ErrCorrupt, i)
+			}
+			b = b[n:]
+			*f = v
+		}
+	}
 	return p, nil
 }
 

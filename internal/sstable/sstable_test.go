@@ -538,3 +538,78 @@ func BenchmarkTableGet(b *testing.B) {
 		r.Get(entries[i%len(entries)].key.UserKey, base.MaxSeqNum)
 	}
 }
+
+func TestPrefixBloomNoFalseNegatives(t *testing.T) {
+	fs := vfs.NewMemFS()
+	const bound = 6
+	entries := make([]entry, 0, 200)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("user%03d/attr%d", i%40, i)
+		entries = append(entries, entry{
+			key:   base.MakeInternalKey([]byte(k), base.SeqNum(1000-i), base.KindSet),
+			value: mkValue(uint64(i), 8),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key.Compare(entries[j].key) < 0 })
+	r, _ := buildTable(t, fs, "pfx.sst", WriterOptions{BloomBitsPerKey: 10, PrefixBloomLength: bound}, entries, nil)
+
+	if r.Props().PrefixBloomMaxLen != bound {
+		t.Fatalf("PrefixBloomMaxLen = %d, want %d", r.Props().PrefixBloomMaxLen, bound)
+	}
+	for _, e := range entries {
+		k := e.key.UserKey
+		for l := 1; l <= len(k); l++ {
+			// Prefixes past the bound are truncated by the probe, so every
+			// length must report maybe-present.
+			if !r.MayContainPrefix(k[:l]) {
+				t.Fatalf("false negative for prefix %q (len %d)", k[:l], l)
+			}
+		}
+	}
+	// Disjoint prefixes should mostly miss (bloom FPs allowed, but at 10
+	// bits/key a 100% hit rate would mean the filter is broken).
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if !r.MayContainPrefix([]byte(fmt.Sprintf("zzz%03d", i))) {
+			miss++
+		}
+	}
+	if miss == 0 {
+		t.Fatal("prefix filter never rejects absent prefixes")
+	}
+}
+
+func TestPrefixBloomDisabledAlwaysMaybe(t *testing.T) {
+	fs := vfs.NewMemFS()
+	entries := sortedEntries(50, false)
+	r, _ := buildTable(t, fs, "nopfx.sst", WriterOptions{BloomBitsPerKey: 10}, entries, nil)
+	if r.Props().PrefixBloomMaxLen != 0 {
+		t.Fatalf("PrefixBloomMaxLen = %d, want 0", r.Props().PrefixBloomMaxLen)
+	}
+	if !r.MayContainPrefix([]byte("absent")) {
+		t.Fatal("table without a prefix filter must always report maybe")
+	}
+}
+
+func TestPrefixBloomPropertiesBackwardCompat(t *testing.T) {
+	// A properties block without the optional trailing fields (as written
+	// before prefix blooms existed, or with them disabled) must decode to
+	// zero values, and one with them must round-trip.
+	p := Properties{NumEntries: 7, NumPages: 2, NumTiles: 2}
+	got, err := decodeProperties(encodeProperties(nil, &p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PrefixBloomMaxLen != 0 || got.PrefixFilter.Length != 0 {
+		t.Fatalf("zero-value prefix fields corrupted: %+v", got)
+	}
+	p.PrefixBloomMaxLen = 8
+	p.PrefixFilter = BlockHandle{Offset: 123, Length: 456}
+	got, err = decodeProperties(encodeProperties(nil, &p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}

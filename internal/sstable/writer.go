@@ -23,6 +23,11 @@ type WriterOptions struct {
 	// BloomBitsPerKey sizes the table's Bloom filter. Zero disables the
 	// filter; 10 is the conventional default.
 	BloomBitsPerKey int
+	// PrefixBloomLength, when positive, adds a second Bloom filter indexing
+	// every key prefix of length 1..PrefixBloomLength, letting prefix scans
+	// skip the table without opening it. Zero disables it. The filter is
+	// sized by BloomBitsPerKey (10 if that is unset).
+	PrefixBloomLength int
 	// PagesPerTile selects the storage layout: 1 produces a standard
 	// globally sorted table; >1 produces the KiWi key-weaving layout with
 	// that many delete-key-ordered pages per tile. Default 1.
@@ -85,8 +90,9 @@ type Writer struct {
 	tileBytes int
 	tileID    uint64
 
-	hashes    []uint64
-	rangeDels []base.RangeTombstone
+	hashes       []uint64
+	prefixHashes []uint64
+	rangeDels    []base.RangeTombstone
 
 	meta        WriterMeta
 	haveTomb    bool
@@ -121,6 +127,15 @@ func (w *Writer) Add(ikey base.InternalKey, value []byte) error {
 	}
 	if !w.first && base.Compare(ikey.UserKey, w.lastAdded.UserKey) == 0 {
 		w.meta.Props.HasDuplicates = true
+	}
+	if w.opts.PrefixBloomLength > 0 {
+		// Keys arrive sorted, so every prefix shared with the previous key
+		// is already hashed; only the suffix past the common prefix is new.
+		skip := 0
+		if !w.first {
+			skip = sharedPrefixLen(w.lastAdded.UserKey, ikey.UserKey)
+		}
+		w.prefixHashes = bloom.AppendPrefixHashes(w.prefixHashes, ikey.UserKey, skip, w.opts.PrefixBloomLength)
 	}
 	if w.first {
 		w.meta.Smallest = ikey.Clone()
@@ -184,6 +199,19 @@ func (w *Writer) AddRangeTombstone(rt base.RangeTombstone) error {
 // NoteDroppedPages records that n pages were elided (by a KiWi range-delete
 // compaction) while producing this table.
 func (w *Writer) NoteDroppedPages(n uint64) { w.meta.Props.DroppedPages += n }
+
+// sharedPrefixLen returns the length of the longest common prefix of a and b.
+func sharedPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
 
 func (w *Writer) noteTombstone(ts base.Timestamp) {
 	if !w.haveTomb || ts < w.meta.Props.OldestTombstone {
@@ -339,6 +367,22 @@ func (w *Writer) finish() error {
 			return err
 		}
 		ftr.filter = h
+	}
+
+	// Prefix Bloom filter block. Its handle lives in the properties block
+	// (optional trailing fields), so it must be written before properties.
+	if w.opts.PrefixBloomLength > 0 && len(w.prefixHashes) > 0 {
+		bpk := w.opts.BloomBitsPerKey
+		if bpk <= 0 {
+			bpk = 10
+		}
+		filter := bloom.Build(w.prefixHashes, bpk)
+		h, err := w.writeBlock(filter.Encode(nil))
+		if err != nil {
+			return err
+		}
+		w.meta.Props.PrefixFilter = h
+		w.meta.Props.PrefixBloomMaxLen = uint64(w.opts.PrefixBloomLength)
 	}
 
 	// Range-tombstone block.
